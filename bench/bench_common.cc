@@ -1,0 +1,118 @@
+#include "bench_common.h"
+
+namespace vqllm::bench {
+
+const vq::AccessHistogram &
+sampleHistogram(const vq::VQConfig &cfg, bool kv)
+{
+    static std::map<std::string, vq::AccessHistogram> cache;
+    std::string key = cfg.name + (kv ? "/kv" : "/w");
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    // Sample size balances fidelity and bench startup time; larger
+    // codebooks need more sampled sub-vectors for stable skew
+    // statistics (Fig. 8, Tbl. V).
+    Rng rng(0xC0FFEE);
+    ClusteredDataSpec spec;
+    spec.num_clusters = kv ? 32 : 512;
+    spec.popularity_alpha = 0.3;
+    if (!kv && cfg.storedEntries() >= 2048) {
+        // Large codebooks: the mega-hot entries come from recurring
+        // template sub-vectors (Fig. 8 / Tbl. V's 15-30 band).
+        spec.duplicate_pool = 22;
+        spec.duplicate_fraction = 0.16;
+    }
+    // One sub-vector per sampled row so duplicate templates map to
+    // single codebook entries.
+    std::size_t rows = cfg.storedEntries() >= 2048 ? 8192
+                       : kv                        ? 4096
+                                                   : 2048;
+    std::size_t cols = cfg.vector_size;
+    Tensor<float> data = kv ? generateKvCache(1, rows, cols, rng)
+                            : generateClustered(rows, cols, spec, rng);
+    if (kv)
+        data.reshape({rows, cols});
+
+    // Train a single shared codebook for the histogram regardless of
+    // the config's scope: per-book access statistics are what the cache
+    // plan consumes.
+    vq::VQConfig book_cfg = cfg;
+    book_cfg.scope = vq::CodebookScope::PerTensor;
+    vq::KMeansOptions opts;
+    opts.max_iters = 4;
+    opts.sample_limit = 1024;
+    auto qt = vq::VectorQuantizer(book_cfg, opts).quantize(data);
+    auto profile = vq::profileAccesses(qt);
+    auto [pos, inserted] =
+        cache.emplace(key, std::move(profile.histograms[0]));
+    return pos->second;
+}
+
+std::string
+formatRatio(double value, double baseline)
+{
+    return formatDouble(baseline > 0 ? value / baseline : 0.0, 2) + "x";
+}
+
+kernels::KernelResult
+attnAtLevel(const gpusim::GpuSpec &spec, const engine::AttnShape &shape,
+            const vq::VQConfig &cfg, engine::OptLevel level)
+{
+    const auto &hist = sampleHistogram(cfg, /*kv=*/true);
+    engine::PlanInputs in;
+    in.spec = &spec;
+    in.histogram = &hist;
+    auto plan = engine::planAttentionKernel(shape, cfg, level, in);
+    return kernels::estimateVqAttentionKernel(spec, plan, &hist);
+}
+
+kernels::KernelResult
+weightAtLevel(const gpusim::GpuSpec &spec, engine::OpKind kind,
+              const engine::GemmShape &shape, const vq::VQConfig &cfg,
+              engine::OptLevel level)
+{
+    const auto &hist = sampleHistogram(cfg, /*kv=*/false);
+    engine::PlanInputs in;
+    in.spec = &spec;
+    in.histogram = &hist;
+    auto plan = engine::planWeightKernel(kind, shape, cfg, level, in);
+    return kernels::estimateVqWeightKernel(spec, plan, &hist);
+}
+
+kernels::KernelResult
+bestAttn(const gpusim::GpuSpec &spec, const engine::AttnShape &shape,
+         const vq::VQConfig &cfg)
+{
+    kernels::KernelResult best;
+    bool first = true;
+    for (auto level : {engine::OptLevel::O1, engine::OptLevel::O2,
+                       engine::OptLevel::O3, engine::OptLevel::O4}) {
+        auto r = attnAtLevel(spec, shape, cfg, level);
+        if (first || r.us() < best.us()) {
+            best = r;
+            first = false;
+        }
+    }
+    return best;
+}
+
+kernels::KernelResult
+bestWeight(const gpusim::GpuSpec &spec, engine::OpKind kind,
+           const engine::GemmShape &shape, const vq::VQConfig &cfg)
+{
+    kernels::KernelResult best;
+    bool first = true;
+    for (auto level : {engine::OptLevel::O1, engine::OptLevel::O2,
+                       engine::OptLevel::O3, engine::OptLevel::O4}) {
+        auto r = weightAtLevel(spec, kind, shape, cfg, level);
+        if (first || r.us() < best.us()) {
+            best = r;
+            first = false;
+        }
+    }
+    return best;
+}
+
+} // namespace vqllm::bench

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces paper Fig. 2.
+ *
+ * (upper) Accuracy of VQ vs element-wise quantization on weight and
+ *         KV-cache-like data at matched bit-widths (reconstruction MSE
+ *         as the dPPL proxy; the task-accuracy version is in
+ *         bench_fig17_e2e).
+ * (lower) Quantization-point layouts on correlated 2-D data: a
+ *         Cartesian product grid vs k-means VQ entries at the same bit
+ *         budget, with the MSE of each.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ewq/int_quant.h"
+#include "vq/kmeans.h"
+
+using namespace vqllm;
+using namespace vqllm::bench;
+
+int
+main()
+{
+    Rng rng(29);
+
+    // ---- upper: matched-bit-width reconstruction quality ------------
+    std::printf("Fig. 2 (upper): reconstruction error at matched "
+                "bit-widths (dPPL proxy)\n\n");
+    // Enough rows that every per-channel-group codebook sees far more
+    // sub-vectors than it has entries (no k-means memorization).
+    auto weight = generateLlmWeight(2048, 128, rng);
+    auto kv3 = generateKvCache(2, 2048, 64, rng);
+    Tensor<float> kv({2 * 2048, 64});
+    for (std::size_t h = 0; h < 2; ++h)
+        for (std::size_t t = 0; t < 2048; ++t)
+            for (std::size_t c = 0; c < 64; ++c)
+                kv.at(h * 2048 + t, c) = kv3.at(h, t, c);
+
+    TextTable t({"data", "bits", "element-wise MSE", "VQ MSE",
+                 "VQ advantage"});
+    struct Case
+    {
+        const char *name;
+        const Tensor<float> *data;
+        unsigned bits;
+        vq::VQConfig vq_cfg;
+    };
+    vq::VQConfig v2 = vq::cq2();  // 2-bit
+    vq::VQConfig v4 = vq::cq4();  // 4-bit
+    for (const Case &c :
+         {Case{"weight", &weight, 2, v2}, Case{"weight", &weight, 4, v4},
+          Case{"KV cache", &kv, 2, v2}, Case{"KV cache", &kv, 4, v4}}) {
+        ewq::IntQuantConfig icfg;
+        icfg.bits = c.bits;
+        icfg.group_size = std::min<std::size_t>(64, c.data->dim(1));
+        double emse = mse(*c.data, ewq::intDequantize(
+                                       ewq::intQuantize(*c.data, icfg)));
+        vq::KMeansOptions opts;
+        opts.max_iters = 10;
+        opts.sample_limit = 4096;
+        auto qt = vq::VectorQuantizer(c.vq_cfg, opts).quantize(*c.data);
+        double vmse = mse(*c.data, vq::VectorQuantizer::dequantize(qt));
+        t.addRow({c.name, std::to_string(c.bits), formatDouble(emse, 5),
+                  formatDouble(vmse, 5),
+                  formatRatio(emse, vmse)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper: VQ matches or beats element-wise at every "
+                "bit-width; the gap widens at 2 bits.\n\n");
+
+    // ---- lower: quantization-point layouts on correlated 2-D data ----
+    std::printf("Fig. 2 (lower): 2-D quantization points, 4 bits per "
+                "point\n\n");
+    auto pts = generateCorrelated2d(8000, 0.85, 0.01, rng);
+    auto grid = ewq::cartesianQuantize2d(pts, 2); // 4x4 grid
+    auto km = vq::kMeans(pts, 16);                // 16 VQ entries
+    Tensor<float> vq_rec({pts.dim(0), 2});
+    for (std::size_t i = 0; i < pts.dim(0); ++i)
+        for (std::size_t d = 0; d < 2; ++d)
+            vq_rec.at(i, d) = km.centroids.at(km.assignments[i], d);
+
+    TextTable lower({"layout", "MSE"});
+    lower.addRow({"element-wise (4x4 Cartesian grid)",
+                  formatDouble(mse(pts, grid), 4)});
+    lower.addRow({"VQ (16 k-means entries)",
+                  formatDouble(mse(pts, vq_rec), 4)});
+    std::printf("%s\n", lower.render().c_str());
+    std::printf("paper example: MSE 5.2e-3 (element-wise) vs 3.2e-3 "
+                "(VQ) — VQ follows the data's\ncorrelated structure "
+                "and covers outliers the grid wastes points on.\n");
+    return 0;
+}

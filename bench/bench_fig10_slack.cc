@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: GPU occupancy as a function of per-block
+ * shared-memory and register consumption for two computation kernels,
+ * highlighting the resource slack — the region that can be consumed
+ * without losing a resident block.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace vqllm;
+using namespace vqllm::bench;
+
+namespace {
+
+void
+sweepSmem(const gpusim::GpuSpec &spec, const char *title,
+          gpusim::BlockResources block)
+{
+    std::printf("%s: occupancy vs shared memory (threads=%d, "
+                "regs=%d)\n", title, block.threads,
+                block.regs_per_thread);
+    auto slack = gpusim::computeSlack(spec, block);
+    std::printf("  current smem %zu B -> slack %zu B (cache budget at "
+                "unchanged occupancy)\n",
+                block.smem_bytes, slack.smem_bytes);
+    std::printf("  smem KB : blocks/SM : occupancy\n");
+    int prev = -1;
+    for (std::size_t kb = 0; kb <= 96; kb += 4) {
+        gpusim::BlockResources b = block;
+        b.smem_bytes = kb * 1024;
+        auto occ = gpusim::computeOccupancy(spec, b);
+        const char *marker =
+            (occ.blocks_per_sm != prev && prev != -1) ? "  <- step"
+                                                      : "";
+        std::printf("  %6zu  :    %2d     :  %5.1f%%%s\n", kb,
+                    occ.blocks_per_sm, occ.occupancy * 100, marker);
+        prev = occ.blocks_per_sm;
+    }
+    std::printf("\n");
+}
+
+void
+sweepRegs(const gpusim::GpuSpec &spec, const char *title,
+          gpusim::BlockResources block)
+{
+    std::printf("%s: occupancy vs registers/thread (threads=%d, "
+                "smem=%zu)\n", title, block.threads, block.smem_bytes);
+    auto slack = gpusim::computeSlack(spec, block);
+    std::printf("  current regs %d -> slack %d regs/thread\n",
+                block.regs_per_thread, slack.regs_per_thread);
+    std::printf("  regs : blocks/SM : occupancy\n");
+    int prev = -1;
+    for (int regs = 16; regs <= 192; regs += 8) {
+        gpusim::BlockResources b = block;
+        b.regs_per_thread = regs;
+        auto occ = gpusim::computeOccupancy(spec, b);
+        const char *marker =
+            (occ.blocks_per_sm != prev && prev != -1) ? "  <- step"
+                                                      : "";
+        std::printf("  %4d :    %2d     :  %5.1f%%%s\n", regs,
+                    occ.blocks_per_sm, occ.occupancy * 100, marker);
+        prev = occ.blocks_per_sm;
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &spec = gpusim::rtx4090();
+    std::printf("Fig. 10: resource consumption vs occupancy and the "
+                "slack region (%s)\n\n", spec.name.c_str());
+
+    // OP A: attention-decode-like block; OP B: GeMM-like block.
+    auto attn = engine::baseBlockResources(
+        engine::OpKind::AttentionDecode, true);
+    auto gemm = engine::baseBlockResources(engine::OpKind::GeMM, true);
+
+    sweepSmem(spec, "OP A (VQ attention)", attn);
+    sweepSmem(spec, "OP B (VQ GeMM)", gemm);
+    sweepRegs(spec, "OP A (VQ attention)", attn);
+    sweepRegs(spec, "OP B (VQ GeMM)", gemm);
+
+    std::printf("the plateau between steps is the slack the codebook "
+                "cache may occupy for free\n(paper Sec. V-B: nreg and "
+                "nshared are the slack divided by the entry size).\n");
+    return 0;
+}

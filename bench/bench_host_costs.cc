@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Host-side cost benchmarks (google-benchmark): the offline phase of
+ * VQ-LLM — kernel planning, thread-mapping computation, CUDA emission,
+ * k-means training, quantization/dequantization throughput, and the
+ * bank-conflict estimator.  These are the real CPU costs a deployment
+ * pays when generating kernels.
+ */
+#include <benchmark/benchmark.h>
+
+#include "codegen/cuda_emitter.h"
+#include "engine/template_engine.h"
+#include "gpusim/bank_conflict.h"
+#include "kernels/vq_kernels.h"
+#include "tensor/datagen.h"
+#include "vq/profiler.h"
+#include "vq/quantizer.h"
+
+using namespace vqllm;
+
+namespace {
+
+void
+BM_PlanAttentionKernel(benchmark::State &state)
+{
+    engine::PlanInputs in;
+    in.spec = &gpusim::rtx4090();
+    auto hist = vq::syntheticZipfHistogram(256);
+    in.histogram = &hist;
+    for (auto _ : state) {
+        auto plan = engine::planAttentionKernel(
+            {8, 32, 4096, 128}, vq::cq2(),
+            static_cast<engine::OptLevel>(state.range(0)), in);
+        benchmark::DoNotOptimize(plan);
+    }
+}
+BENCHMARK(BM_PlanAttentionKernel)->Arg(5)->Arg(2)->Name(
+    "plan_attention_kernel(level)");
+
+void
+BM_ThreadMapping(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto m = engine::computeThreadMapping(
+            32, static_cast<int>(state.range(0)), 1);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_ThreadMapping)->Arg(4)->Arg(8)->Name(
+    "thread_mapping(vector_size)");
+
+void
+BM_EmitCudaKernel(benchmark::State &state)
+{
+    engine::PlanInputs in;
+    in.spec = &gpusim::rtx4090();
+    auto plan = engine::planAttentionKernel({1, 32, 1024, 128},
+                                            vq::cq2(),
+                                            engine::OptLevel::O4, in);
+    for (auto _ : state) {
+        auto src = codegen::emitCudaKernel(plan);
+        benchmark::DoNotOptimize(src);
+    }
+}
+BENCHMARK(BM_EmitCudaKernel)->Name("emit_cuda_kernel");
+
+void
+BM_KMeansTraining(benchmark::State &state)
+{
+    Rng rng(1);
+    auto data = generateClustered(
+        2048, 4, ClusteredDataSpec{}, rng);
+    vq::KMeansOptions opts;
+    opts.max_iters = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto res = vq::kMeans(data, 256, opts);
+        benchmark::DoNotOptimize(res.inertia);
+    }
+}
+BENCHMARK(BM_KMeansTraining)->Arg(2)->Arg(8)->Unit(
+    benchmark::kMillisecond)->Name("kmeans_256_entries(iters)");
+
+void
+BM_QuantizeDequantize(benchmark::State &state)
+{
+    Rng rng(2);
+    auto data = generateClustered(
+        static_cast<std::size_t>(state.range(0)), 32,
+        ClusteredDataSpec{}, rng);
+    vq::VQConfig cfg = vq::cq2();
+    cfg.num_entries = 64;
+    vq::KMeansOptions opts;
+    opts.max_iters = 4;
+    auto qt = vq::VectorQuantizer(cfg, opts).quantize(data);
+    for (auto _ : state) {
+        auto rec = vq::VectorQuantizer::dequantize(qt);
+        benchmark::DoNotOptimize(rec.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * data.size() *
+        sizeof(float));
+}
+BENCHMARK(BM_QuantizeDequantize)->Arg(256)->Arg(1024)->Name(
+    "dequantize_rows");
+
+void
+BM_ConflictEstimator(benchmark::State &state)
+{
+    const auto &spec = gpusim::rtx4090();
+    for (auto _ : state) {
+        double m = gpusim::expectedConflictMultiplier(
+            spec, 256, 8, static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_ConflictEstimator)->Arg(64)->Arg(512)->Name(
+    "bank_conflict_estimator(samples)");
+
+void
+BM_EstimateVqAttention(benchmark::State &state)
+{
+    engine::PlanInputs in;
+    in.spec = &gpusim::rtx4090();
+    auto hist = vq::syntheticZipfHistogram(256);
+    in.histogram = &hist;
+    auto plan = engine::planAttentionKernel({8, 32, 4096, 128},
+                                            vq::cq2(),
+                                            engine::OptLevel::O4, in);
+    for (auto _ : state) {
+        auto r = kernels::estimateVqAttentionKernel(
+            gpusim::rtx4090(), plan, &hist);
+        benchmark::DoNotOptimize(r.latency.total_us);
+    }
+}
+BENCHMARK(BM_EstimateVqAttention)->Name("estimate_vq_attention");
+
+} // namespace
+
+BENCHMARK_MAIN();

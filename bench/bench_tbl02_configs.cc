@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Prints paper Tbl. II (VQ algorithms and configurations) from the
+ * library's presets, and Tbl. III (reduce and codebook-switch axes per
+ * computation) from the engine's axis metadata.
+ */
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+
+using namespace vqllm;
+using namespace vqllm::bench;
+
+namespace {
+
+std::string
+axisList(const std::vector<engine::Axis> &axes)
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < axes.size(); ++i)
+        oss << engine::axisName(axes[i]) << (i + 1 < axes.size() ? ","
+                                                                 : "");
+    return oss.str().empty() ? "-" : oss.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Tbl. II: VQ algorithms and their configurations\n\n");
+    TextTable t2({"algorithm", "compression vs FP16", "vector size",
+                  "#entry", "residual", "index bits", "codebook scope"});
+    for (const auto &cfg : vq::paperConfigs()) {
+        const char *scope =
+            cfg.scope == vq::CodebookScope::PerTensor ? "per tensor"
+            : cfg.scope == vq::CodebookScope::PerTile ? "per (256,256) tile"
+                                                      : "per channel group";
+        std::string entries = std::to_string(cfg.num_entries);
+        if (cfg.lattice)
+            entries += "*";
+        t2.addRow({cfg.name, formatPercent(cfg.compressionRatio(), 2),
+                   std::to_string(cfg.vector_size), entries,
+                   std::to_string(cfg.residuals),
+                   std::to_string(cfg.indexBits()), scope});
+    }
+    std::printf("%s\n", t2.render().c_str());
+    std::printf("* lattice codebook: 65536 logical entries decoded from "
+                "256 stored entries with bit ops.\n\n");
+
+    std::printf("Tbl. III: reduce and codebook-switch axes\n\n");
+    TextTable t3({"computation", "all axes", "reduce axes",
+                  "switch axes (config)", "conflict (global reduce)"});
+    auto weight = engine::weightAxisInfo();
+    for (const auto &cfg : {vq::aqlm3(), vq::gptvq2()}) {
+        auto sw = engine::weightSwitchAxes(cfg);
+        t3.addRow({"GeMM/GeMV weight", axisList(weight.all),
+                   axisList(weight.reduce),
+                   axisList(sw) + " (" + cfg.name + ")",
+                   axisList(engine::conflictAxes(weight, sw))});
+    }
+    for (auto operand :
+         {engine::AttnOperand::KCache, engine::AttnOperand::VCache}) {
+        auto info = engine::attentionAxisInfo(operand);
+        auto sw = engine::attentionSwitchAxes(vq::cq2());
+        t3.addRow({operand == engine::AttnOperand::KCache ? "K cache"
+                                                          : "V cache",
+                   axisList(info.all), axisList(info.reduce),
+                   axisList(sw) + " (CQ)",
+                   axisList(engine::conflictAxes(info, sw))});
+    }
+    std::printf("%s\n", t3.render().c_str());
+    std::printf("colored cells of the paper's table = the conflict "
+                "column: parallelizing those axes\nrequires the "
+                "explicit global reduction of the codebook-centric "
+                "dataflow.\n");
+    return 0;
+}

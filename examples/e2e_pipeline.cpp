@@ -1,0 +1,73 @@
+/**
+ * @file
+ * End-to-end pipeline example: serving-level view of VQ-LLM.
+ *
+ * Estimates full-generation latency and memory for Llama-7B and
+ * Llama-65B under each quantization scheme on both evaluated GPUs, and
+ * runs the task-accuracy pipeline, reproducing the decision surface of
+ * paper Sec. VII-E: which scheme to deploy at which bit budget.
+ */
+#include <cstdio>
+
+#include "llm/accuracy.h"
+#include "llm/e2e.h"
+
+using namespace vqllm;
+using llm::QuantScheme;
+
+int
+main()
+{
+    const llm::E2EConfig scenario; // batch 16, 1024 prompt + 256 gen
+    std::printf("end-to-end serving estimates (batch %zu, prompt %zu, "
+                "generate %zu)\n\n",
+                scenario.batch, scenario.prompt_len,
+                scenario.gen_tokens);
+
+    for (const auto *model : {&llm::llama7b(), &llm::llama65b()}) {
+        for (const auto *spec :
+             {&gpusim::rtx4090(), &gpusim::teslaA40()}) {
+            std::printf("%s on %s:\n", model->name.c_str(),
+                        spec->name.c_str());
+            std::printf("  %-16s %12s %12s %10s %10s\n", "scheme",
+                        "prefill(ms)", "decode(ms)", "speedup",
+                        "memory");
+            double fp16_total = 0;
+            for (auto scheme :
+                 {QuantScheme::FP16, QuantScheme::EWQ4,
+                  QuantScheme::VQ4, QuantScheme::VQ2}) {
+                auto r = llm::estimateE2E(*spec, *model, scheme,
+                                          scenario);
+                if (scheme == QuantScheme::FP16)
+                    fp16_total = r.totalUs();
+                std::printf("  %-16s %12.1f %12.1f %9.2fx %9.1fGB\n",
+                            llm::quantSchemeName(scheme),
+                            r.prefill_us / 1000, r.decode_us / 1000,
+                            fp16_total / r.totalUs(),
+                            static_cast<double>(r.totalMemoryBytes()) /
+                                (1ull << 30));
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("task accuracy across bit budgets (synthetic "
+                "classification pipeline):\n\n");
+    std::printf("  %-8s %8s %8s %8s\n", "bits", "FP16", "VQ",
+                "element-wise");
+    for (unsigned bits : {4u, 2u}) {
+        vq::VQConfig vq_cfg = bits == 4 ? vq::cq4() : vq::cq2();
+        ewq::IntQuantConfig ewq_cfg;
+        ewq_cfg.bits = bits;
+        ewq_cfg.group_size = 24;
+        auto report = llm::compareQuantAccuracy(vq_cfg, ewq_cfg, 1234);
+        std::printf("  %-8u %7.1f%% %7.1f%% %7.1f%%\n", bits,
+                    report.fp16 * 100, report.vq * 100,
+                    report.ewq * 100);
+    }
+    std::printf("\ndeployment rule of thumb (paper Sec. VII-E): at 4 "
+                "bits VQ matches element-wise\nlatency with better "
+                "accuracy headroom; at 2 bits only VQ retains "
+                "accuracy.\n");
+    return 0;
+}

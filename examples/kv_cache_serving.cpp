@@ -1,0 +1,113 @@
+/**
+ * @file
+ * KV-cache serving scenario: decode attention over a CQ-quantized KV
+ * cache (the workload of the paper's introduction — long-context
+ * serving where the KV cache dominates memory).
+ *
+ * Quantizes a synthetic multi-head KV cache with CQ-2 and CQ-4, runs
+ * the fused attention kernel functionally, verifies against the FP16
+ * reference, then sweeps sequence lengths at paper scale to show how
+ * the latency advantage grows with context.
+ */
+#include <cstdio>
+
+#include "engine/template_engine.h"
+#include "kernels/fp16_kernels.h"
+#include "kernels/reference.h"
+#include "kernels/vq_kernels.h"
+#include "tensor/datagen.h"
+#include "vq/profiler.h"
+
+using namespace vqllm;
+
+namespace {
+
+vq::QuantizedTensor
+quantizeKv(const Tensor<float> &kv3, const vq::VQConfig &cfg)
+{
+    const std::size_t heads = kv3.dim(0), tokens = kv3.dim(1),
+                      channels = kv3.dim(2);
+    Tensor<float> flat({tokens, heads * channels});
+    for (std::size_t h = 0; h < heads; ++h)
+        for (std::size_t t = 0; t < tokens; ++t)
+            for (std::size_t c = 0; c < channels; ++c)
+                flat.at(t, h * channels + c) = kv3.at(h, t, c);
+    vq::KMeansOptions opts;
+    opts.max_iters = 8;
+    auto qt = vq::VectorQuantizer(cfg, opts).quantize(flat);
+    vq::reorderByFrequency(qt);
+    return qt;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t heads = 4, tokens = 96, channels = 16;
+    Rng rng(7);
+    auto k3 = generateKvCache(heads, tokens, channels, rng);
+    auto v3 = generateKvCache(heads, tokens, channels, rng);
+    Tensor<float> q({heads, channels});
+    fillNormal(q, rng);
+
+    vq::VQConfig cfg = vq::cq2();
+    cfg.num_entries = 64;
+    auto qt_k = quantizeKv(k3, cfg);
+    auto qt_v = quantizeKv(v3, cfg);
+    std::printf("KV cache quantized with %s (%s): %zu -> %zu bytes\n",
+                cfg.name.c_str(), cfg.notation().c_str(),
+                k3.size() * 2 * 2, qt_k.sizeBytes() + qt_v.sizeBytes());
+
+    engine::PlanInputs in;
+    in.spec = &gpusim::rtx4090();
+    auto plan = engine::planAttentionKernel(
+        {1, heads, tokens, channels}, cfg, engine::OptLevel::O4, in);
+    auto result = kernels::runVqAttention(plan, qt_k, qt_v, q);
+
+    // Verify against the FP16 reference over the dequantized caches.
+    auto dk = vq::VectorQuantizer::dequantize(qt_k);
+    auto dv = vq::VectorQuantizer::dequantize(qt_v);
+    Tensor<float> k_hd({heads, tokens, channels}),
+        v_hd({heads, tokens, channels});
+    for (std::size_t h = 0; h < heads; ++h)
+        for (std::size_t t = 0; t < tokens; ++t)
+            for (std::size_t c = 0; c < channels; ++c) {
+                k_hd.at(h, t, c) = dk.at(t, h * channels + c);
+                v_hd.at(h, t, c) = dv.at(t, h * channels + c);
+            }
+    auto reference = kernels::referenceAttention(q, k_hd, v_hd);
+    std::printf("functional check: max |vq - reference| = %.2e\n",
+                maxAbsDiff(result.output, reference));
+    std::printf("attention output quality vs unquantized KV: MSE = "
+                "%.4f\n",
+                mse(result.output,
+                    kernels::referenceAttention(q, k3, v3)));
+
+    // Paper-scale sweep: Llama-7B decode at growing context lengths.
+    std::printf("\nLlama-7B decode attention sweep (BS8, %s):\n",
+                gpusim::rtx4090().name.c_str());
+    std::printf("  %8s %12s %12s %12s %9s\n", "seq", "FP16 (us)",
+                "CQ-2 (us)", "CQ-4 (us)", "best gain");
+    auto hist = vq::syntheticZipfHistogram(256);
+    in.histogram = &hist;
+    for (std::size_t seq : {1024u, 2048u, 4096u, 8192u}) {
+        engine::AttnShape shape{8, 32, seq, 128};
+        auto fp16 = kernels::fp16AttentionEstimate(gpusim::rtx4090(),
+                                                   shape);
+        auto p2 = engine::planAttentionKernel(shape, vq::cq2(),
+                                              engine::OptLevel::O4, in);
+        auto p4 = engine::planAttentionKernel(shape, vq::cq4(),
+                                              engine::OptLevel::O4, in);
+        auto r2 = kernels::estimateVqAttentionKernel(gpusim::rtx4090(),
+                                                     p2, &hist);
+        auto r4 = kernels::estimateVqAttentionKernel(gpusim::rtx4090(),
+                                                     p4, &hist);
+        std::printf("  %8zu %12.1f %12.1f %12.1f %8.2fx\n", seq,
+                    fp16.us(), r2.us(), r4.us(),
+                    fp16.us() / std::min(r2.us(), r4.us()));
+    }
+    std::printf("\nthe VQ advantage grows with context length as the "
+                "KV cache dominates traffic.\n");
+    return 0;
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * vqllm_cli: command-line front end to the library pipeline.
+ *
+ *   vqllm_cli quantize <config> <rows> <cols> <out.vqt> [seed]
+ *       quantize a synthetic weight tensor and write the artifact
+ *   vqllm_cli info <in.vqt>
+ *       print artifact metadata, compression and profile statistics
+ *   vqllm_cli plan <in.vqt> <gemm|gemv|attn> [level]
+ *       resolve a fused-kernel plan and print it with a latency estimate
+ *   vqllm_cli emit <in.vqt> <gemm|gemv|attn> <out.cu>
+ *       generate the fused CUDA kernel for an artifact
+ *
+ * <config> is one of: quip4 aqlm3 gptvq2 cq4 cq2.
+ */
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "codegen/cuda_emitter.h"
+#include "engine/template_engine.h"
+#include "kernels/vq_kernels.h"
+#include "tensor/datagen.h"
+#include "vq/profiler.h"
+#include "vq/serialize.h"
+
+using namespace vqllm;
+
+namespace {
+
+vq::VQConfig
+configByName(const std::string &name)
+{
+    for (const auto &cfg : vq::paperConfigs()) {
+        std::string key = cfg.name;
+        for (char &c : key)
+            c = static_cast<char>(std::tolower(c));
+        key.erase(std::remove_if(key.begin(), key.end(),
+                                 [](char c) {
+                                     return !std::isalnum(
+                                         static_cast<unsigned char>(c));
+                                 }),
+                  key.end());
+        if (key == name)
+            return cfg;
+    }
+    vqllm_fatal("unknown config '", name,
+                "' (expected quip4|aqlm3|gptvq2|cq4|cq2)");
+}
+
+engine::OptLevel
+levelByName(const std::string &name)
+{
+    for (auto level : engine::kAllOptLevels)
+        if (name == engine::optLevelName(level))
+            return level;
+    vqllm_fatal("unknown level '", name, "' (GC|SC|O1|O2|O3|O4)");
+}
+
+int
+cmdQuantize(int argc, char **argv)
+{
+    if (argc < 5)
+        vqllm_fatal("usage: quantize <config> <rows> <cols> <out.vqt> "
+                    "[seed]");
+    vq::VQConfig cfg = configByName(argv[1]);
+    std::size_t rows = std::stoul(argv[2]);
+    std::size_t cols = std::stoul(argv[3]);
+    std::uint64_t seed = argc > 5 ? std::stoull(argv[5]) : 42;
+
+    Rng rng(seed);
+    auto weight = generateLlmWeight(rows, cols, rng);
+    vq::VectorQuantizer quantizer(cfg);
+    auto qt = quantizer.quantize(weight);
+    auto profile = vq::reorderByFrequency(qt);
+    vq::saveQuantizedTensorFile(qt, argv[4]);
+    std::printf("quantized %zux%zu with %s -> %s (%zu bytes, %.2f%% of "
+                "FP16, %zu hot entries)\n",
+                rows, cols, cfg.notation().c_str(), argv[4],
+                qt.sizeBytes(), qt.achievedCompression() * 100,
+                profile.histograms[0].entriesAbove(3.0));
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 2)
+        vqllm_fatal("usage: info <in.vqt>");
+    auto qt = vq::loadQuantizedTensorFile(argv[1]);
+    std::printf("artifact: %s\n", argv[1]);
+    std::printf("  config: %s %s, %u-bit indices, %u residual stage(s)\n",
+                qt.config.name.c_str(), qt.config.notation().c_str(),
+                qt.config.indexBits(), qt.config.residuals);
+    std::printf("  shape: %zu x %zu, %zu codebook(s) over %zu scope "
+                "unit(s)\n",
+                qt.rows, qt.cols, qt.codebooks.size(), qt.scope_units);
+    std::printf("  size: %zu B indices + %zu B codebooks = %.2f%% of "
+                "FP16\n",
+                qt.indexBytes(), qt.codebookTotalBytes(),
+                qt.achievedCompression() * 100);
+    auto profile = vq::profileAccesses(qt);
+    const auto &h = profile.histograms[0];
+    std::printf("  profile: %.0f%% of entries below mean, %zu above "
+                "mu+3sigma\n",
+                h.fractionBelowMean() * 100, h.entriesAbove(3.0));
+    return 0;
+}
+
+engine::KernelPlan
+planFor(const vq::QuantizedTensor &qt, const std::string &op,
+        engine::OptLevel level, const vq::AccessHistogram &hist)
+{
+    engine::PlanInputs in;
+    in.spec = &gpusim::rtx4090();
+    in.histogram = &hist;
+    if (op == "attn") {
+        // Interpret cols as heads*head_dim with 128-wide heads.
+        std::size_t head_dim = 128;
+        std::size_t heads = std::max<std::size_t>(qt.cols / head_dim, 1);
+        return engine::planAttentionKernel(
+            {1, heads, qt.rows, head_dim}, qt.config, level, in);
+    }
+    auto kind = op == "gemm" ? engine::OpKind::GeMM
+                             : engine::OpKind::GeMV;
+    std::size_t m = op == "gemm" ? 4096 : 1;
+    return engine::planWeightKernel(kind, {m, qt.rows, qt.cols},
+                                    qt.config, level, in);
+}
+
+int
+cmdPlan(int argc, char **argv)
+{
+    if (argc < 3)
+        vqllm_fatal("usage: plan <in.vqt> <gemm|gemv|attn> [level]");
+    auto qt = vq::loadQuantizedTensorFile(argv[1]);
+    auto level = argc > 3 ? levelByName(argv[3]) : engine::OptLevel::O4;
+    auto profile = vq::profileAccesses(qt);
+    auto plan = planFor(qt, argv[2], level, profile.histograms[0]);
+    std::printf("%s\n", plan.summary().c_str());
+    auto result =
+        plan.kind == engine::OpKind::AttentionDecode
+            ? kernels::estimateVqAttentionKernel(
+                  gpusim::rtx4090(), plan, &profile.histograms[0])
+            : kernels::estimateVqWeightKernel(
+                  gpusim::rtx4090(), plan, &profile.histograms[0]);
+    std::printf("estimated latency on %s: %.1f us (DRAM %.1f, smem "
+                "%.1f, compute %.1f, reduce %.1f)\n",
+                gpusim::rtx4090().name.c_str(), result.us(),
+                result.latency.dram_us, result.latency.smem_us,
+                result.latency.compute_us, result.latency.reduce_us);
+    return 0;
+}
+
+int
+cmdEmit(int argc, char **argv)
+{
+    if (argc < 4)
+        vqllm_fatal("usage: emit <in.vqt> <gemm|gemv|attn> <out.cu>");
+    auto qt = vq::loadQuantizedTensorFile(argv[1]);
+    auto profile = vq::profileAccesses(qt);
+    auto plan = planFor(qt, argv[2], engine::OptLevel::O4,
+                        profile.histograms[0]);
+    std::string src = codegen::emitCudaKernel(plan);
+    std::string problem = codegen::validateCudaSource(src);
+    if (!problem.empty())
+        vqllm_fatal("emitted source failed validation: ", problem);
+    std::ofstream out(argv[3]);
+    if (!out)
+        vqllm_fatal("cannot open ", argv[3]);
+    out << src;
+    std::printf("wrote %s (%zu bytes, kernel %s)\n", argv[3],
+                src.size(), codegen::kernelSymbolName(plan).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: vqllm_cli <quantize|info|plan|emit> ...\n");
+        return 1;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "quantize")
+        return cmdQuantize(argc - 1, argv + 1);
+    if (cmd == "info")
+        return cmdInfo(argc - 1, argv + 1);
+    if (cmd == "plan")
+        return cmdPlan(argc - 1, argv + 1);
+    if (cmd == "emit")
+        return cmdEmit(argc - 1, argv + 1);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 1;
+}

@@ -1,0 +1,63 @@
+#include "cache/online_update.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace vqllm::cache {
+
+OnlineProfile::OnlineProfile(vq::AccessHistogram initial,
+                             UpdatePolicy policy)
+    : blended_(std::move(initial)), policy_(policy)
+{
+    vqllm_assert(!blended_.counts.empty(), "empty initial histogram");
+    vqllm_assert(policy_.decay > 0.0 && policy_.decay <= 1.0,
+                 "decay must be in (0, 1]");
+}
+
+void
+OnlineProfile::observe(const vq::AccessHistogram &recent)
+{
+    vqllm_assert(recent.counts.size() == blended_.counts.size(),
+                 "histogram size mismatch: ", recent.counts.size(),
+                 " vs ", blended_.counts.size());
+    // Scale the fresh observation to the running total so the EWMA
+    // weights distributions, not absolute access volumes.
+    double total_old = static_cast<double>(blended_.total());
+    double total_new = static_cast<double>(recent.total());
+    double scale = total_new > 0 ? total_old / total_new : 0.0;
+    for (std::size_t i = 0; i < blended_.counts.size(); ++i) {
+        double mixed =
+            (1.0 - policy_.decay) *
+                static_cast<double>(blended_.counts[i]) +
+            policy_.decay * static_cast<double>(recent.counts[i]) *
+                scale;
+        blended_.counts[i] = static_cast<std::uint64_t>(mixed + 0.5);
+    }
+}
+
+double
+OnlineProfile::placementDrift(const CachePlan &plan) const
+{
+    if (plan.n_shared == 0)
+        return 0.0;
+    vqllm_assert(plan.total_entries == blended_.counts.size(),
+                 "plan does not match the profiled codebook");
+
+    // Current placement: ranks [0, n_shared) are cached (register or
+    // shared tier).  Fresh placement: the top-n_shared entries of the
+    // blended ordering.
+    auto fresh = blended_.frequencyOrder();
+    std::set<std::uint32_t> fresh_cached(
+        fresh.begin(),
+        fresh.begin() + std::min<std::size_t>(plan.n_shared,
+                                              fresh.size()));
+    std::size_t stable = 0;
+    for (std::uint32_t idx = 0; idx < plan.n_shared; ++idx)
+        stable += fresh_cached.count(idx);
+    return 1.0 - static_cast<double>(stable) /
+                     static_cast<double>(plan.n_shared);
+}
+
+} // namespace vqllm::cache

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Online codebook-profile maintenance (the "Codebook Reorder & Update"
+ * stage of paper Fig. 7).
+ *
+ * Offline profiling fixes an initial frequency order, but a serving
+ * workload can drift (different prompts light up different entries).
+ * This module maintains an exponentially-weighted access histogram,
+ * measures how much of the cached tier placement the drift would
+ * change, and decides when a re-reorder (vq::reorderByFrequency, plus
+ * re-upload of the reordered codebook) is worth its cost.
+ */
+#pragma once
+
+#include "cache/codebook_cache.h"
+#include "vq/profiler.h"
+
+namespace vqllm::cache {
+
+/** Decision thresholds for online re-reordering. */
+struct UpdatePolicy
+{
+    /** EWMA weight of newly observed accesses, in (0, 1]. */
+    double decay = 0.3;
+    /** Re-reorder when this fraction of cached entries would change
+     *  tier under the fresh ordering. */
+    double drift_threshold = 0.25;
+};
+
+/** Maintains a live access profile for one (reordered) codebook. */
+class OnlineProfile
+{
+  public:
+    /**
+     * @param initial offline histogram *after* frequency reordering
+     *                (so counts are non-increasing in entry index)
+     * @param policy  update thresholds
+     */
+    explicit OnlineProfile(vq::AccessHistogram initial,
+                           UpdatePolicy policy = UpdatePolicy{});
+
+    /**
+     * Fold a freshly observed histogram into the running profile
+     * (per-entry EWMA with the policy's decay).
+     */
+    void observe(const vq::AccessHistogram &recent);
+
+    /** @return the current blended histogram. */
+    const vq::AccessHistogram &
+    histogram() const
+    {
+        return blended_;
+    }
+
+    /**
+     * Fraction of the cached set (entries below `plan.n_shared`) whose
+     * tier would change if entries were re-ranked by the current
+     * blended histogram.  0 means placement is still optimal.
+     */
+    double placementDrift(const CachePlan &plan) const;
+
+    /** @return true when the drift exceeds the policy threshold. */
+    bool
+    shouldReorder(const CachePlan &plan) const
+    {
+        return placementDrift(plan) > policy_.drift_threshold;
+    }
+
+    /**
+     * @return the permutation (new_rank -> current_index) that would
+     *         re-sort entries by the blended frequencies, suitable for
+     *         vq::Codebook::reorder().
+     */
+    std::vector<std::uint32_t>
+    freshOrder() const
+    {
+        return blended_.frequencyOrder();
+    }
+
+  private:
+    vq::AccessHistogram blended_;
+    UpdatePolicy policy_;
+};
+
+} // namespace vqllm::cache

@@ -1,0 +1,87 @@
+#include "common/float16.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace vqllm {
+
+std::uint16_t
+floatToHalfBits(float value)
+{
+    std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+    std::uint32_t sign = (f >> 16) & 0x8000u;
+    std::int32_t exp = static_cast<std::int32_t>((f >> 23) & 0xff) - 127 + 15;
+    std::uint32_t mant = f & 0x7fffffu;
+
+    if (exp >= 0x1f) {
+        // Overflow or inf/nan.
+        if (((f >> 23) & 0xff) == 0xff && mant != 0) {
+            // NaN: preserve a payload bit so it stays NaN.
+            return static_cast<std::uint16_t>(sign | 0x7e00u);
+        }
+        return static_cast<std::uint16_t>(sign | 0x7c00u); // inf
+    }
+    if (exp <= 0) {
+        // Subnormal half or zero.
+        if (exp < -10)
+            return static_cast<std::uint16_t>(sign); // rounds to zero
+        // Add the implicit leading 1, then shift into subnormal position.
+        mant |= 0x800000u;
+        int shift = 14 - exp; // between 14 and 24
+        std::uint32_t rounded = mant >> shift;
+        std::uint32_t rem = mant & ((1u << shift) - 1);
+        std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (rounded & 1)))
+            ++rounded;
+        return static_cast<std::uint16_t>(sign | rounded);
+    }
+
+    // Normal number: round 23-bit mantissa to 10 bits, nearest-even.
+    std::uint32_t rounded = mant >> 13;
+    std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (rounded & 1)))
+        ++rounded;
+    std::uint32_t result =
+        sign | ((static_cast<std::uint32_t>(exp) << 10) + rounded);
+    // Mantissa carry may bump the exponent; 0x7c00 becomes inf naturally.
+    return static_cast<std::uint16_t>(result);
+}
+
+float
+halfBitsToFloat(std::uint16_t bits)
+{
+    std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000u) << 16;
+    std::uint32_t exp = (bits >> 10) & 0x1f;
+    std::uint32_t mant = bits & 0x3ffu;
+
+    std::uint32_t f;
+    if (exp == 0) {
+        if (mant == 0) {
+            f = sign; // signed zero
+        } else {
+            // Subnormal: normalize.
+            int shift = 0;
+            while (!(mant & 0x400u)) {
+                mant <<= 1;
+                ++shift;
+            }
+            mant &= 0x3ffu;
+            f = sign | ((127 - 15 - shift + 1) << 23) | (mant << 13);
+        }
+    } else if (exp == 0x1f) {
+        f = sign | 0x7f800000u | (mant << 13); // inf/nan
+    } else {
+        f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+    }
+    return std::bit_cast<float>(f);
+}
+
+std::ostream &
+operator<<(std::ostream &os, Half h)
+{
+    return os << static_cast<float>(h);
+}
+
+} // namespace vqllm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 ("half") emulation.
+ *
+ * LLM kernels store weights/KV-cache in FP16 and accumulate in FP32.
+ * Since the host has no native half type we emulate the storage format
+ * bit-exactly: conversions use round-to-nearest-even, and arithmetic is
+ * performed by converting to float, operating, and converting back, which
+ * matches the behaviour of scalar `__half` math on NVIDIA GPUs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace vqllm {
+
+/** Convert an IEEE binary32 value to binary16 bits (round-nearest-even). */
+std::uint16_t floatToHalfBits(float value);
+
+/** Convert IEEE binary16 bits to the nearest binary32 value. */
+float halfBitsToFloat(std::uint16_t bits);
+
+/**
+ * A 16-bit storage floating point value.
+ *
+ * Half is a plain value type: trivially copyable, 2 bytes, usable inside
+ * tensors.  All arithmetic round-trips through float.
+ */
+class Half
+{
+  public:
+    Half() = default;
+
+    /** Construct from a float with round-to-nearest-even. */
+    Half(float value) : bits_(floatToHalfBits(value)) {}
+
+    /** Construct from a double (via float). */
+    explicit Half(double value) : Half(static_cast<float>(value)) {}
+
+    /** @return the nearest float value. */
+    operator float() const { return halfBitsToFloat(bits_); }
+
+    /** @return the raw binary16 bit pattern. */
+    std::uint16_t bits() const { return bits_; }
+
+    /** Build a Half from a raw bit pattern. */
+    static Half
+    fromBits(std::uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    Half &operator+=(Half o) { *this = Half(float(*this) + float(o)); return *this; }
+    Half &operator-=(Half o) { *this = Half(float(*this) - float(o)); return *this; }
+    Half &operator*=(Half o) { *this = Half(float(*this) * float(o)); return *this; }
+    Half &operator/=(Half o) { *this = Half(float(*this) / float(o)); return *this; }
+
+    friend bool operator==(Half a, Half b) { return float(a) == float(b); }
+    friend bool operator!=(Half a, Half b) { return float(a) != float(b); }
+    friend bool operator<(Half a, Half b) { return float(a) < float(b); }
+    friend bool operator>(Half a, Half b) { return float(a) > float(b); }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be 2 bytes");
+
+std::ostream &operator<<(std::ostream &os, Half h);
+
+/** Round a float through FP16 precision (quantize-dequantize). */
+inline float
+roundToHalf(float value)
+{
+    return halfBitsToFloat(floatToHalfBits(value));
+}
+
+} // namespace vqllm

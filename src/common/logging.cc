@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace vqllm {
+
+namespace {
+
+std::atomic<bool> g_verbose{false};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose.store(verbose);
+}
+
+bool
+verbose()
+{
+    return g_verbose.load();
+}
+
+void
+logMessage(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !g_verbose.load())
+        return;
+    if (level == LogLevel::Inform) {
+        std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    } else {
+        std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level),
+                     msg.c_str(), file, line);
+    }
+}
+
+} // namespace vqllm

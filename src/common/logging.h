@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, following the gem5
+ * panic/fatal/warn/inform convention.
+ *
+ * - panic():  something happened that should never happen regardless of
+ *             user input, i.e. a library bug.  Calls std::abort().
+ * - fatal():  the run cannot continue due to a user error (bad
+ *             configuration, invalid arguments).  Exits with code 1.
+ * - warn():   functionality may not behave as expected, but the run can
+ *             continue.
+ * - inform(): purely informational status message.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vqllm {
+
+/** Severity levels understood by logMessage(). */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Emit a formatted log line to stderr.
+ *
+ * @param level severity of the message
+ * @param file  source file of the call site
+ * @param line  source line of the call site
+ * @param msg   human-readable message body
+ */
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &msg);
+
+/** Global verbosity switch; when false, inform() lines are suppressed. */
+void setVerbose(bool verbose);
+
+/** @return whether inform() lines are currently emitted. */
+bool verbose();
+
+namespace detail {
+
+/** Fold a variadic argument pack into a single string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    if constexpr (sizeof...(args) > 0)
+        (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace vqllm
+
+/** Report an internal invariant violation and abort. */
+#define vqllm_panic(...)                                                     \
+    do {                                                                     \
+        ::vqllm::logMessage(::vqllm::LogLevel::Panic, __FILE__, __LINE__,    \
+                            ::vqllm::detail::concat(__VA_ARGS__));           \
+        std::abort();                                                        \
+    } while (0)
+
+/** Report an unrecoverable user error and exit(1). */
+#define vqllm_fatal(...)                                                     \
+    do {                                                                     \
+        ::vqllm::logMessage(::vqllm::LogLevel::Fatal, __FILE__, __LINE__,    \
+                            ::vqllm::detail::concat(__VA_ARGS__));           \
+        std::exit(1);                                                        \
+    } while (0)
+
+/** Report a suspicious-but-survivable condition. */
+#define vqllm_warn(...)                                                      \
+    ::vqllm::logMessage(::vqllm::LogLevel::Warn, __FILE__, __LINE__,         \
+                        ::vqllm::detail::concat(__VA_ARGS__))
+
+/** Report a normal status message (suppressed unless verbose). */
+#define vqllm_inform(...)                                                    \
+    ::vqllm::logMessage(::vqllm::LogLevel::Inform, __FILE__, __LINE__,       \
+                        ::vqllm::detail::concat(__VA_ARGS__))
+
+/** Check an invariant; panics with the stringified condition on failure. */
+#define vqllm_assert(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            vqllm_panic("assertion failed: ", #cond, " ",                    \
+                        ::vqllm::detail::concat(__VA_ARGS__));               \
+        }                                                                    \
+    } while (0)

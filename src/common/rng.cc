@@ -1,0 +1,14 @@
+#include "common/rng.h"
+
+namespace vqllm {
+
+std::vector<double>
+powerLawWeights(std::size_t n, double alpha)
+{
+    std::vector<double> weights(n);
+    for (std::size_t i = 0; i < n; ++i)
+        weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    return weights;
+}
+
+} // namespace vqllm

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (synthetic data generation,
+ * k-means initialization, workload sampling) draw from this generator so
+ * that every test and benchmark is reproducible from a single seed.
+ * The core generator is xoshiro256**, seeded via SplitMix64.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace vqllm {
+
+/**
+ * Deterministic random source (xoshiro256**).
+ *
+ * Not thread-safe; create one per thread or per component.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &s : state_) {
+            // SplitMix64 step.
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** @return uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Rejection-free Lemire-style bounded generation is overkill here;
+        // modulo bias is negligible for the n << 2^64 used in this library.
+        return next() % n;
+    }
+
+    /** @return standard normal sample (Box-Muller, cached pair). */
+    double
+    normal()
+    {
+        if (has_cached_) {
+            has_cached_ = false;
+            return cached_;
+        }
+        double u1 = 1.0 - uniform(); // (0, 1]
+        double u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * std::numbers::pi * u2;
+        cached_ = r * std::sin(theta);
+        has_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** @return normal sample with the given mean and stddev. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /**
+     * Sample an index from an explicit discrete distribution.
+     *
+     * @param weights non-negative weights (need not be normalized)
+     * @return an index in [0, weights.size())
+     */
+    std::size_t
+    weightedIndex(const std::vector<double> &weights)
+    {
+        double total = 0;
+        for (double w : weights)
+            total += w;
+        double r = uniform() * total;
+        double acc = 0;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            acc += weights[i];
+            if (r < acc)
+                return i;
+        }
+        return weights.empty() ? 0 : weights.size() - 1;
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        for (std::size_t i = values.size(); i > 1; --i) {
+            std::size_t j = uniformInt(i);
+            std::swap(values[i - 1], values[j]);
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    double cached_ = 0;
+    bool has_cached_ = false;
+};
+
+/**
+ * Zipf-like power-law weights: w_i = 1 / (i + 1)^alpha.
+ *
+ * Used to give synthetic cluster populations the skew observed in real
+ * codebook-entry access histograms (paper Fig. 8).
+ *
+ * @param n     number of weights
+ * @param alpha skew exponent (0 = uniform; ~1 = strongly skewed)
+ */
+std::vector<double> powerLawWeights(std::size_t n, double alpha);
+
+} // namespace vqllm

@@ -1,0 +1,82 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace vqllm {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    vqllm_assert(cells.size() == headers_.size(),
+                 "row arity ", cells.size(), " != header arity ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << (c == 0 ? "| " : " | ")
+                << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+        }
+        oss << " |\n";
+    };
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        oss << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+    }
+    oss << "-|\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatBytes(double bytes)
+{
+    const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int idx = 0;
+    while (bytes >= 1024.0 && idx < 4) {
+        bytes /= 1024.0;
+        ++idx;
+    }
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes
+        << " " << suffixes[idx];
+    return oss.str();
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatDouble(fraction * 100.0, precision) + "%";
+}
+
+} // namespace vqllm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series of the paper table or figure
+ * it reproduces; this helper keeps the output format consistent.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vqllm {
+
+/** A simple left-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** @param headers column titles */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with column separators and a rule under header. */
+    std::string render() const;
+
+    /** @return number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a byte count with a binary suffix (KiB/MiB/GiB). */
+std::string formatBytes(double bytes);
+
+/** Format a ratio as a percentage string, e.g. 0.4613 -> "46.13%". */
+std::string formatPercent(double fraction, int precision = 2);
+
+} // namespace vqllm

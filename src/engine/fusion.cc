@@ -1,0 +1,67 @@
+#include "engine/fusion.h"
+
+#include "common/logging.h"
+
+namespace vqllm::engine {
+
+const char *
+fusionLevelName(FusionLevel level)
+{
+    switch (level) {
+      case FusionLevel::Register: return "register";
+      case FusionLevel::Shared:   return "shared";
+    }
+    return "?";
+}
+
+int
+computeLayout(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::GeMM:
+        // mma fragments hold 2 contiguous elements per lane (Fig. 12).
+        return 2;
+      case OpKind::GeMV:
+      case OpKind::AttentionDecode:
+        // Element-wise accumulation: one element per lane per step.
+        return 1;
+    }
+    return 1;
+}
+
+FusionPlan
+planFusion(const vq::VQConfig &config, OpKind kind, int warp_size,
+           int shuffle_threshold, bool layout_matches)
+{
+    FusionPlan plan;
+    plan.compute_layout = computeLayout(kind);
+    plan.layout_matches = layout_matches;
+
+    if (layout_matches) {
+        // Dequantization order equals consumption order (K-cache row
+        // accumulation): no exchange, stay in registers for free.
+        plan.level = FusionLevel::Register;
+        plan.num_shuffles = 0;
+        plan.mapping = computeThreadMapping(warp_size, config.vector_size,
+                                            config.vector_size);
+        return plan;
+    }
+
+    vqllm_assert(config.vector_size % plan.compute_layout == 0,
+                 "vector size must be a multiple of the compute layout");
+    int ratio = static_cast<int>(config.vector_size) / plan.compute_layout;
+    // Alg. 2 line 6: nshuffle = layout_src / layout_dst (minus the
+    // identity iteration that needs no exchange, Alg. 1 line 13).
+    plan.num_shuffles = ratio - 1;
+
+    if (plan.num_shuffles <= shuffle_threshold) {
+        plan.level = FusionLevel::Register;
+        plan.mapping = computeThreadMapping(
+            warp_size, config.vector_size, plan.compute_layout);
+    } else {
+        plan.level = FusionLevel::Shared;
+    }
+    return plan;
+}
+
+} // namespace vqllm::engine

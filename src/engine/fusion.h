@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Codebook-centric hierarchical fusion planning (paper Sec. VI-B).
+ *
+ * Dequantization and the consumer computation can be fused at two
+ * levels:
+ *  - shared-memory fusion (baseline): dequantized data takes a
+ *    round-trip through shared memory to reach its computing lane;
+ *  - register fusion: an xor-shuffle schedule (thread_map.h) rearranges
+ *    data directly in registers, bypassing shared memory.
+ *
+ * The level is chosen adaptively: profiling says a shared-memory access
+ * costs about five register-exchange steps, so register fusion wins
+ * whenever the required shuffle count is at most `shuffle_threshold`.
+ */
+#pragma once
+
+#include "engine/op_desc.h"
+#include "engine/thread_map.h"
+#include "vq/vq_config.h"
+
+namespace vqllm::engine {
+
+/** Fusion level selected for a kernel. */
+enum class FusionLevel {
+    Register,
+    Shared,
+};
+
+/** @return printable fusion-level name. */
+const char *fusionLevelName(FusionLevel level);
+
+/** Complete fusion decision for one (VQ config, op) pair. */
+struct FusionPlan
+{
+    FusionLevel level = FusionLevel::Shared;
+    /** Elements per lane the consumer wants. */
+    int compute_layout = 1;
+    /** Shuffles per warp tile when fusing in registers. */
+    int num_shuffles = 0;
+    /** Thread mapping (valid when level == Register). */
+    ThreadMapping mapping;
+    /**
+     * Whether the operand's dequantization layout already matches the
+     * consumption order (the paper's K-cache case, Fig. 6) — then no
+     * exchange is needed at all even at shared level.
+     */
+    bool layout_matches = false;
+};
+
+/**
+ * @return the per-lane element layout the consumer computation requires:
+ *         2 for tensor-core mma fragments (GeMM), 1 for element-wise
+ *         reductions (GeMV and attention accumulation).
+ */
+int computeLayout(OpKind kind);
+
+/**
+ * Plan the fusion level (Alg. 2 lines 3, 6-8).
+ *
+ * @param config            VQ algorithm (vector size = dequant layout)
+ * @param kind              consumer computation
+ * @param warp_size         lanes per warp
+ * @param shuffle_threshold max shuffles for register fusion (profiled
+ *                          smem/shuffle latency ratio, default 5)
+ * @param layout_matches    operand dequantizes directly in consumption
+ *                          order (no exchange needed)
+ */
+FusionPlan planFusion(const vq::VQConfig &config, OpKind kind,
+                      int warp_size = 32, int shuffle_threshold = 5,
+                      bool layout_matches = false);
+
+} // namespace vqllm::engine

@@ -1,0 +1,93 @@
+#include "engine/op_desc.h"
+
+#include <algorithm>
+
+namespace vqllm::engine {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::GeMM:            return "GeMM";
+      case OpKind::GeMV:            return "GeMV";
+      case OpKind::AttentionDecode: return "Attention(Decode)";
+    }
+    return "?";
+}
+
+const char *
+axisName(Axis axis)
+{
+    switch (axis) {
+      case Axis::M: return "M";
+      case Axis::N: return "N";
+      case Axis::R: return "R";
+      case Axis::B: return "B";
+      case Axis::H: return "H";
+      case Axis::T: return "T";
+      case Axis::C: return "C";
+    }
+    return "?";
+}
+
+AxisInfo
+weightAxisInfo()
+{
+    // Tbl. III: weight GeMM/GeMV — all axes M,N,R; reduce axes M,R.
+    return {{Axis::M, Axis::N, Axis::R}, {Axis::M, Axis::R}};
+}
+
+AxisInfo
+attentionAxisInfo(AttnOperand operand)
+{
+    // Tbl. III: K cache reduces over channels (QK^T inner product);
+    // V cache reduces over tokens (weighted accumulation).
+    if (operand == AttnOperand::KCache)
+        return {{Axis::B, Axis::H, Axis::T, Axis::C}, {Axis::C}};
+    return {{Axis::B, Axis::H, Axis::T, Axis::C}, {Axis::T}};
+}
+
+std::vector<Axis>
+weightSwitchAxes(const vq::VQConfig &config)
+{
+    switch (config.scope) {
+      case vq::CodebookScope::PerTensor:
+        // AQLM/QuiP#: one codebook per residual stage.
+        return {Axis::R};
+      case vq::CodebookScope::PerTile:
+        // GPT-VQ: a new codebook every (256,256) weight tile.
+        return {Axis::M, Axis::N};
+      case vq::CodebookScope::PerChannelGroup:
+        // A per-channel-group weight codebook switches along rows.
+        return {Axis::M};
+    }
+    return {};
+}
+
+std::vector<Axis>
+attentionSwitchAxes(const vq::VQConfig &config)
+{
+    switch (config.scope) {
+      case vq::CodebookScope::PerChannelGroup:
+        // CQ: a codebook per head per channel group.
+        return {Axis::H, Axis::C};
+      case vq::CodebookScope::PerTensor:
+        return {};
+      case vq::CodebookScope::PerTile:
+        return {Axis::T, Axis::C};
+    }
+    return {};
+}
+
+std::vector<Axis>
+conflictAxes(const AxisInfo &info, const std::vector<Axis> &switch_axes)
+{
+    std::vector<Axis> out;
+    for (Axis a : info.reduce)
+        if (std::find(switch_axes.begin(), switch_axes.end(), a) !=
+            switch_axes.end())
+            out.push_back(a);
+    return out;
+}
+
+} // namespace vqllm::engine

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Computation descriptors: axes, reduce axes, and codebook-switch axes
+ * (paper Tbl. III).
+ *
+ * The dataflow planner reasons about three axis sets:
+ *  - all axes of the computation,
+ *  - reduce axes (temporal accumulation in the original dataflow),
+ *  - codebook-switch axes (where moving along the axis changes the
+ *    active codebook, determined by the VQ algorithm's codebook scope).
+ *
+ * Axes that are both reduce and switch axes (the colored cells of
+ * Tbl. III) force an explicit global reduction once the computation is
+ * parallelized codebook-centrically.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vq/vq_config.h"
+
+namespace vqllm::engine {
+
+/** Computation kinds the engine generates kernels for. */
+enum class OpKind {
+    GeMM,            ///< weight-quantized matrix-matrix multiply
+    GeMV,            ///< weight-quantized matrix-vector multiply
+    AttentionDecode, ///< KV-cache-quantized flash-decoding attention
+};
+
+/** @return printable op name. */
+const char *opKindName(OpKind kind);
+
+/** Named tensor axes (paper Tbl. III notation). */
+enum class Axis {
+    M, ///< weight rows (reduction dim of the GeMM)
+    N, ///< weight columns (output features)
+    R, ///< residual stage
+    B, ///< batch
+    H, ///< attention head
+    T, ///< token (sequence position)
+    C, ///< channel (head dimension)
+};
+
+/** @return printable axis name. */
+const char *axisName(Axis axis);
+
+/** Which quantized operand of the attention the axes describe. */
+enum class AttnOperand {
+    KCache,
+    VCache,
+};
+
+/** Axis metadata of one (op, operand) pair. */
+struct AxisInfo
+{
+    std::vector<Axis> all;
+    std::vector<Axis> reduce;
+};
+
+/** @return all/reduce axes for a weight op (GeMM/GeMV), per Tbl. III. */
+AxisInfo weightAxisInfo();
+
+/** @return all/reduce axes for an attention operand, per Tbl. III. */
+AxisInfo attentionAxisInfo(AttnOperand operand);
+
+/**
+ * @return codebook-switch axes for a weight op under a codebook scope:
+ *         {R} for per-tensor books (AQLM/QuiP#), {M, N} for per-tile
+ *         books (GPT-VQ).
+ */
+std::vector<Axis> weightSwitchAxes(const vq::VQConfig &config);
+
+/**
+ * @return codebook-switch axes for attention under a codebook scope:
+ *         {H, C} for per-channel-group books (CQ).
+ */
+std::vector<Axis> attentionSwitchAxes(const vq::VQConfig &config);
+
+/** @return the intersection reduce ∩ switch (forces global reduction). */
+std::vector<Axis> conflictAxes(const AxisInfo &info,
+                               const std::vector<Axis> &switch_axes);
+
+/** Problem shape of a GeMM/GeMV: Y[m,n] = X[m,k] x W[k,n]. */
+struct GemmShape
+{
+    std::size_t m = 1;  ///< batch/rows of activations (1 for GeMV)
+    std::size_t n = 1;  ///< output features (weight columns)
+    std::size_t k = 1;  ///< input features (weight rows, reduced)
+
+    std::size_t
+    outputElements() const
+    {
+        return m * n;
+    }
+
+    std::uint64_t
+    flops() const
+    {
+        return 2ull * m * n * k;
+    }
+};
+
+/** Problem shape of decode attention over a KV cache. */
+struct AttnShape
+{
+    std::size_t batch = 1;
+    std::size_t heads = 32; ///< query heads
+    std::size_t seq_len = 1024; ///< cached tokens attended over
+    std::size_t head_dim = 128;
+    /**
+     * KV heads for grouped-query attention (GQA); 0 means MHA
+     * (kv_heads == heads).  Several query heads then share one cached
+     * K/V head, shrinking the KV footprint by heads/kv_heads.
+     */
+    std::size_t kv_heads = 0;
+
+    /** @return effective KV heads (resolves the MHA default). */
+    std::size_t
+    kvHeads() const
+    {
+        return kv_heads == 0 ? heads : kv_heads;
+    }
+
+    std::size_t
+    kvElements() const
+    {
+        return 2 * batch * kvHeads() * seq_len * head_dim;
+    }
+
+    /** QK^T + softmax-weighted V accumulation, one query token. */
+    std::uint64_t
+    flops() const
+    {
+        // Compute follows query heads regardless of KV sharing.
+        return 2ull * 2 * batch * heads * seq_len * head_dim;
+    }
+
+    std::size_t
+    outputElements() const
+    {
+        return batch * heads * head_dim;
+    }
+};
+
+} // namespace vqllm::engine

@@ -1,0 +1,265 @@
+#include "engine/template_engine.h"
+
+#include <algorithm>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+
+namespace vqllm::engine {
+
+namespace {
+
+/** Dequantized-data staging buffer for shared-memory fusion. */
+std::size_t
+stagingBytes(const gpusim::BlockResources &base, const vq::VQConfig &config)
+{
+    // Each thread stages one dequantized FP16 sub-vector.
+    return static_cast<std::size_t>(base.threads) * config.vector_size *
+           2;
+}
+
+/** Cache policy for a Tbl. IV optimization rung. */
+cache::CachePolicy
+policyForLevel(OptLevel level)
+{
+    cache::CachePolicy policy;
+    switch (level) {
+      case OptLevel::GC:
+        policy.use_shared = false;
+        policy.use_registers = false;
+        break;
+      case OptLevel::SC:
+        policy.greedy_shared = true;
+        policy.use_registers = false;
+        break;
+      case OptLevel::O1:
+        policy.use_registers = false;
+        break;
+      case OptLevel::O2:
+      case OptLevel::O3:
+      case OptLevel::O4:
+        break; // full adaptive hierarchy
+    }
+    return policy;
+}
+
+/** Finalize block resources and grid occupancy-related fields. */
+void
+finalizeBlock(KernelPlan &plan, const gpusim::BlockResources &base,
+              std::size_t staging)
+{
+    plan.block = base;
+    plan.block.smem_bytes += staging + plan.cache_plan.smemBytes();
+    plan.block.regs_per_thread += plan.cache_plan.regsPerThread();
+}
+
+} // namespace
+
+gpusim::BlockResources
+baseBlockResources(OpKind kind, bool vq)
+{
+    switch (kind) {
+      case OpKind::GeMM:
+        // 128x128 output tile, k-panel double buffering.  The VQ variant
+        // stages FP16 activation tiles plus an output epilogue buffer
+        // (the quantized weight tile itself is small), and budgets fewer
+        // registers so hot entries can be reg-cached.
+        return vq ? gpusim::BlockResources{256, 48 * 1024, 64}
+                  : gpusim::BlockResources{256, 32 * 1024, 96};
+      case OpKind::GeMV:
+        return vq ? gpusim::BlockResources{128, 1024, 32}
+                  : gpusim::BlockResources{128, 2048, 40};
+      case OpKind::AttentionDecode:
+        // FlashDecoding: K/V token tiles; quantized tiles are ~8x
+        // smaller for CQ-2.
+        return vq ? gpusim::BlockResources{128, 4 * 1024, 32}
+                  : gpusim::BlockResources{128, 16 * 1024, 64};
+    }
+    return {};
+}
+
+KernelPlan
+planWeightKernel(OpKind kind, const GemmShape &shape,
+                 const vq::VQConfig &config, OptLevel level,
+                 const PlanInputs &in)
+{
+    vqllm_assert(in.spec != nullptr, "PlanInputs.spec is required");
+    vqllm_assert(kind == OpKind::GeMM || kind == OpKind::GeMV,
+                 "weight kernel requires GeMM/GeMV");
+    KernelPlan plan;
+    plan.kind = kind;
+    plan.config = config;
+    plan.level = level;
+    plan.gemm = shape;
+    plan.uses_tensor_cores = (kind == OpKind::GeMM);
+
+    // --- Dataflow (O3 enables the split heuristic) ---------------------
+    plan.dataflow = planWeightDataflow(shape, config, kind, in.tiling);
+    if (level < OptLevel::O3) {
+        plan.dataflow.split = 1;
+        plan.dataflow.split_factor_raw = 1.0;
+        plan.dataflow.codebook_bytes =
+            plan.dataflow.baseline_codebook_bytes;
+        plan.dataflow.reduce_bytes = 0;
+        plan.dataflow.compute_duplication = 1.0;
+    }
+
+    // --- Fusion (O4 enables register-level fusion) ----------------------
+    if (level >= OptLevel::O4) {
+        plan.fusion = planFusion(config, kind, in.spec->warp_size,
+                                 in.shuffle_threshold);
+    } else {
+        plan.fusion.level = FusionLevel::Shared;
+        plan.fusion.compute_layout = computeLayout(kind);
+        plan.fusion.num_shuffles = 0;
+    }
+
+    // --- Codebook accounting ---------------------------------------------
+    std::uint64_t tiles_k = ceilDiv(shape.k, vq::kGptvqTileRows);
+    std::uint64_t tiles_n = ceilDiv(shape.n, vq::kGptvqTileCols);
+    std::uint64_t traversal_books = 1;
+    switch (config.scope) {
+      case vq::CodebookScope::PerTensor:
+        plan.total_books = config.residuals;
+        traversal_books = config.residuals;
+        break;
+      case vq::CodebookScope::PerTile:
+        plan.total_books = tiles_k * tiles_n;
+        traversal_books = tiles_k; // a column strip crosses K tiles
+        break;
+      case vq::CodebookScope::PerChannelGroup:
+        plan.total_books = shape.k / config.vector_size;
+        traversal_books = plan.total_books;
+        break;
+    }
+    if (level >= OptLevel::O3)
+        traversal_books = std::max<std::uint64_t>(
+            1, traversal_books / plan.dataflow.split);
+    plan.switches_per_block = traversal_books;
+    plan.resident_books = level == OptLevel::GC ? 0
+                          : level == OptLevel::SC ? traversal_books
+                                                  : 1;
+
+    // --- Codebook cache ----------------------------------------------------
+    gpusim::BlockResources base = baseBlockResources(kind, true);
+    std::size_t staging = plan.fusion.level == FusionLevel::Shared
+                              ? stagingBytes(base, config)
+                              : 0;
+    gpusim::BlockResources consumer = base;
+    consumer.smem_bytes += staging;
+
+    std::size_t working_entries =
+        config.storedEntries() * std::max<std::uint64_t>(
+                                     plan.resident_books, 1);
+    plan.cache_plan = cache::planCache(
+        *in.spec, consumer, working_entries, config.entryBytes(),
+        in.histogram, policyForLevel(level));
+    if (level == OptLevel::GC) {
+        plan.cache_plan.total_entries = config.storedEntries();
+        plan.cache_plan.n_reg = 0;
+        plan.cache_plan.n_shared = 0;
+    }
+
+    finalizeBlock(plan, base, staging);
+
+    // --- Grid ------------------------------------------------------------
+    std::uint64_t blocks_n = ceilDiv(shape.n, in.tiling.weight_block_cols);
+    std::uint64_t blocks_m =
+        kind == OpKind::GeMM ? ceilDiv(shape.m, in.tiling.gemm_block_rows)
+                             : 1;
+    std::uint64_t split_k =
+        kind == OpKind::GeMV ? in.tiling.gemv_split_k : 1;
+    plan.grid_blocks = blocks_n * blocks_m * split_k *
+                       plan.dataflow.split;
+    return plan;
+}
+
+KernelPlan
+planAttentionKernel(const AttnShape &shape, const vq::VQConfig &config,
+                    OptLevel level, const PlanInputs &in)
+{
+    vqllm_assert(in.spec != nullptr, "PlanInputs.spec is required");
+    KernelPlan plan;
+    plan.kind = OpKind::AttentionDecode;
+    plan.config = config;
+    plan.level = level;
+    plan.attn = shape;
+    plan.uses_tensor_cores = false;
+
+    plan.dataflow = planAttentionDataflow(shape, config, in.tiling);
+    if (level < OptLevel::O3) {
+        plan.dataflow.split = 1;
+        plan.dataflow.split_factor_raw = 1.0;
+        plan.dataflow.codebook_bytes =
+            plan.dataflow.baseline_codebook_bytes;
+        plan.dataflow.reduce_bytes = 0;
+    }
+
+    // V-cache accumulation mismatches the dequantization layout (Fig. 6)
+    // and needs the exchange; the K cache dequantizes in consumption
+    // order (row-wise inner product) and never does.
+    if (level >= OptLevel::O4) {
+        plan.fusion = planFusion(config, OpKind::AttentionDecode,
+                                 in.spec->warp_size, in.shuffle_threshold);
+    } else {
+        plan.fusion.level = FusionLevel::Shared;
+        plan.fusion.compute_layout = computeLayout(
+            OpKind::AttentionDecode);
+        plan.fusion.num_shuffles = 0;
+    }
+    plan.fusion_k = planFusion(config, OpKind::AttentionDecode,
+                               in.spec->warp_size, in.shuffle_threshold,
+                               /*layout_matches=*/true);
+
+    // --- Codebook accounting -----------------------------------------------
+    std::uint64_t groups = std::max<std::uint64_t>(
+        shape.head_dim / config.vector_size, 1);
+    plan.total_books = shape.kvHeads() * groups * 2; // K and V books
+    std::uint64_t traversal_books = groups * 2;  // per block: K + V phase
+    if (level >= OptLevel::O3)
+        traversal_books = std::max<std::uint64_t>(
+            2, 2 * groups / plan.dataflow.split);
+    plan.switches_per_block = traversal_books;
+    // SC keeps one phase's codebooks resident (K then V reuse the space).
+    plan.resident_books = level == OptLevel::GC ? 0
+                          : level == OptLevel::SC
+                              ? (level >= OptLevel::O3
+                                     ? traversal_books / 2
+                                     : groups)
+                              : 1;
+
+    gpusim::BlockResources base =
+        baseBlockResources(OpKind::AttentionDecode, true);
+    std::size_t staging = plan.fusion.level == FusionLevel::Shared
+                              ? stagingBytes(base, config)
+                              : 0;
+    gpusim::BlockResources consumer = base;
+    consumer.smem_bytes += staging;
+
+    std::size_t working_entries =
+        config.storedEntries() * std::max<std::uint64_t>(
+                                     plan.resident_books, 1);
+    plan.cache_plan = cache::planCache(
+        *in.spec, consumer, working_entries, config.entryBytes(),
+        in.histogram, policyForLevel(level));
+    if (level == OptLevel::GC) {
+        plan.cache_plan.total_entries = config.storedEntries();
+        plan.cache_plan.n_reg = 0;
+        plan.cache_plan.n_shared = 0;
+    }
+
+    finalizeBlock(plan, base, staging);
+
+    // --- Grid ---------------------------------------------------------------
+    std::uint64_t bh = static_cast<std::uint64_t>(shape.batch) *
+                       shape.heads;
+    if (level >= OptLevel::O3) {
+        plan.grid_blocks = bh * plan.dataflow.split;
+    } else {
+        plan.grid_blocks =
+            bh * ceilDiv(shape.seq_len, in.tiling.attn_block_tokens);
+    }
+    return plan;
+}
+
+} // namespace vqllm::engine

@@ -1,0 +1,121 @@
+#include "engine/thread_map.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vqllm::engine {
+
+ThreadMapping
+computeThreadMapping(int warp_size, int vector_size, int compute_layout)
+{
+    vqllm_assert(warp_size > 0 && vector_size > 0 && compute_layout > 0,
+                 "bad layout arguments");
+    vqllm_assert(vector_size % compute_layout == 0,
+                 "compute layout ", compute_layout,
+                 " must divide vector size ", vector_size);
+    const int ratio = vector_size / compute_layout;
+    vqllm_assert(warp_size % ratio == 0,
+                 "mini-warp size must divide the warp");
+
+    ThreadMapping mapping;
+    mapping.mini_warp_size = ratio;
+    mapping.lane_map.resize(warp_size);
+
+    if (ratio == 1) {
+        // Dequantization layout already matches the consumer: identity.
+        std::iota(mapping.lane_map.begin(), mapping.lane_map.end(), 0);
+        return mapping;
+    }
+
+    // Alg. 1 lines 2-3: associate every element of the warp tile with its
+    // dequantizing lane and its computing lane.
+    const int elements = warp_size * vector_size;
+    std::vector<int> tid_dequant(elements), tid_compute(elements);
+    for (int e = 0; e < elements; ++e) {
+        tid_dequant[e] = e / vector_size;
+        tid_compute[e] = (e / compute_layout) % warp_size;
+    }
+
+    // Alg. 1 lines 4-9: for each dequant lane, the ordered list of
+    // compute lanes that consume its data keys its mini-warp.
+    std::map<std::vector<int>, std::vector<int>> mini_warps;
+    for (int d = 0; d < warp_size; ++d) {
+        std::vector<int> consumers;
+        for (int e = d * vector_size; e < (d + 1) * vector_size; ++e) {
+            if (consumers.empty() || consumers.back() != tid_compute[e])
+                consumers.push_back(tid_compute[e]);
+        }
+        vqllm_assert(static_cast<int>(consumers.size()) == ratio,
+                     "expected ", ratio, " consumer lanes, got ",
+                     consumers.size());
+        mini_warps[consumers].push_back(d);
+    }
+
+    // Alg. 1 lines 10-11: remap the i-th member of each mini-warp onto
+    // the i-th consumer lane, so all exchanges stay within the mini-warp.
+    for (const auto &[consumers, members] : mini_warps) {
+        vqllm_assert(members.size() == consumers.size(),
+                     "mini-warp member/lane count mismatch");
+        for (std::size_t i = 0; i < members.size(); ++i)
+            mapping.lane_map[members[i]] = consumers[i];
+    }
+
+    for (int off = 1; off < ratio; ++off)
+        mapping.shuffle_offsets.push_back(off);
+    return mapping;
+}
+
+bool
+verifyMapping(const ThreadMapping &mapping, int warp_size, int vector_size,
+              int compute_layout)
+{
+    const int ratio = vector_size / compute_layout;
+    if (mapping.mini_warp_size != ratio)
+        return false;
+    if (static_cast<int>(mapping.lane_map.size()) != warp_size)
+        return false;
+
+    // lane_map must be a permutation.
+    std::vector<bool> seen(warp_size, false);
+    for (int lane : mapping.lane_map) {
+        if (lane < 0 || lane >= warp_size || seen[lane])
+            return false;
+        seen[lane] = true;
+    }
+
+    if (ratio == 1)
+        return true;
+
+    // Simulate: lane l dequantizes the sub-vector s with lane_map[s]==l,
+    // storing fragment j (elements [s*vec + j*layout, ...)) in register
+    // slot j.  Fragment ids are encoded as floats.
+    std::vector<int> inverse(warp_size);
+    for (int s = 0; s < warp_size; ++s)
+        inverse[mapping.lane_map[s]] = s;
+
+    gpusim::WarpRegisters<float> regs(warp_size, ratio);
+    for (int l = 0; l < warp_size; ++l) {
+        int s = inverse[l];
+        for (int j = 0; j < ratio; ++j)
+            regs.at(l, j) = static_cast<float>(s * ratio + j);
+    }
+
+    for (int off : mapping.shuffle_offsets)
+        regs.shflXorStep(off);
+
+    // Every fragment must now reside on the lane that computes with it.
+    for (int l = 0; l < warp_size; ++l) {
+        for (int j = 0; j < ratio; ++j) {
+            int fragment = static_cast<int>(regs.at(l, j));
+            int compute_lane = fragment % warp_size;
+            if (compute_lane != l)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace vqllm::engine

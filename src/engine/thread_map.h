@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Offline thread mapping for register-level fusion (paper Alg. 1,
+ * Fig. 12).
+ *
+ * A warp dequantizes `vector_size` contiguous elements per lane, but the
+ * consumer instruction (mma fragment / reduction lane) wants
+ * `compute_layout` elements per lane in a different arrangement.  With a
+ * naive sequential mapping the exchange graph spans the whole warp; the
+ * paper instead *pre-remaps* which lane dequantizes which sub-vector so
+ * that all exchanges stay inside mini-warps of
+ * `ratio = vector_size / compute_layout` lanes, realizable with
+ * `ratio - 1` xor-shuffles (offsets 1..ratio-1).
+ */
+#pragma once
+
+#include <vector>
+
+#include "gpusim/warp.h"
+
+namespace vqllm::engine {
+
+/** Result of the offline thread-mapping algorithm. */
+struct ThreadMapping
+{
+    /** Lanes per mini-warp (= registers per lane = exchange iters). */
+    int mini_warp_size = 1;
+    /**
+     * lane_map[original_dequant_lane] = lane that dequantizes that
+     * sub-vector after remapping.  A permutation of [0, warp_size).
+     */
+    std::vector<int> lane_map;
+    /** Xor offsets to execute, in order (1..mini_warp_size-1). */
+    std::vector<int> shuffle_offsets;
+
+    /** @return number of shuffle instructions per fused tile. */
+    int
+    numShuffles() const
+    {
+        return static_cast<int>(shuffle_offsets.size());
+    }
+};
+
+/**
+ * Compute the mini-warp thread mapping (Alg. 1).
+ *
+ * Element model of one warp tile (warp_size x vector_size elements):
+ *  - dequant lane of element e:  e / vector_size
+ *  - compute lane of element e:  (e / compute_layout) % warp_size
+ *    (fragments are distributed round-robin across lanes, the standard
+ *    mma ownership pattern)
+ *
+ * @param warp_size      lanes per warp (32)
+ * @param vector_size    elements dequantized contiguously per lane
+ * @param compute_layout elements the consumer wants per lane fragment;
+ *                       must divide vector_size
+ * @return mapping with mini-warps of vector_size/compute_layout lanes
+ */
+ThreadMapping computeThreadMapping(int warp_size, int vector_size,
+                                   int compute_layout);
+
+/**
+ * Functionally verify a mapping: simulate dequantization into warp
+ * registers under the remapped lanes, run the xor-shuffle schedule, and
+ * check every fragment landed on its computing lane.
+ *
+ * Used by tests and by the template engine's self-check mode.
+ *
+ * @return true iff all fragments end on the lane that consumes them
+ */
+bool verifyMapping(const ThreadMapping &mapping, int warp_size,
+                   int vector_size, int compute_layout);
+
+} // namespace vqllm::engine

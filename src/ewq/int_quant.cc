@@ -1,0 +1,170 @@
+#include "ewq/int_quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vqllm::ewq {
+
+std::size_t
+IntQuantized::sizeBytes() const
+{
+    std::size_t bytes = codes.sizeBytes();
+    bytes += scales.size() * 2; // FP16 scales
+    bytes += zeros.size() * 2;
+    return bytes;
+}
+
+IntQuantized
+intQuantize(const Tensor<float> &data, const IntQuantConfig &config)
+{
+    vqllm_assert(data.rank() == 2, "intQuantize expects [rows, cols]");
+    vqllm_assert(config.bits >= 1 && config.bits <= 16, "bad bit width");
+    IntQuantized q;
+    q.config = config;
+    q.rows = data.dim(0);
+    q.cols = data.dim(1);
+    q.codes = BitStream(config.bits);
+    q.scales = Tensor<float>({q.rows, q.groups()});
+    if (!config.symmetric)
+        q.zeros = Tensor<float>({q.rows, q.groups()});
+
+    const double qmax = static_cast<double>(config.levels() - 1);
+    for (std::size_t r = 0; r < q.rows; ++r) {
+        for (std::size_t g = 0; g < q.groups(); ++g) {
+            std::size_t c0 = g * config.group_size;
+            std::size_t c1 = std::min(q.cols, c0 + config.group_size);
+            float lo = data.at(r, c0), hi = data.at(r, c0);
+            for (std::size_t c = c0; c < c1; ++c) {
+                lo = std::min(lo, data.at(r, c));
+                hi = std::max(hi, data.at(r, c));
+            }
+            float scale, zero;
+            if (config.symmetric) {
+                float absmax = std::max(std::abs(lo), std::abs(hi));
+                float half_range = static_cast<float>(
+                    std::max(1u, config.levels() / 2 - 1));
+                scale = absmax > 0 ? absmax / half_range : 1.0f;
+                zero = 0.0f;
+            } else {
+                scale = hi > lo ? static_cast<float>((hi - lo) / qmax)
+                                : 1.0f;
+                zero = lo;
+            }
+            scale = roundToHalf(scale);
+            zero = roundToHalf(zero);
+            q.scales.at(r, g) = scale;
+            if (!config.symmetric)
+                q.zeros.at(r, g) = zero;
+
+            for (std::size_t c = c0; c < c1; ++c) {
+                double normalized;
+                if (config.symmetric) {
+                    normalized = data.at(r, c) / scale +
+                                 config.levels() / 2;
+                } else {
+                    normalized = (data.at(r, c) - zero) / scale;
+                }
+                long code = std::lround(normalized);
+                code = std::clamp(code, 0l,
+                                  static_cast<long>(qmax));
+                q.codes.push(static_cast<std::uint32_t>(code));
+            }
+        }
+    }
+    return q;
+}
+
+Tensor<float>
+intDequantize(const IntQuantized &q)
+{
+    Tensor<float> out({q.rows, q.cols});
+    for (std::size_t r = 0; r < q.rows; ++r) {
+        for (std::size_t c = 0; c < q.cols; ++c) {
+            std::size_t g = c / q.config.group_size;
+            float scale = q.scales.at(r, g);
+            std::uint32_t code = q.codes.get(r * q.cols + c);
+            float value;
+            if (q.config.symmetric) {
+                value = (static_cast<float>(code) -
+                         q.config.levels() / 2) *
+                        scale;
+            } else {
+                value = static_cast<float>(code) * scale +
+                        q.zeros.at(r, g);
+            }
+            out.at(r, c) = roundToHalf(value);
+        }
+    }
+    return out;
+}
+
+AwqQuantized
+awqQuantize(const Tensor<float> &weight,
+            const std::vector<float> &act_magnitude,
+            const IntQuantConfig &config, double alpha)
+{
+    vqllm_assert(weight.rank() == 2, "awqQuantize expects [out, in]");
+    vqllm_assert(act_magnitude.size() == weight.dim(1),
+                 "one activation magnitude per input channel");
+    AwqQuantized q;
+    q.channel_scale.resize(weight.dim(1));
+
+    // AWQ: s_c = act_magnitude^alpha (normalized); weights of salient
+    // channels are scaled up before RTN so their relative rounding error
+    // shrinks; the inverse is applied at dequantization.
+    double mean_mag = 0;
+    for (float m : act_magnitude)
+        mean_mag += std::abs(m);
+    mean_mag = std::max(mean_mag / act_magnitude.size(), 1e-12);
+    for (std::size_t c = 0; c < q.channel_scale.size(); ++c) {
+        double s = std::pow(std::abs(act_magnitude[c]) / mean_mag + 1e-9,
+                            alpha);
+        q.channel_scale[c] =
+            static_cast<float>(std::clamp(s, 0.125, 8.0));
+    }
+
+    Tensor<float> scaled(weight.shape());
+    for (std::size_t r = 0; r < weight.dim(0); ++r)
+        for (std::size_t c = 0; c < weight.dim(1); ++c)
+            scaled.at(r, c) = weight.at(r, c) * q.channel_scale[c];
+    q.base = intQuantize(scaled, config);
+    return q;
+}
+
+Tensor<float>
+awqDequantize(const AwqQuantized &q)
+{
+    Tensor<float> out = intDequantize(q.base);
+    for (std::size_t r = 0; r < out.dim(0); ++r)
+        for (std::size_t c = 0; c < out.dim(1); ++c)
+            out.at(r, c) /= q.channel_scale[c];
+    return out;
+}
+
+Tensor<float>
+cartesianQuantize2d(const Tensor<float> &data, unsigned bits_per_dim)
+{
+    vqllm_assert(data.rank() == 2 && data.dim(1) == 2,
+                 "expects [n, 2] points");
+    const std::size_t n = data.dim(0);
+    const std::uint32_t levels = 1u << bits_per_dim;
+    Tensor<float> out({n, std::size_t(2)});
+    for (std::size_t d = 0; d < 2; ++d) {
+        float lo = data.at(std::size_t(0), d), hi = lo;
+        for (std::size_t i = 0; i < n; ++i) {
+            lo = std::min(lo, data.at(i, d));
+            hi = std::max(hi, data.at(i, d));
+        }
+        float scale = hi > lo ? (hi - lo) / (levels - 1) : 1.0f;
+        for (std::size_t i = 0; i < n; ++i) {
+            long code = std::lround((data.at(i, d) - lo) / scale);
+            code = std::clamp(code, 0l, static_cast<long>(levels - 1));
+            out.at(i, d) = lo + static_cast<float>(code) * scale;
+        }
+    }
+    return out;
+}
+
+} // namespace vqllm::ewq

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Element-wise (scalar) quantization baselines.
+ *
+ * The paper compares VQ against state-of-the-art element-wise methods at
+ * equal bit-widths: AWQ (activation-aware 4-bit weights) and QoQ
+ * (W4A8KV4, qServe).  This module implements group-wise round-to-nearest
+ * integer quantization plus AWQ-style activation-aware channel
+ * equalization — enough to reproduce the accuracy gap of Fig. 2 and the
+ * latency parity comparisons of Fig. 16/17.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitutils.h"
+#include "tensor/tensor.h"
+
+namespace vqllm::ewq {
+
+/** Configuration of a group-wise integer quantizer. */
+struct IntQuantConfig
+{
+    /** Bits per element (2, 3, 4, 8). */
+    unsigned bits = 4;
+    /** Elements sharing one scale/zero pair (along the row). */
+    std::size_t group_size = 128;
+    /** Symmetric (no zero point) or asymmetric quantization. */
+    bool symmetric = false;
+
+    /** @return quantized levels. */
+    std::uint32_t
+    levels() const
+    {
+        return 1u << bits;
+    }
+};
+
+/** A group-wise integer-quantized 2-D tensor. */
+struct IntQuantized
+{
+    IntQuantConfig config;
+    std::size_t rows = 0, cols = 0;
+    /** Packed codes, row-major [row][col]. */
+    BitStream codes{4};
+    /** Per (row, group) scale. */
+    Tensor<float> scales;
+    /** Per (row, group) zero point (empty when symmetric). */
+    Tensor<float> zeros;
+
+    /** @return groups per row. */
+    std::size_t
+    groups() const
+    {
+        return ceilDiv(cols, config.group_size);
+    }
+
+    /** @return total compressed bytes (codes + scales + zeros, FP16). */
+    std::size_t sizeBytes() const;
+
+    /** @return compressed bytes / FP16 bytes. */
+    double
+    achievedCompression() const
+    {
+        return static_cast<double>(sizeBytes()) /
+               (static_cast<double>(rows) * cols * 2);
+    }
+};
+
+/** Quantize a [rows, cols] tensor group-wise (RTN). */
+IntQuantized intQuantize(const Tensor<float> &data,
+                         const IntQuantConfig &config);
+
+/** Reconstruct the full tensor. */
+Tensor<float> intDequantize(const IntQuantized &q);
+
+/**
+ * AWQ-style activation-aware quantization: salient input channels (large
+ * average activation magnitude) are scaled up before quantization and
+ * the inverse scale is folded into dequantization, protecting them from
+ * rounding error.
+ *
+ * @param weight        [out_features, in_features]
+ * @param act_magnitude per-input-channel mean |activation|
+ * @param config        underlying RTN config
+ * @param alpha         equalization strength in [0, 1]
+ */
+struct AwqQuantized
+{
+    IntQuantized base;
+    /** Per-input-channel equalization scales. */
+    std::vector<float> channel_scale;
+};
+
+AwqQuantized awqQuantize(const Tensor<float> &weight,
+                         const std::vector<float> &act_magnitude,
+                         const IntQuantConfig &config, double alpha = 0.5);
+
+/** Reconstruct the weight from an AWQ quantization. */
+Tensor<float> awqDequantize(const AwqQuantized &q);
+
+/**
+ * Build the element-wise 2-D quantization grid of Fig. 2 (lower left):
+ * per-dimension uniform quantization points whose Cartesian product
+ * forms the representable set.
+ *
+ * @param data [n, 2] points
+ * @param bits_per_dim bits per dimension
+ * @return reconstruction of each point on the grid
+ */
+Tensor<float> cartesianQuantize2d(const Tensor<float> &data,
+                                  unsigned bits_per_dim);
+
+} // namespace vqllm::ewq

@@ -1,0 +1,86 @@
+#include "gpusim/bank_conflict.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace vqllm::gpusim {
+
+std::uint64_t
+warpTransactions(const GpuSpec &spec,
+                 const std::vector<std::uint32_t> &lane_byte_addrs,
+                 unsigned bytes_per_lane)
+{
+    vqllm_assert(bytes_per_lane > 0, "bytes_per_lane must be positive");
+    vqllm_assert(static_cast<int>(lane_byte_addrs.size()) <= spec.warp_size,
+                 "more lanes than warp size");
+    const unsigned word = 4;
+    unsigned phases = (bytes_per_lane + word - 1) / word;
+
+    std::uint64_t total = 0;
+    for (unsigned p = 0; p < phases; ++p) {
+        // bank -> set of distinct words accessed in that bank this phase
+        std::map<std::uint32_t, std::set<std::uint32_t>> bank_words;
+        for (std::uint32_t addr : lane_byte_addrs) {
+            std::uint32_t w = addr / word + p;
+            std::uint32_t bank = w % spec.smem_banks;
+            bank_words[bank].insert(w);
+        }
+        std::size_t degree = 0;
+        for (const auto &[bank, words] : bank_words)
+            degree = std::max(degree, words.size());
+        total += degree == 0 ? 1 : degree;
+    }
+    return total;
+}
+
+double
+expectedConflictMultiplier(const GpuSpec &spec,
+                           const std::vector<double> &entry_weights,
+                           unsigned entry_bytes, int samples,
+                           std::uint64_t seed)
+{
+    vqllm_assert(!entry_weights.empty(), "no entries");
+    vqllm_assert(entry_bytes > 0, "entry_bytes must be positive");
+    Rng rng(seed);
+
+    // Precompute the popularity CDF once.
+    std::vector<double> cdf(entry_weights.size());
+    double acc = 0;
+    for (std::size_t i = 0; i < entry_weights.size(); ++i) {
+        acc += entry_weights[i];
+        cdf[i] = acc;
+    }
+    vqllm_assert(acc > 0, "weights sum to zero");
+
+    auto draw = [&]() -> std::uint32_t {
+        double r = rng.uniform() * acc;
+        auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+        return static_cast<std::uint32_t>(it - cdf.begin());
+    };
+
+    unsigned phases = (entry_bytes + 3) / 4;
+    std::uint64_t total_trans = 0;
+    std::vector<std::uint32_t> addrs(spec.warp_size);
+    for (int s = 0; s < samples; ++s) {
+        for (int lane = 0; lane < spec.warp_size; ++lane)
+            addrs[lane] = draw() * entry_bytes;
+        total_trans += warpTransactions(spec, addrs, entry_bytes);
+    }
+    double avg = static_cast<double>(total_trans) / samples;
+    return avg / phases;
+}
+
+double
+expectedConflictMultiplier(const GpuSpec &spec, std::size_t num_entries,
+                           unsigned entry_bytes, int samples,
+                           std::uint64_t seed)
+{
+    return expectedConflictMultiplier(
+        spec, std::vector<double>(num_entries, 1.0), entry_bytes, samples,
+        seed);
+}
+
+} // namespace vqllm::gpusim

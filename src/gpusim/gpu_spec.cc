@@ -1,0 +1,47 @@
+#include "gpusim/gpu_spec.h"
+
+namespace vqllm::gpusim {
+
+const GpuSpec &
+rtx4090()
+{
+    static const GpuSpec spec = [] {
+        GpuSpec s;
+        s.name = "RTX 4090";
+        s.num_sms = 128;
+        s.smem_per_sm = 100 * 1024;
+        s.max_smem_per_block = 99 * 1024;
+        s.regs_per_sm = 65536;
+        s.max_threads_per_sm = 1536;
+        s.max_blocks_per_sm = 24;
+        s.dram_bw_gbps = 1008.0;
+        s.clock_ghz = 2.52;
+        s.fp16_tensor_tflops = 165.2;
+        s.fp32_tflops = 82.6;
+        return s;
+    }();
+    return spec;
+}
+
+const GpuSpec &
+teslaA40()
+{
+    static const GpuSpec spec = [] {
+        GpuSpec s;
+        s.name = "Tesla A40";
+        s.num_sms = 84;
+        s.smem_per_sm = 100 * 1024;
+        s.max_smem_per_block = 99 * 1024;
+        s.regs_per_sm = 65536;
+        s.max_threads_per_sm = 1536;
+        s.max_blocks_per_sm = 16;
+        s.dram_bw_gbps = 696.0;
+        s.clock_ghz = 1.74;
+        s.fp16_tensor_tflops = 149.7;
+        s.fp32_tflops = 37.4;
+        return s;
+    }();
+    return spec;
+}
+
+} // namespace vqllm::gpusim

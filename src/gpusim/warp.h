@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Functional simulation of warp-level register exchange (shfl.xor).
+ *
+ * The compute engine's register-level fusion (paper Sec. VI-B) rearranges
+ * dequantized data between lanes with `__shfl_xor_sync`.  This header
+ * provides a bit-exact functional model used by the fusion unit tests and
+ * by the functional kernel executor: a WarpRegisters object holds, for
+ * each of the 32 lanes, an array of register values.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vqllm::gpusim {
+
+/**
+ * Register state of one warp: lanes x registers of type T.
+ *
+ * @tparam T register value type (float in this library)
+ */
+template <typename T>
+class WarpRegisters
+{
+  public:
+    /**
+     * @param lanes          number of lanes (warp size)
+     * @param regs_per_lane  registers modeled per lane
+     */
+    WarpRegisters(int lanes, int regs_per_lane)
+        : lanes_(lanes), regsPerLane_(regs_per_lane),
+          values_(static_cast<std::size_t>(lanes) * regs_per_lane)
+    {
+        vqllm_assert(lanes > 0 && regs_per_lane > 0, "bad warp shape");
+    }
+
+    /** Access register r of lane l. */
+    T &
+    at(int lane, int reg)
+    {
+        return values_[index(lane, reg)];
+    }
+
+    const T &
+    at(int lane, int reg) const
+    {
+        return values_[index(lane, reg)];
+    }
+
+    int lanes() const { return lanes_; }
+    int regsPerLane() const { return regsPerLane_; }
+
+    /**
+     * Perform the paper's fused exchange step:
+     *   data[tid ^ off] = shfl_xor(data[tid ^ off], off)
+     *
+     * Every lane `t` contributes its register slot `t ^ off` and receives
+     * the partner lane's (`t ^ off`) register slot `t`... which is
+     * exactly a pairwise swap: after the call,
+     *   lane t, slot (t^off)  <-  lane (t^off), slot ((t^off)^off) = slot t
+     * confined to slots below regsPerLane and lanes below lanes().
+     *
+     * @param offset xor offset (must be in [1, lanes))
+     * @return number of shuffle instructions issued (== lanes/2 pairs
+     *         exchange, counted as one warp-wide instruction -> returns 1)
+     */
+    int
+    shflXorStep(int offset)
+    {
+        vqllm_assert(offset >= 1 && offset < lanes_, "bad shuffle offset");
+        vqllm_assert((regsPerLane_ & (regsPerLane_ - 1)) == 0,
+                     "regsPerLane must be a power of two");
+        vqllm_assert(offset < regsPerLane_,
+                     "offset must stay within the mini-warp");
+        std::vector<T> incoming(lanes_);
+        // Gather phase: lane t receives what its partner (t^off) passes,
+        // which is the partner's slot ((t^off)^off) % regs = t % regs.
+        for (int t = 0; t < lanes_; ++t) {
+            int partner = t ^ offset;
+            incoming[t] = at(partner, t % regsPerLane_);
+        }
+        // Scatter phase: stored into slot (t ^ off) % regs.
+        for (int t = 0; t < lanes_; ++t) {
+            int slot = (t ^ offset) % regsPerLane_;
+            at(t, slot) = incoming[t];
+        }
+        return 1;
+    }
+
+  private:
+    std::size_t
+    index(int lane, int reg) const
+    {
+        vqllm_assert(lane >= 0 && lane < lanes_, "lane out of range");
+        vqllm_assert(reg >= 0 && reg < regsPerLane_, "reg out of range");
+        return static_cast<std::size_t>(lane) * regsPerLane_ + reg;
+    }
+
+    int lanes_;
+    int regsPerLane_;
+    std::vector<T> values_;
+};
+
+} // namespace vqllm::gpusim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Element-wise quantization kernel models (AWQ for weights, QoQ-style
+ * W4A8KV4 for the KV cache) used as the latency comparison points of
+ * paper Fig. 16/17.  At equal bit-width their traffic is the theoretical
+ * upper bound for VQ kernels under the same dataflow (Sec. VII-D).
+ */
+#pragma once
+
+#include "engine/op_desc.h"
+#include "kernels/kernel_result.h"
+
+namespace vqllm::kernels {
+
+/** Element-wise weight-quantized GeMM (AWQ-like W4A16). */
+KernelResult ewqGemmEstimate(const gpusim::GpuSpec &spec,
+                             const engine::GemmShape &shape,
+                             unsigned bits = 4,
+                             std::size_t group_size = 128);
+
+/** Element-wise weight-quantized GeMV (AWQ-like W4A16). */
+KernelResult ewqGemvEstimate(const gpusim::GpuSpec &spec,
+                             const engine::GemmShape &shape,
+                             unsigned bits = 4,
+                             std::size_t group_size = 128);
+
+/** Element-wise KV-quantized decode attention (QoQ-like KV4). */
+KernelResult ewqAttentionEstimate(const gpusim::GpuSpec &spec,
+                                  const engine::AttnShape &shape,
+                                  unsigned kv_bits = 4);
+
+} // namespace vqllm::kernels

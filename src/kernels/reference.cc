@@ -1,0 +1,118 @@
+#include "kernels/reference.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vqllm::kernels {
+
+Tensor<float>
+referenceGemm(const Tensor<float> &x, const Tensor<float> &w_nk)
+{
+    vqllm_assert(x.rank() == 2 && w_nk.rank() == 2, "rank mismatch");
+    vqllm_assert(x.dim(1) == w_nk.dim(1), "k mismatch");
+    const std::size_t m = x.dim(0), n = w_nk.dim(0), k = x.dim(1);
+    Tensor<float> y({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0;
+            for (std::size_t l = 0; l < k; ++l)
+                acc += static_cast<double>(x.at(i, l)) * w_nk.at(j, l);
+            y.at(i, j) = static_cast<float>(acc);
+        }
+    }
+    return y;
+}
+
+Tensor<float>
+referenceGemv(const Tensor<float> &w_nk, const Tensor<float> &x)
+{
+    vqllm_assert(w_nk.rank() == 2 && x.rank() == 1, "rank mismatch");
+    vqllm_assert(w_nk.dim(1) == x.dim(0), "k mismatch");
+    const std::size_t n = w_nk.dim(0), k = w_nk.dim(1);
+    Tensor<float> y({n});
+    for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0;
+        for (std::size_t l = 0; l < k; ++l)
+            acc += static_cast<double>(w_nk.at(j, l)) * x[l];
+        y[j] = static_cast<float>(acc);
+    }
+    return y;
+}
+
+void
+softmaxInPlace(std::vector<float> &logits)
+{
+    if (logits.empty())
+        return;
+    float max_logit = logits[0];
+    for (float v : logits)
+        max_logit = std::max(max_logit, v);
+    double sum = 0;
+    for (float &v : logits) {
+        v = std::exp(v - max_logit);
+        sum += v;
+    }
+    for (float &v : logits)
+        v = static_cast<float>(v / sum);
+}
+
+Tensor<float>
+referenceAttentionHead(const Tensor<float> &q, const Tensor<float> &k,
+                       const Tensor<float> &v)
+{
+    vqllm_assert(q.rank() == 1 && k.rank() == 2 && v.rank() == 2,
+                 "rank mismatch");
+    const std::size_t tokens = k.dim(0), channels = k.dim(1);
+    vqllm_assert(q.dim(0) == channels && v.dim(0) == tokens &&
+                     v.dim(1) == channels,
+                 "shape mismatch");
+    const double inv_sqrt_d = 1.0 / std::sqrt(
+        static_cast<double>(channels));
+
+    std::vector<float> logits(tokens);
+    for (std::size_t t = 0; t < tokens; ++t) {
+        double acc = 0;
+        for (std::size_t c = 0; c < channels; ++c)
+            acc += static_cast<double>(q[c]) * k.at(t, c);
+        logits[t] = static_cast<float>(acc * inv_sqrt_d);
+    }
+    softmaxInPlace(logits);
+
+    Tensor<float> out({channels});
+    for (std::size_t c = 0; c < channels; ++c) {
+        double acc = 0;
+        for (std::size_t t = 0; t < tokens; ++t)
+            acc += static_cast<double>(logits[t]) * v.at(t, c);
+        out[c] = static_cast<float>(acc);
+    }
+    return out;
+}
+
+Tensor<float>
+referenceAttention(const Tensor<float> &q, const Tensor<float> &k,
+                   const Tensor<float> &v)
+{
+    vqllm_assert(q.rank() == 2 && k.rank() == 3 && v.rank() == 3,
+                 "rank mismatch");
+    const std::size_t heads = q.dim(0), channels = q.dim(1);
+    Tensor<float> out({heads, channels});
+    for (std::size_t h = 0; h < heads; ++h) {
+        Tensor<float> qh({channels}), kh({k.dim(1), channels}),
+            vh({v.dim(1), channels});
+        for (std::size_t c = 0; c < channels; ++c)
+            qh[c] = q.at(h, c);
+        for (std::size_t t = 0; t < k.dim(1); ++t) {
+            for (std::size_t c = 0; c < channels; ++c) {
+                kh.at(t, c) = k.at(h, t, c);
+                vh.at(t, c) = v.at(h, t, c);
+            }
+        }
+        auto oh = referenceAttentionHead(qh, kh, vh);
+        for (std::size_t c = 0; c < channels; ++c)
+            out.at(h, c) = oh[c];
+    }
+    return out;
+}
+
+} // namespace vqllm::kernels

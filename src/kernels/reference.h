@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reference (unfused, float-precision) implementations of the LLM
+ * computations.  Functional kernel tests validate against these.
+ */
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace vqllm::kernels {
+
+/**
+ * y[m,n] = x[m,k] * w[n,k]^T  (weights stored row-major [n, k], the
+ * layout the VQ quantizer compresses along k).
+ */
+Tensor<float> referenceGemm(const Tensor<float> &x,
+                            const Tensor<float> &w_nk);
+
+/** y[n] = w[n,k] * x[k]. */
+Tensor<float> referenceGemv(const Tensor<float> &w_nk,
+                            const Tensor<float> &x);
+
+/** Numerically-stable softmax over the last axis of a [n] vector. */
+void softmaxInPlace(std::vector<float> &logits);
+
+/**
+ * Single-query decode attention for one head.
+ *
+ * @param q [C] query
+ * @param k [T, C] key cache
+ * @param v [T, C] value cache
+ * @return [C] attention output
+ */
+Tensor<float> referenceAttentionHead(const Tensor<float> &q,
+                                     const Tensor<float> &k,
+                                     const Tensor<float> &v);
+
+/**
+ * Multi-head decode attention.
+ *
+ * @param q [H, C] one query token per head
+ * @param k [H, T, C] key cache
+ * @param v [H, T, C] value cache
+ * @return [H, C]
+ */
+Tensor<float> referenceAttention(const Tensor<float> &q,
+                                 const Tensor<float> &k,
+                                 const Tensor<float> &v);
+
+} // namespace vqllm::kernels

@@ -1,0 +1,555 @@
+#include "kernels/vq_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/bitutils.h"
+#include "common/logging.h"
+#include "gpusim/bank_conflict.h"
+#include "kernels/reference.h"
+
+namespace vqllm::kernels {
+
+using engine::FusionLevel;
+using engine::KernelPlan;
+using engine::OptLevel;
+
+TierFractions
+tierHitFractions(const cache::CachePlan &plan,
+                 const vq::AccessHistogram *hist)
+{
+    TierFractions f;
+    if (plan.total_entries == 0) {
+        f.global = 1.0;
+        return f;
+    }
+    if (hist && hist->counts.size() == plan.total_entries &&
+        hist->total() > 0) {
+        // Frequency-ranked: entry index == rank after reordering.
+        auto order = hist->frequencyOrder();
+        std::uint64_t reg = 0, shared = 0, total = hist->total();
+        for (std::size_t rank = 0; rank < order.size(); ++rank) {
+            std::uint64_t cnt = hist->counts[order[rank]];
+            if (rank < plan.n_reg)
+                reg += cnt;
+            else if (rank < plan.n_shared)
+                shared += cnt;
+        }
+        f.reg = static_cast<double>(reg) / total;
+        f.shared = static_cast<double>(shared) / total;
+    } else {
+        f.reg = static_cast<double>(plan.n_reg) / plan.total_entries;
+        f.shared = static_cast<double>(plan.n_shared - plan.n_reg) /
+                   plan.total_entries;
+    }
+    f.global = std::max(0.0, 1.0 - f.reg - f.shared);
+    return f;
+}
+
+namespace {
+
+/** Conflict multiplier over the shared-resident entry slice. */
+double
+sharedConflictMultiplier(const gpusim::GpuSpec &spec,
+                         const cache::CachePlan &plan,
+                         const vq::AccessHistogram *hist,
+                         const VqCostParams &params)
+{
+    std::size_t resident = plan.sharedEntries();
+    if (resident == 0)
+        return 1.0;
+    std::vector<double> weights;
+    if (hist && hist->counts.size() == plan.total_entries) {
+        // The shared tier holds frequency ranks [n_reg, n_shared).
+        std::vector<std::uint64_t> sorted(hist->counts);
+        std::sort(sorted.rbegin(), sorted.rend());
+        for (std::size_t rank = plan.n_reg; rank < plan.n_shared; ++rank)
+            weights.push_back(
+                static_cast<double>(sorted[std::min(rank,
+                                                    sorted.size() - 1)]) +
+                1.0);
+    } else {
+        weights.assign(resident, 1.0);
+    }
+    return gpusim::expectedConflictMultiplier(
+        spec, weights, static_cast<unsigned>(plan.entry_bytes),
+        params.conflict_samples, params.conflict_seed);
+}
+
+/** Extra integer work per lookup for index decode. */
+std::uint64_t
+unpackOpsPerLookup(const vq::VQConfig &config)
+{
+    if (config.lattice)
+        return 2; // base/sign split + sign application bit ops
+    if (config.indexBits() % 8 != 0)
+        return 3; // unaligned (12-bit) shift/mask/merge decode
+    return 1;
+}
+
+/** Shared counter assembly for both analytic estimators. */
+void
+addCodebookCounters(gpusim::KernelCounters &c, const KernelPlan &plan,
+                    const gpusim::GpuSpec &spec,
+                    const vq::AccessHistogram *hist,
+                    const VqCostParams &params, std::uint64_t lookups,
+                    std::uint64_t dequant_bytes,
+                    std::uint64_t exchanged_subvectors)
+{
+    const auto &cfg = plan.config;
+    TierFractions f = tierHitFractions(plan.cache_plan, hist);
+
+    // Codebook preload traffic (Load/Switch): the dataflow plan's
+    // codebook bytes scaled by the fraction of each book actually cached.
+    double coverage =
+        plan.cache_plan.total_entries == 0
+            ? 0.0
+            : static_cast<double>(plan.cache_plan.n_shared) /
+                  plan.cache_plan.total_entries;
+    std::uint64_t preload = static_cast<std::uint64_t>(
+        static_cast<double>(plan.dataflow.codebook_bytes) * coverage);
+    if (plan.level == OptLevel::GC)
+        preload = 0;
+    c.dram_read_bytes += preload;
+    c.global_to_shared_bytes += preload;
+
+    // Global-tier lookups fetch entries through L1 with poor locality.
+    double global_frac = plan.level == OptLevel::GC ? 1.0 : f.global;
+    std::uint64_t global_lookups = static_cast<std::uint64_t>(
+        static_cast<double>(lookups) * global_frac);
+    c.dram_read_bytes += static_cast<std::uint64_t>(
+        static_cast<double>(global_lookups) * (1.0 - params.gc_l1_hit) *
+        params.sector_bytes);
+
+    // Shared-tier lookups: warp-wide banked accesses with conflicts.
+    std::uint64_t shared_lookups = static_cast<std::uint64_t>(
+        static_cast<double>(lookups) * f.shared);
+    unsigned phases =
+        (static_cast<unsigned>(cfg.entryBytes()) + 3) / 4;
+    std::uint64_t ideal = shared_lookups / spec.warp_size * phases;
+    double mult = sharedConflictMultiplier(spec, plan.cache_plan, hist,
+                                           params);
+    c.smem_ideal_transactions += ideal;
+    c.smem_transactions += static_cast<std::uint64_t>(
+        static_cast<double>(ideal) * mult);
+    c.shared_to_reg_bytes += shared_lookups * cfg.entryBytes();
+
+    // Dequantization bookkeeping.
+    c.dequant_lookups += lookups;
+    c.unpack_ops += lookups * unpackOpsPerLookup(cfg);
+
+    // Hierarchical fusion: shared-level staging round-trips the
+    // dequantized data; register-level fusion shuffles instead.
+    if (plan.fusion.level == FusionLevel::Shared) {
+        c.reg_to_shared_bytes += dequant_bytes;
+        c.shared_to_reg_bytes += dequant_bytes;
+        std::uint64_t staging_trans = 2 * dequant_bytes / 128;
+        c.smem_transactions += staging_trans;
+        c.smem_ideal_transactions += staging_trans;
+    } else if (plan.fusion.num_shuffles > 0) {
+        c.shuffle_ops += exchanged_subvectors / spec.warp_size *
+                         plan.fusion.num_shuffles;
+    }
+
+    // Global reduction stage of the codebook-centric dataflow.
+    c.reduce_bytes += plan.dataflow.reduce_bytes;
+}
+
+} // namespace
+
+KernelResult
+estimateVqWeightKernel(const gpusim::GpuSpec &spec, const KernelPlan &plan,
+                       const vq::AccessHistogram *hist,
+                       const VqCostParams &params)
+{
+    vqllm_assert(plan.kind == engine::OpKind::GeMM ||
+                     plan.kind == engine::OpKind::GeMV,
+                 "weight kernel estimate requires a GeMM/GeMV plan");
+    const auto &shape = plan.gemm;
+    const auto &cfg = plan.config;
+    const double dup = plan.dataflow.compute_duplication;
+
+    // GeMM blocks tiling the batch dimension each re-dequantize the
+    // weight strips they consume: fused dequantization cannot be shared
+    // across output-row blocks.  This is the "extra operation" cost that
+    // makes VQ integration quality matter most for compute-bound
+    // kernels (Sec. VII-B).
+    engine::BaselineTiling tiling;
+    std::uint64_t redequant =
+        plan.kind == engine::OpKind::GeMM
+            ? std::max<std::uint64_t>(
+                  1, ceilDiv(shape.m, tiling.gemm_block_rows))
+            : 1;
+
+    std::uint64_t weight_elems =
+        static_cast<std::uint64_t>(shape.k) * shape.n;
+    std::uint64_t subvectors = weight_elems / cfg.vector_size * redequant;
+    std::uint64_t lookups = subvectors * cfg.residuals;
+
+    gpusim::KernelCounters c;
+    std::uint64_t idx_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(weight_elems) * cfg.bitsPerElement() / 8.0 *
+        redequant);
+    std::uint64_t act_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(shape.m) * shape.k * 2 * dup);
+    c.dram_read_bytes = idx_bytes + act_bytes;
+    c.dram_write_bytes = static_cast<std::uint64_t>(shape.m) * shape.n * 2;
+    c.global_to_shared_bytes += idx_bytes + act_bytes;
+
+    // Activation/index tiles stream through shared memory.
+    std::uint64_t tile_trans = (idx_bytes + act_bytes) * 2 / 128;
+    c.smem_transactions += tile_trans;
+    c.smem_ideal_transactions += tile_trans;
+
+    c.flops = static_cast<std::uint64_t>(
+        static_cast<double>(shape.flops()) * dup);
+    c.flops += lookups * cfg.vector_size; // residual accumulation adds
+
+    // Dequantized staging volume: each stage/tile is dequantized once
+    // (a residual split does not re-dequantize, only re-runs the
+    // mainloop), but GeMM row blocks each re-dequantize their strips.
+    std::uint64_t dequant_bytes =
+        weight_elems * 2 * redequant;
+    addCodebookCounters(c, plan, spec, hist, params, lookups,
+                        dequant_bytes, subvectors);
+
+    gpusim::LaunchConfig launch;
+    launch.grid_blocks = plan.grid_blocks;
+    launch.block = plan.block;
+    launch.uses_tensor_cores = plan.uses_tensor_cores;
+    return finishEstimate(spec, launch, c);
+}
+
+KernelResult
+estimateVqAttentionKernel(const gpusim::GpuSpec &spec,
+                          const KernelPlan &plan,
+                          const vq::AccessHistogram *hist,
+                          const VqCostParams &params)
+{
+    vqllm_assert(plan.kind == engine::OpKind::AttentionDecode,
+                 "attention estimate requires an attention plan");
+    const auto &shape = plan.attn;
+    const auto &cfg = plan.config;
+
+    std::uint64_t kv_elems = shape.kvElements();
+    std::uint64_t subvectors = kv_elems / cfg.vector_size;
+    std::uint64_t lookups = subvectors * cfg.residuals;
+
+    gpusim::KernelCounters c;
+    std::uint64_t idx_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(kv_elems) * cfg.bitsPerElement() / 8.0);
+    std::uint64_t q_bytes = static_cast<std::uint64_t>(shape.batch) *
+                            shape.heads * shape.head_dim * 2;
+    c.dram_read_bytes = idx_bytes + q_bytes;
+    c.dram_write_bytes = shape.outputElements() * 2;
+    c.global_to_shared_bytes += idx_bytes;
+
+    std::uint64_t tile_trans = idx_bytes * 2 / 128;
+    c.smem_transactions += tile_trans;
+    c.smem_ideal_transactions += tile_trans;
+
+    c.flops = shape.flops() +
+              5ull * shape.batch * shape.heads * shape.seq_len; // softmax
+    c.flops += lookups * cfg.vector_size;
+
+    // Only the V cache round-trips: the K cache dequantizes in its
+    // consumption order (Fig. 6).
+    std::uint64_t v_bytes = kv_elems / 2 * 2; // half the elements, FP16
+    std::uint64_t v_subvectors = subvectors / 2;
+    addCodebookCounters(c, plan, spec, hist, params, lookups, v_bytes,
+                        v_subvectors);
+
+    // Baseline FlashDecoding dataflow keeps its own token-split
+    // reduction pass (the codebook-centric one replaces it).
+    if (plan.level < OptLevel::O3) {
+        engine::BaselineTiling tiling;
+        std::uint64_t bh = static_cast<std::uint64_t>(shape.batch) *
+                           shape.heads;
+        std::uint64_t blocks_t = ceilDiv(shape.seq_len,
+                                         tiling.attn_block_tokens);
+        c.reduce_bytes += bh * blocks_t * (shape.head_dim + 2) * 4;
+    }
+
+    gpusim::LaunchConfig launch;
+    launch.grid_blocks = plan.grid_blocks;
+    launch.block = plan.block;
+    launch.uses_tensor_cores = plan.uses_tensor_cores;
+    return finishEstimate(spec, launch, c);
+}
+
+namespace {
+
+/**
+ * Warp-granular access recorder: batches shared-tier entry accesses of
+ * one codebook into 32-lane groups and counts exact bank transactions.
+ */
+class WarpAccessRecorder
+{
+  public:
+    WarpAccessRecorder(const gpusim::GpuSpec &spec,
+                       gpusim::KernelCounters &counters, unsigned
+                           entry_bytes)
+        : spec_(spec), counters_(counters), entryBytes_(entry_bytes)
+    {
+    }
+
+    void
+    record(cache::Tier tier, std::uint32_t shared_offset)
+    {
+        if (tier == cache::Tier::Shared)
+            pending_.push_back(shared_offset);
+        if (static_cast<int>(pending_.size()) == spec_.warp_size)
+            flush();
+    }
+
+    void
+    flush()
+    {
+        if (pending_.empty())
+            return;
+        unsigned phases = (entryBytes_ + 3) / 4;
+        counters_.smem_ideal_transactions += phases;
+        counters_.smem_transactions +=
+            gpusim::warpTransactions(spec_, pending_, entryBytes_);
+        counters_.shared_to_reg_bytes +=
+            pending_.size() * entryBytes_;
+        pending_.clear();
+    }
+
+  private:
+    const gpusim::GpuSpec &spec_;
+    gpusim::KernelCounters &counters_;
+    unsigned entryBytes_;
+    std::vector<std::uint32_t> pending_;
+};
+
+/** Per-codebook runtime state for a functional execution. */
+struct FunctionalContext
+{
+    const gpusim::GpuSpec &spec;
+    const KernelPlan &plan;
+    gpusim::KernelCounters &counters;
+    cache::AccessStats &stats;
+    std::vector<cache::CodebookCache> caches;
+    WarpAccessRecorder recorder;
+
+    FunctionalContext(const gpusim::GpuSpec &s, const KernelPlan &p,
+                      const vq::QuantizedTensor &qt,
+                      gpusim::KernelCounters &c, cache::AccessStats &st)
+        : spec(s), plan(p), counters(c), stats(st),
+          recorder(s, c, static_cast<unsigned>(qt.config.entryBytes()))
+    {
+        // One cache per codebook; Load traffic counted per book once
+        // per traversal (single-block-equivalent accounting).
+        cache::CachePlan book_plan = p.cache_plan;
+        book_plan.total_entries = qt.config.storedEntries();
+        book_plan.n_shared =
+            std::min(book_plan.n_shared, book_plan.total_entries);
+        book_plan.n_reg = std::min(book_plan.n_reg, book_plan.n_shared);
+        caches.reserve(qt.codebooks.size());
+        for (const auto &cb : qt.codebooks)
+            caches.push_back(cache::CodebookCache::load(
+                cb, book_plan, p.warpsPerBlock(), &c));
+    }
+
+    /** Dequantize one sub-vector through the caches, recording events. */
+    void
+    dequant(const vq::QuantizedTensor &qt, std::size_t row,
+            std::size_t subspace, float *out)
+    {
+        const unsigned vec = qt.config.vector_size;
+        for (unsigned d = 0; d < vec; ++d)
+            out[d] = 0.0f;
+        std::vector<float> dec(vec);
+        std::size_t unit = qt.codebookUnit(row, subspace);
+        for (unsigned stage = 0; stage < qt.config.residuals; ++stage) {
+            std::size_t cb_id = unit * qt.config.residuals + stage;
+            auto &cache = caches[cb_id];
+            std::uint32_t logical =
+                qt.indices.get(qt.indexPosition(row, subspace, stage));
+            cache::Tier tier = cache.access(logical, dec.data());
+            ++counters.dequant_lookups;
+            std::uint32_t stored =
+                cache.codebook().storedIndexOf(logical);
+            recorder.record(tier,
+                            tier == cache::Tier::Shared
+                                ? cache.sharedOffsetOf(stored)
+                                : 0);
+            if (tier == cache::Tier::Global) {
+                counters.dram_read_bytes += qt.config.entryBytes();
+            }
+            for (unsigned d = 0; d < vec; ++d)
+                out[d] += dec[d];
+        }
+    }
+
+    void
+    finish()
+    {
+        recorder.flush();
+        for (auto &cache : caches) {
+            stats.reg_hits += cache.stats().reg_hits;
+            stats.shared_hits += cache.stats().shared_hits;
+            stats.global_hits += cache.stats().global_hits;
+        }
+    }
+};
+
+} // namespace
+
+FunctionalResult
+runVqGemv(const KernelPlan &plan, const vq::QuantizedTensor &qt,
+          const Tensor<float> &x)
+{
+    vqllm_assert(plan.kind == engine::OpKind::GeMV,
+                 "runVqGemv requires a GeMV plan");
+    vqllm_assert(x.rank() == 1 && x.dim(0) == qt.cols,
+                 "x must be [k] with k == qt.cols");
+    const gpusim::GpuSpec &spec = gpusim::rtx4090();
+
+    FunctionalResult result;
+    result.output = Tensor<float>({qt.rows});
+    FunctionalContext ctx(spec, plan, qt, result.counters, result.stats);
+
+    const unsigned vec = qt.config.vector_size;
+    std::vector<float> sub(vec);
+    for (std::size_t r = 0; r < qt.rows; ++r) {
+        double acc = 0;
+        for (std::size_t s = 0; s < qt.subspaces(); ++s) {
+            ctx.dequant(qt, r, s, sub.data());
+            if (plan.fusion.level == FusionLevel::Shared) {
+                result.counters.reg_to_shared_bytes += vec * 2;
+                result.counters.shared_to_reg_bytes += vec * 2;
+            }
+            for (unsigned d = 0; d < vec; ++d)
+                acc += static_cast<double>(sub[d]) * x[s * vec + d];
+        }
+        result.output[r] = static_cast<float>(acc);
+    }
+    if (plan.fusion.level == FusionLevel::Register)
+        result.counters.shuffle_ops +=
+            qt.rows * qt.subspaces() / spec.warp_size *
+            plan.fusion.num_shuffles;
+    ctx.finish();
+    return result;
+}
+
+FunctionalResult
+runVqGemm(const KernelPlan &plan, const vq::QuantizedTensor &qt,
+          const Tensor<float> &x)
+{
+    vqllm_assert(plan.kind == engine::OpKind::GeMM,
+                 "runVqGemm requires a GeMM plan");
+    vqllm_assert(x.rank() == 2 && x.dim(1) == qt.cols,
+                 "x must be [m, k] with k == qt.cols");
+    const gpusim::GpuSpec &spec = gpusim::rtx4090();
+    const std::size_t m = x.dim(0);
+
+    FunctionalResult result;
+    result.output = Tensor<float>({m, qt.rows});
+    FunctionalContext ctx(spec, plan, qt, result.counters, result.stats);
+
+    // Process the batch in row blocks; every block re-dequantizes its
+    // weight strip (the GeMM re-dequantization cost of Sec. VII-B).
+    engine::BaselineTiling tiling;
+    const std::size_t block_rows = tiling.gemm_block_rows;
+    const unsigned vec = qt.config.vector_size;
+    std::vector<float> sub(vec);
+    for (std::size_t m0 = 0; m0 < m; m0 += block_rows) {
+        std::size_t m1 = std::min(m, m0 + block_rows);
+        for (std::size_t r = 0; r < qt.rows; ++r) {
+            for (std::size_t s = 0; s < qt.subspaces(); ++s) {
+                ctx.dequant(qt, r, s, sub.data());
+                if (plan.fusion.level == FusionLevel::Shared) {
+                    result.counters.reg_to_shared_bytes += vec * 2;
+                    result.counters.shared_to_reg_bytes += vec * 2;
+                }
+                for (std::size_t i = m0; i < m1; ++i) {
+                    double acc = 0;
+                    for (unsigned d = 0; d < vec; ++d)
+                        acc += static_cast<double>(sub[d]) *
+                               x.at(i, s * vec + d);
+                    result.output.at(i, r) += static_cast<float>(acc);
+                    result.counters.flops += 2 * vec;
+                }
+            }
+        }
+    }
+    if (plan.fusion.level == FusionLevel::Register)
+        result.counters.shuffle_ops +=
+            ceilDiv(m, block_rows) * qt.rows * qt.subspaces() /
+            spec.warp_size * plan.fusion.num_shuffles;
+    ctx.finish();
+    return result;
+}
+
+FunctionalResult
+runVqAttention(const KernelPlan &plan, const vq::QuantizedTensor &qt_k,
+               const vq::QuantizedTensor &qt_v, const Tensor<float> &q)
+{
+    vqllm_assert(plan.kind == engine::OpKind::AttentionDecode,
+                 "runVqAttention requires an attention plan");
+    vqllm_assert(q.rank() == 2, "q must be [heads, head_dim]");
+    const std::size_t heads = q.dim(0);
+    const std::size_t channels = q.dim(1);
+    vqllm_assert(qt_k.cols == heads * channels &&
+                     qt_v.cols == heads * channels,
+                 "KV column count must be heads * head_dim");
+    vqllm_assert(qt_k.rows == qt_v.rows, "K/V token count mismatch");
+    const std::size_t tokens = qt_k.rows;
+    const gpusim::GpuSpec &spec = gpusim::rtx4090();
+    const unsigned vec = qt_k.config.vector_size;
+    const double inv_sqrt_d =
+        1.0 / std::sqrt(static_cast<double>(channels));
+
+    FunctionalResult result;
+    result.output = Tensor<float>({heads, channels});
+    FunctionalContext ctx_k(spec, plan, qt_k, result.counters,
+                            result.stats);
+    FunctionalContext ctx_v(spec, plan, qt_v, result.counters,
+                            result.stats);
+
+    std::vector<float> sub(vec);
+    const std::size_t groups_per_head = channels / vec;
+    for (std::size_t h = 0; h < heads; ++h) {
+        // Phase 1: logits via dequantized K (row-wise, layout matches).
+        std::vector<float> logits(tokens, 0.0f);
+        for (std::size_t t = 0; t < tokens; ++t) {
+            double acc = 0;
+            for (std::size_t g = 0; g < groups_per_head; ++g) {
+                std::size_t s = h * groups_per_head + g;
+                ctx_k.dequant(qt_k, t, s, sub.data());
+                for (unsigned d = 0; d < vec; ++d)
+                    acc += static_cast<double>(sub[d]) *
+                           q.at(h, g * vec + d);
+            }
+            logits[t] = static_cast<float>(acc * inv_sqrt_d);
+        }
+        softmaxInPlace(logits);
+
+        // Phase 2: V accumulation (column-wise: the mismatched layout).
+        for (std::size_t t = 0; t < tokens; ++t) {
+            for (std::size_t g = 0; g < groups_per_head; ++g) {
+                std::size_t s = h * groups_per_head + g;
+                ctx_v.dequant(qt_v, t, s, sub.data());
+                if (plan.fusion.level == FusionLevel::Shared) {
+                    result.counters.reg_to_shared_bytes += vec * 2;
+                    result.counters.shared_to_reg_bytes += vec * 2;
+                }
+                for (unsigned d = 0; d < vec; ++d)
+                    result.output.at(h, g * vec + d) +=
+                        logits[t] * sub[d];
+            }
+        }
+    }
+    if (plan.fusion.level == FusionLevel::Register)
+        result.counters.shuffle_ops +=
+            tokens * qt_v.subspaces() / spec.warp_size *
+            plan.fusion.num_shuffles;
+    ctx_k.finish();
+    ctx_v.finish();
+    return result;
+}
+
+} // namespace vqllm::kernels

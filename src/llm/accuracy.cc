@@ -1,0 +1,222 @@
+#include "llm/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "kernels/reference.h"
+#include "tensor/datagen.h"
+#include "vq/profiler.h"
+
+namespace vqllm::llm {
+
+Dataset
+makeTask(const TaskSpec &spec, Rng &rng)
+{
+    Dataset data;
+    std::size_t total = spec.train_samples + spec.test_samples;
+    data.features = Tensor<float>({total, spec.input_dim});
+    data.labels.resize(total);
+
+    // Class-conditional cluster centers.
+    std::size_t num_centers = spec.classes * spec.clusters_per_class;
+    Tensor<float> centers({num_centers, spec.input_dim});
+    fillNormal(centers, rng, 0.0, 1.2);
+
+    for (std::size_t i = 0; i < total; ++i) {
+        std::uint32_t cls =
+            static_cast<std::uint32_t>(rng.uniformInt(spec.classes));
+        std::size_t center =
+            cls * spec.clusters_per_class +
+            rng.uniformInt(spec.clusters_per_class);
+        float prev = 0.0f;
+        for (std::size_t d = 0; d < spec.input_dim; ++d) {
+            double raw = centers.at(center, d) +
+                         rng.normal(0.0, spec.sample_spread);
+            double mixed = (1.0 - spec.dim_correlation) * raw +
+                           spec.dim_correlation * prev;
+            data.features.at(i, d) = static_cast<float>(mixed);
+            prev = data.features.at(i, d);
+        }
+        if (rng.uniform() < spec.label_noise)
+            cls = static_cast<std::uint32_t>(
+                rng.uniformInt(spec.classes));
+        data.labels[i] = cls;
+    }
+    return data;
+}
+
+namespace {
+
+/** Forward pass returning class probabilities for one sample. */
+std::vector<float>
+forward(const MlpModel &model, const Tensor<float> &w1,
+        const Tensor<float> &features, std::size_t row,
+        std::vector<float> *hidden_out = nullptr)
+{
+    const std::size_t dim = features.dim(1);
+    const std::size_t hidden = w1.dim(0);
+    const std::size_t classes = model.w2.dim(0);
+
+    std::vector<float> h(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+        double acc = model.b1[j];
+        for (std::size_t d = 0; d < dim; ++d)
+            acc += static_cast<double>(w1.at(j, d)) *
+                   features.at(row, d);
+        h[j] = acc > 0 ? static_cast<float>(acc) : 0.0f; // ReLU
+    }
+    if (hidden_out)
+        *hidden_out = h;
+
+    std::vector<float> logits(classes);
+    for (std::size_t c = 0; c < classes; ++c) {
+        double acc = model.b2[c];
+        for (std::size_t j = 0; j < hidden; ++j)
+            acc += static_cast<double>(model.w2.at(c, j)) * h[j];
+        logits[c] = static_cast<float>(acc);
+    }
+    kernels::softmaxInPlace(logits);
+    return logits;
+}
+
+} // namespace
+
+MlpModel
+trainMlp(const Dataset &train, std::size_t hidden, int epochs, double lr,
+         Rng &rng)
+{
+    const std::size_t n = train.features.dim(0);
+    const std::size_t dim = train.features.dim(1);
+    std::size_t classes = 0;
+    for (auto l : train.labels)
+        classes = std::max<std::size_t>(classes, l + 1);
+
+    MlpModel model;
+    model.w1 = Tensor<float>({hidden, dim});
+    model.w2 = Tensor<float>({classes, hidden});
+    fillNormal(model.w1, rng, 0.0, 1.0 / std::sqrt(double(dim)));
+    fillNormal(model.w2, rng, 0.0, 1.0 / std::sqrt(double(hidden)));
+    model.b1.assign(hidden, 0.0f);
+    model.b2.assign(classes, 0.0f);
+
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+
+    std::vector<float> h;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t idx : order) {
+            auto probs =
+                forward(model, model.w1, train.features, idx, &h);
+            std::uint32_t y = train.labels[idx];
+
+            // Output layer gradients (softmax CE): dL/dlogit = p - 1_y.
+            std::vector<float> dlogit(classes);
+            for (std::size_t c = 0; c < classes; ++c)
+                dlogit[c] = probs[c] - (c == y ? 1.0f : 0.0f);
+
+            // Hidden gradient through w2 and ReLU.
+            std::vector<float> dh(hidden, 0.0f);
+            for (std::size_t c = 0; c < classes; ++c) {
+                for (std::size_t j = 0; j < hidden; ++j)
+                    dh[j] += dlogit[c] * model.w2.at(c, j);
+                model.b2[c] -= static_cast<float>(lr * dlogit[c]);
+            }
+            for (std::size_t c = 0; c < classes; ++c)
+                for (std::size_t j = 0; j < hidden; ++j)
+                    model.w2.at(c, j) -=
+                        static_cast<float>(lr * dlogit[c] * h[j]);
+            for (std::size_t j = 0; j < hidden; ++j) {
+                if (h[j] <= 0)
+                    dh[j] = 0;
+                model.b1[j] -= static_cast<float>(lr * dh[j]);
+                for (std::size_t d = 0; d < dim; ++d)
+                    model.w1.at(j, d) -= static_cast<float>(
+                        lr * dh[j] * train.features.at(idx, d));
+            }
+        }
+        lr *= 0.95; // simple decay
+    }
+    return model;
+}
+
+double
+evaluate(const MlpModel &model, const Dataset &data)
+{
+    return evaluateWithWeights(model, model.w1, data);
+}
+
+double
+evaluateWithWeights(const MlpModel &model,
+                    const Tensor<float> &w1_replacement,
+                    const Dataset &data)
+{
+    const std::size_t n = data.features.dim(0);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto probs = forward(model, w1_replacement, data.features, i);
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < probs.size(); ++c)
+            if (probs[c] > probs[best])
+                best = c;
+        if (best == data.labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+AccuracyReport
+compareQuantAccuracy(const vq::VQConfig &vq_cfg,
+                     const ewq::IntQuantConfig &ewq_cfg,
+                     std::uint64_t seed)
+{
+    Rng rng(seed);
+    TaskSpec spec;
+    Dataset all = makeTask(spec, rng);
+
+    // Split train/test.
+    Dataset train, test;
+    train.features = Tensor<float>({spec.train_samples, spec.input_dim});
+    test.features = Tensor<float>({spec.test_samples, spec.input_dim});
+    train.labels.assign(all.labels.begin(),
+                        all.labels.begin() + spec.train_samples);
+    test.labels.assign(all.labels.begin() + spec.train_samples,
+                       all.labels.end());
+    for (std::size_t i = 0; i < spec.train_samples; ++i)
+        for (std::size_t d = 0; d < spec.input_dim; ++d)
+            train.features.at(i, d) = all.features.at(i, d);
+    for (std::size_t i = 0; i < spec.test_samples; ++i)
+        for (std::size_t d = 0; d < spec.input_dim; ++d)
+            test.features.at(i, d) =
+                all.features.at(spec.train_samples + i, d);
+
+    MlpModel model = trainMlp(train, 192, 14, 0.02, rng);
+
+    AccuracyReport report;
+    // FP16 baseline: weights rounded through half precision.
+    Tensor<float> w1_fp16 = toFloat(toHalf(model.w1));
+    report.fp16 = evaluateWithWeights(model, w1_fp16, test);
+
+    // VQ: quantize through the library pipeline.  The codebook is
+    // pooled over the whole tensor so it trains on far more
+    // sub-vectors than it has entries (no memorization), keeping the
+    // bit-width comparison honest.
+    vq::VQConfig pooled = vq_cfg;
+    pooled.scope = vq::CodebookScope::PerTensor;
+    vq::KMeansOptions opts;
+    opts.max_iters = 12;
+    auto qt = vq::VectorQuantizer(pooled, opts).quantize(model.w1);
+    vq::reorderByFrequency(qt); // exercises the deployment path too
+    auto w1_vq = vq::VectorQuantizer::dequantize(qt);
+    report.vq = evaluateWithWeights(model, w1_vq, test);
+
+    // Element-wise RTN at the same equivalent bit-width.
+    auto w1_ewq =
+        ewq::intDequantize(ewq::intQuantize(model.w1, ewq_cfg));
+    report.ewq = evaluateWithWeights(model, w1_ewq, test);
+    return report;
+}
+
+} // namespace vqllm::llm

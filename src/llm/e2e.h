@@ -1,0 +1,85 @@
+/**
+ * @file
+ * End-to-end LLM inference estimation (paper Sec. VII-E, Fig. 17).
+ *
+ * Combines the kernel-level latency models over a full decoder stack:
+ * prefill (GeMM-dominated) plus `gen_tokens` decode steps (GeMV +
+ * attention + element-wise ops), for FP16, element-wise-quantized
+ * (qServe-style W4A8KV4) and VQ-LLM (4-bit and 2-bit) configurations,
+ * and accounts GPU memory footprints.
+ */
+#pragma once
+
+#include "gpusim/gpu_spec.h"
+#include "llm/model_config.h"
+
+namespace vqllm::llm {
+
+/** Quantization scheme of an end-to-end run. */
+enum class QuantScheme {
+    FP16,   ///< no quantization
+    EWQ4,   ///< qServe-style W4A8KV4 element-wise quantization
+    VQ4,    ///< VQ-LLM 4-bit: QuiP#-4 weights + CQ-4 KV cache
+    VQ2,    ///< VQ-LLM 2-bit: GPTVQ-2 weights + CQ-2 KV cache
+};
+
+/** @return printable scheme name. */
+const char *quantSchemeName(QuantScheme scheme);
+
+/** Serving scenario of the end-to-end evaluation. */
+struct E2EConfig
+{
+    std::size_t batch = 16;
+    std::size_t prompt_len = 1024;
+    std::size_t gen_tokens = 256;
+};
+
+/** End-to-end estimate. */
+struct E2EResult
+{
+    /** Prefill latency, microseconds. */
+    double prefill_us = 0;
+    /** Total decode latency over all generated tokens, microseconds. */
+    double decode_us = 0;
+    /** Element-wise operator share of one decode step. */
+    double elementwise_fraction = 0;
+    /** Weight memory, bytes. */
+    std::uint64_t weight_bytes = 0;
+    /** KV-cache memory at the end of generation, bytes. */
+    std::uint64_t kv_bytes = 0;
+
+    double
+    totalUs() const
+    {
+        return prefill_us + decode_us;
+    }
+
+    std::uint64_t
+    totalMemoryBytes() const
+    {
+        return weight_bytes + kv_bytes;
+    }
+};
+
+/**
+ * Estimate an end-to-end generation run.
+ *
+ * @param spec   target GPU
+ * @param model  model configuration
+ * @param scheme quantization scheme
+ * @param cfg    serving scenario
+ */
+E2EResult estimateE2E(const gpusim::GpuSpec &spec,
+                      const LlamaConfig &model, QuantScheme scheme,
+                      const E2EConfig &cfg = E2EConfig{});
+
+/** Latency of one decode-phase linear layer under a scheme (best
+ *  adaptive VQ version for the VQ schemes). */
+double schemeLinearUs(const gpusim::GpuSpec &spec, QuantScheme scheme,
+                      const engine::GemmShape &shape);
+
+/** Latency of one decode-attention kernel under a scheme. */
+double schemeAttentionUs(const gpusim::GpuSpec &spec, QuantScheme scheme,
+                         const engine::AttnShape &shape);
+
+} // namespace vqllm::llm

@@ -1,0 +1,54 @@
+#include "llm/model_config.h"
+
+namespace vqllm::llm {
+
+const LlamaConfig &
+llama7b()
+{
+    static const LlamaConfig cfg = [] {
+        LlamaConfig c;
+        c.name = "Llama-7B";
+        c.hidden = 4096;
+        c.heads = 32;
+        c.head_dim = 128;
+        c.layers = 32;
+        c.intermediate = 11008;
+        return c;
+    }();
+    return cfg;
+}
+
+const LlamaConfig &
+llama65b()
+{
+    static const LlamaConfig cfg = [] {
+        LlamaConfig c;
+        c.name = "Llama-65B";
+        c.hidden = 8192;
+        c.heads = 64;
+        c.head_dim = 128;
+        c.layers = 80;
+        c.intermediate = 22016;
+        return c;
+    }();
+    return cfg;
+}
+
+const LlamaConfig &
+llama70b()
+{
+    static const LlamaConfig cfg = [] {
+        LlamaConfig c;
+        c.name = "Llama-2-70B";
+        c.hidden = 8192;
+        c.heads = 64;
+        c.head_dim = 128;
+        c.layers = 80;
+        c.intermediate = 28672;
+        c.kv_heads = 8; // grouped-query attention
+        return c;
+    }();
+    return cfg;
+}
+
+} // namespace vqllm::llm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * LLM model configurations (Llama family) used by the end-to-end
+ * evaluation (paper Sec. VII-A/E).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/op_desc.h"
+
+namespace vqllm::llm {
+
+/** Static description of a Llama-style decoder-only transformer. */
+struct LlamaConfig
+{
+    std::string name;
+    std::size_t hidden = 4096;
+    std::size_t heads = 32;
+    std::size_t head_dim = 128;
+    std::size_t layers = 32;
+    std::size_t intermediate = 11008;
+    std::size_t vocab = 32000;
+    /** KV heads (grouped-query attention); 0 = MHA. */
+    std::size_t kv_heads = 0;
+
+    /** @return effective KV heads. */
+    std::size_t
+    kvHeads() const
+    {
+        return kv_heads == 0 ? heads : kv_heads;
+    }
+
+    /** Per-layer linear layers as (n=out, k=in) weight shapes. */
+    std::vector<std::pair<std::size_t, std::size_t>>
+    layerLinearShapes() const
+    {
+        return {
+            {hidden, hidden},       // Wq
+            {hidden, hidden},       // Wk
+            {hidden, hidden},       // Wv
+            {hidden, hidden},       // Wo
+            {intermediate, hidden}, // W_gate
+            {intermediate, hidden}, // W_up
+            {hidden, intermediate}, // W_down
+        };
+    }
+
+    /** @return total weight parameters in the decoder stack. */
+    std::uint64_t
+    decoderParams() const
+    {
+        std::uint64_t per_layer = 0;
+        for (auto [n, k] : layerLinearShapes())
+            per_layer += static_cast<std::uint64_t>(n) * k;
+        return per_layer * layers;
+    }
+
+    /** @return KV-cache bytes for a batch at a sequence length (FP16). */
+    std::uint64_t
+    kvCacheBytesFp16(std::size_t batch, std::size_t seq_len) const
+    {
+        return 2ull * batch * layers * kvHeads() * head_dim * seq_len *
+               2;
+    }
+
+    /** @return attention shape for a decode step. */
+    engine::AttnShape
+    attnShape(std::size_t batch, std::size_t seq_len) const
+    {
+        return {batch, heads, seq_len, head_dim, kv_heads};
+    }
+};
+
+/** @return the Llama-7B configuration. */
+const LlamaConfig &llama7b();
+
+/** @return the Llama-65B configuration. */
+const LlamaConfig &llama65b();
+
+/** @return a Llama-2-70B-style configuration (GQA with 8 KV heads). */
+const LlamaConfig &llama70b();
+
+} // namespace vqllm::llm

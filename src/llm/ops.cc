@@ -1,0 +1,69 @@
+#include "llm/ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vqllm::llm {
+
+void
+rmsNorm(Tensor<float> &x, const std::vector<float> &gain, float eps)
+{
+    vqllm_assert(x.rank() == 2, "rmsNorm expects [rows, dim]");
+    vqllm_assert(gain.size() == x.dim(1), "gain size mismatch");
+    const std::size_t rows = x.dim(0), dim = x.dim(1);
+    for (std::size_t r = 0; r < rows; ++r) {
+        double ms = 0;
+        for (std::size_t d = 0; d < dim; ++d)
+            ms += static_cast<double>(x.at(r, d)) * x.at(r, d);
+        double inv = 1.0 / std::sqrt(ms / dim + eps);
+        for (std::size_t d = 0; d < dim; ++d)
+            x.at(r, d) = static_cast<float>(x.at(r, d) * inv * gain[d]);
+    }
+}
+
+void
+silu(Tensor<float> &x)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        double v = x[i];
+        x[i] = static_cast<float>(v / (1.0 + std::exp(-v)));
+    }
+}
+
+void
+applyRope(Tensor<float> &qk, std::size_t position, double theta)
+{
+    vqllm_assert(qk.rank() == 2, "applyRope expects [heads, head_dim]");
+    const std::size_t heads = qk.dim(0), dim = qk.dim(1);
+    vqllm_assert(dim % 2 == 0, "head_dim must be even");
+    for (std::size_t h = 0; h < heads; ++h) {
+        for (std::size_t d = 0; d < dim / 2; ++d) {
+            double freq = std::pow(theta, -2.0 * static_cast<double>(d) /
+                                              static_cast<double>(dim));
+            double angle = static_cast<double>(position) * freq;
+            double c = std::cos(angle), s = std::sin(angle);
+            float a = qk.at(h, 2 * d);
+            float b = qk.at(h, 2 * d + 1);
+            qk.at(h, 2 * d) = static_cast<float>(a * c - b * s);
+            qk.at(h, 2 * d + 1) = static_cast<float>(a * s + b * c);
+        }
+    }
+}
+
+double
+elementwiseLayerLatencyUs(const gpusim::GpuSpec &spec, std::size_t batch,
+                          std::size_t hidden)
+{
+    // Per layer and decode step: 2x RMSNorm, RoPE, SiLU, gating
+    // multiply, 2x residual add, KV append, plus the small epilogue /
+    // reshape kernels around attention — about 10 element-wise kernel
+    // launches touching ~3x the activation bytes each.
+    const double kernels = 10.0;
+    const double bytes =
+        3.0 * static_cast<double>(batch) * hidden * 2.0;
+    double bw = spec.dramBytesPerSecond() * spec.dram_efficiency;
+    return kernels * (spec.launch_overhead_us * 0.5 + bytes / bw * 1e6);
+}
+
+} // namespace vqllm::llm

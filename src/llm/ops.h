@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Non-GeMM operators of the transformer layer: RMSNorm, SiLU, and RoPE.
+ *
+ * Functional implementations back the accuracy pipeline; the latency
+ * model accounts for them in the end-to-end estimate (paper Sec. VII-E:
+ * "RMSNorm, SiLU, and RoPE operators together account for roughly 10%
+ * and 20% of total latency in the FP16 and 4-bit quantized versions").
+ */
+#pragma once
+
+#include "gpusim/gpu_spec.h"
+#include "tensor/tensor.h"
+
+namespace vqllm::llm {
+
+/** Root-mean-square normalization over the last dimension. */
+void rmsNorm(Tensor<float> &x, const std::vector<float> &gain,
+             float eps = 1e-5f);
+
+/** SiLU (sigmoid-weighted linear unit) applied element-wise. */
+void silu(Tensor<float> &x);
+
+/**
+ * Rotary positional embedding applied to a [heads, head_dim] tensor for
+ * one position.
+ */
+void applyRope(Tensor<float> &qk, std::size_t position,
+               double theta = 10000.0);
+
+/**
+ * Modeled latency of the element-wise operator suite for one decode
+ * step of one transformer layer.
+ *
+ * @param spec   target GPU
+ * @param batch  decode batch size
+ * @param hidden model width
+ * @return latency in microseconds (bandwidth + launch overheads)
+ */
+double elementwiseLayerLatencyUs(const gpusim::GpuSpec &spec,
+                                 std::size_t batch, std::size_t hidden);
+
+} // namespace vqllm::llm

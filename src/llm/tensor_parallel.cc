@@ -1,0 +1,76 @@
+#include "llm/tensor_parallel.h"
+
+#include "common/logging.h"
+#include "llm/ops.h"
+
+namespace vqllm::llm {
+
+double
+ringAllReduceUs(const TpConfig &tp, std::uint64_t bytes)
+{
+    if (tp.degree <= 1)
+        return 0.0;
+    double g = static_cast<double>(tp.degree);
+    double traffic = 2.0 * (g - 1.0) / g * static_cast<double>(bytes);
+    return traffic / (tp.link_bw_gbps * 1e9) * 1e6 +
+           tp.collective_latency_us;
+}
+
+TpResult
+estimateTensorParallel(const gpusim::GpuSpec &spec,
+                       const LlamaConfig &model, QuantScheme scheme,
+                       const TpConfig &tp, const E2EConfig &cfg)
+{
+    vqllm_assert(tp.degree >= 1, "TP degree must be >= 1");
+    vqllm_assert(model.heads % tp.degree == 0,
+                 "heads must divide evenly across TP ranks");
+    const std::size_t g = static_cast<std::size_t>(tp.degree);
+    TpResult result;
+
+    // ---- Sharded per-layer linears (Megatron layout):
+    //  column-parallel: Wq/Wk/Wv (n/G), W_gate/W_up (n/G)
+    //  row-parallel:    Wo (k/G), W_down (k/G)
+    std::size_t mid_seq = cfg.prompt_len + cfg.gen_tokens / 2;
+    double step_linear_us = 0;
+    auto shapes = model.layerLinearShapes();
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+        auto [n, k] = shapes[i];
+        bool row_parallel = (i == 3 || i == 6); // Wo, W_down
+        engine::GemmShape shard{cfg.batch,
+                                row_parallel ? n : n / g,
+                                row_parallel ? k / g : k};
+        step_linear_us += schemeLinearUs(spec, scheme, shard);
+    }
+
+    // ---- Head-sharded attention.
+    engine::AttnShape attn_shard{cfg.batch, model.heads / g, mid_seq,
+                                 model.head_dim};
+    double step_attn_us = schemeAttentionUs(spec, scheme, attn_shard);
+
+    // ---- Element-wise ops run replicated on the full hidden width.
+    double step_elem_us =
+        elementwiseLayerLatencyUs(spec, cfg.batch, model.hidden);
+
+    // ---- Two all-reduces per layer (after Wo and after W_down).
+    std::uint64_t activation_bytes =
+        static_cast<std::uint64_t>(cfg.batch) * model.hidden * 2;
+    double comm_layer_us = 2.0 * ringAllReduceUs(tp, activation_bytes);
+
+    double step_us =
+        (step_linear_us + step_attn_us + step_elem_us + comm_layer_us) *
+        static_cast<double>(model.layers);
+    result.decode_us = step_us * static_cast<double>(cfg.gen_tokens);
+    result.comm_us_per_step =
+        comm_layer_us * static_cast<double>(model.layers);
+    result.comm_fraction = result.comm_us_per_step *
+                           static_cast<double>(cfg.gen_tokens) /
+                           result.decode_us;
+
+    // ---- Per-GPU memory: weights and KV shard by G.
+    E2EResult single = estimateE2E(spec, model, scheme, cfg);
+    result.memory_per_gpu =
+        (single.weight_bytes + single.kv_bytes) / g;
+    return result;
+}
+
+} // namespace vqllm::llm

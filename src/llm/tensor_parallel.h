@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tensor-parallel (TP) serving estimation — the paper's stated future
+ * work (Sec. VII-A: "large model serving like Llama-65B typically uses
+ * multiple GPUs with Tensor Parallel strategy ... required adjustments
+ * include final results gathering for Attention and partial results
+ * concatenation/reduction for GeMM/GeMV, usually conducted via
+ * communication library like NCCL").
+ *
+ * This extension implements that model: Megatron-style sharding
+ * (column-parallel QKV/gate/up, row-parallel O/down, head-sharded
+ * attention) with two ring all-reduces per layer per decode step, on
+ * top of the per-scheme kernel estimates.
+ */
+#pragma once
+
+#include "llm/e2e.h"
+
+namespace vqllm::llm {
+
+/** Multi-GPU interconnect and sharding configuration. */
+struct TpConfig
+{
+    /** Tensor-parallel degree (GPUs). */
+    int degree = 1;
+    /** Per-direction link bandwidth of the all-reduce ring, GB/s. */
+    double link_bw_gbps = 300.0; // NVLink-class
+    /** Per-collective launch/sync latency, microseconds. */
+    double collective_latency_us = 8.0;
+};
+
+/** TP end-to-end estimate. */
+struct TpResult
+{
+    /** Decode latency over all generated tokens, microseconds. */
+    double decode_us = 0;
+    /** Communication share of one decode step. */
+    double comm_fraction = 0;
+    /** All-reduce time per decode step, microseconds. */
+    double comm_us_per_step = 0;
+    /** Per-GPU weight + KV memory, bytes. */
+    std::uint64_t memory_per_gpu = 0;
+};
+
+/**
+ * Estimate TP decode-phase serving.
+ *
+ * @param spec   per-GPU hardware model
+ * @param model  model configuration
+ * @param scheme quantization scheme
+ * @param tp     TP degree and interconnect
+ * @param cfg    serving scenario
+ */
+TpResult estimateTensorParallel(const gpusim::GpuSpec &spec,
+                                const LlamaConfig &model,
+                                QuantScheme scheme, const TpConfig &tp,
+                                const E2EConfig &cfg = E2EConfig{});
+
+/**
+ * Ring all-reduce latency for a payload (2(G-1)/G traversals of the
+ * slowest link plus the collective launch cost).
+ */
+double ringAllReduceUs(const TpConfig &tp, std::uint64_t bytes);
+
+} // namespace vqllm::llm

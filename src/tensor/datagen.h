@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic LLM-like tensor generators.
+ *
+ * The paper's data (Llama weight matrices, KV caches) is not available
+ * offline, so we substitute generators that reproduce the two statistics
+ * the evaluation depends on:
+ *
+ *  1. *Cluster structure with skewed populations* — sub-vectors
+ *     concentrate around a limited set of directions with Zipf-like
+ *     popularity, which is what gives k-means codebooks the hot/medium/
+ *     cold access-frequency profile of paper Fig. 8/9.
+ *  2. *Cross-dimension correlation and outliers* — what makes VQ beat
+ *     element-wise quantization in reconstruction error (paper Fig. 2).
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace vqllm {
+
+/** Parameters controlling clustered synthetic data generation. */
+struct ClusteredDataSpec
+{
+    /** Number of latent clusters the data concentrates around. */
+    std::size_t num_clusters = 64;
+    /** Power-law exponent of cluster popularity (0 = uniform). */
+    double popularity_alpha = 1.0;
+    /** Stddev of samples around their cluster center. */
+    double cluster_spread = 0.25;
+    /** Fraction of samples replaced by isotropic outliers. */
+    double outlier_fraction = 0.01;
+    /** Scale multiplier applied to outlier samples. */
+    double outlier_scale = 4.0;
+    /** Correlation strength between adjacent dimensions, in [0, 1). */
+    double dim_correlation = 0.6;
+    /**
+     * Size of a pool of template rows that recur verbatim (real weight
+     * tensors contain many near-duplicate sub-vectors; the codebook
+     * entries capturing them become the mega-hot entries of Fig. 8).
+     * 0 disables duplication.
+     */
+    std::size_t duplicate_pool = 0;
+    /** Probability that a row is drawn from the duplicate pool. */
+    double duplicate_fraction = 0.0;
+};
+
+/**
+ * Generate a [rows, dim] matrix of clustered sub-vector data.
+ *
+ * Samples are drawn around `num_clusters` random centers whose selection
+ * probability follows a power law; a small fraction are large isotropic
+ * outliers.  Adjacent dimensions are correlated by mixing each dimension
+ * with its predecessor.
+ */
+Tensor<float> generateClustered(std::size_t rows, std::size_t dim,
+                                const ClusteredDataSpec &spec, Rng &rng);
+
+/**
+ * Generate an LLM-style weight matrix [out_features, in_features].
+ *
+ * Per-channel scale variation plus a few large-magnitude channels mimic
+ * the outlier-channel structure of transformer weights.
+ */
+Tensor<float> generateLlmWeight(std::size_t out_features,
+                                std::size_t in_features, Rng &rng);
+
+/**
+ * Generate an attention KV-cache-like tensor [heads, tokens, channels].
+ *
+ * Keys/values exhibit strong per-channel offsets and slowly varying token
+ * dynamics — the structure "coupled quantization" (CQ) exploits by
+ * training per-channel-group codebooks.
+ */
+Tensor<float> generateKvCache(std::size_t heads, std::size_t tokens,
+                              std::size_t channels, Rng &rng);
+
+/**
+ * Generate correlated 2-D points with outliers for the Fig. 2 (lower)
+ * comparison of quantization-point layouts.
+ *
+ * @param n           number of points
+ * @param correlation Pearson correlation between the two dims
+ * @param outlier_fraction fraction of isotropic large outliers
+ */
+Tensor<float> generateCorrelated2d(std::size_t n, double correlation,
+                                   double outlier_fraction, Rng &rng);
+
+} // namespace vqllm

@@ -1,0 +1,73 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+namespace vqllm {
+
+Tensor<Half>
+toHalf(const Tensor<float> &t)
+{
+    Tensor<Half> out(t.shape());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        out[i] = Half(t[i]);
+    return out;
+}
+
+Tensor<float>
+toFloat(const Tensor<Half> &t)
+{
+    Tensor<float> out(t.shape());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        out[i] = static_cast<float>(t[i]);
+    return out;
+}
+
+void
+fillNormal(Tensor<float> &t, Rng &rng, double mean, double stddev)
+{
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void
+fillUniform(Tensor<float> &t, Rng &rng, double lo, double hi)
+{
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.uniform(lo, hi));
+}
+
+double
+mse(const Tensor<float> &a, const Tensor<float> &b)
+{
+    vqllm_assert(a.size() == b.size(), "mse: size mismatch");
+    if (a.size() == 0)
+        return 0.0;
+    double acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        acc += d * d;
+    }
+    return acc / static_cast<double>(a.size());
+}
+
+double
+maxAbsDiff(const Tensor<float> &a, const Tensor<float> &b)
+{
+    vqllm_assert(a.size() == b.size(), "maxAbsDiff: size mismatch");
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(static_cast<double>(a[i]) -
+                                 static_cast<double>(b[i])));
+    return m;
+}
+
+double
+frobeniusNorm(const Tensor<float> &t)
+{
+    double acc = 0;
+    for (std::size_t i = 0; i < t.size(); ++i)
+        acc += static_cast<double>(t[i]) * static_cast<double>(t[i]);
+    return std::sqrt(acc);
+}
+
+} // namespace vqllm

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Dense row-major tensors used throughout the library.
+ *
+ * Tensors are host-side containers: the "GPU" in this reproduction is a
+ * performance model (see src/gpusim), so all functional computation runs
+ * on the host over these buffers.  Element types are float (accumulation
+ * precision) and Half (storage precision, matching FP16 LLM tensors).
+ */
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <vector>
+
+#include "common/float16.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace vqllm {
+
+/** Shape of a tensor: a small vector of dimension extents. */
+using Shape = std::vector<std::size_t>;
+
+/** @return total element count of a shape. */
+inline std::size_t
+numElements(const Shape &shape)
+{
+    std::size_t n = 1;
+    for (std::size_t d : shape)
+        n *= d;
+    return n;
+}
+
+/**
+ * A dense row-major tensor.
+ *
+ * @tparam T element type (float or Half)
+ */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(Shape shape)
+        : shape_(std::move(shape)), data_(numElements(shape_))
+    {
+        computeStrides();
+    }
+
+    /** Construct with shape given as an initializer list. */
+    Tensor(std::initializer_list<std::size_t> dims)
+        : Tensor(Shape(dims))
+    {
+    }
+
+    /** @return tensor rank (number of dimensions). */
+    std::size_t rank() const { return shape_.size(); }
+
+    /** @return the shape vector. */
+    const Shape &shape() const { return shape_; }
+
+    /** @return extent of dimension d. */
+    std::size_t dim(std::size_t d) const { return shape_[d]; }
+
+    /** @return total number of elements. */
+    std::size_t size() const { return data_.size(); }
+
+    /** @return storage footprint in bytes. */
+    std::size_t sizeBytes() const { return data_.size() * sizeof(T); }
+
+    /** Raw element access by flat index. */
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    /** N-d element access (rank-checked in debug). */
+    template <typename... Idx>
+    T &
+    at(Idx... idx)
+    {
+        return data_[flatIndex(idx...)];
+    }
+
+    template <typename... Idx>
+    const T &
+    at(Idx... idx) const
+    {
+        return data_[flatIndex(idx...)];
+    }
+
+    /** @return flat offset of an N-d index. */
+    template <typename... Idx>
+    std::size_t
+    flatIndex(Idx... idx) const
+    {
+        vqllm_assert(sizeof...(idx) == shape_.size(),
+                     "index rank ", sizeof...(idx), " != tensor rank ",
+                     shape_.size());
+        std::size_t indices[] = {static_cast<std::size_t>(idx)...};
+        std::size_t flat = 0;
+        for (std::size_t d = 0; d < shape_.size(); ++d) {
+            vqllm_assert(indices[d] < shape_[d], "index ", indices[d],
+                         " out of bounds for dim ", d, " extent ",
+                         shape_[d]);
+            flat += indices[d] * strides_[d];
+        }
+        return flat;
+    }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    /** Fill every element with a constant. */
+    void
+    fill(T value)
+    {
+        std::fill(data_.begin(), data_.end(), value);
+    }
+
+    /** Reshape in place; the element count must be preserved. */
+    void
+    reshape(Shape shape)
+    {
+        vqllm_assert(numElements(shape) == data_.size(),
+                     "reshape changes element count");
+        shape_ = std::move(shape);
+        computeStrides();
+    }
+
+  private:
+    void
+    computeStrides()
+    {
+        strides_.assign(shape_.size(), 1);
+        for (std::size_t d = shape_.size(); d-- > 1;)
+            strides_[d - 1] = strides_[d] * shape_[d];
+    }
+
+    Shape shape_;
+    std::vector<std::size_t> strides_;
+    std::vector<T> data_;
+};
+
+/** Convert a float tensor to FP16 storage (round-to-nearest-even). */
+Tensor<Half> toHalf(const Tensor<float> &t);
+
+/** Convert an FP16 tensor to float. */
+Tensor<float> toFloat(const Tensor<Half> &t);
+
+/** Fill with iid normal samples. */
+void fillNormal(Tensor<float> &t, Rng &rng, double mean = 0.0,
+                double stddev = 1.0);
+
+/** Fill with iid uniform samples in [lo, hi). */
+void fillUniform(Tensor<float> &t, Rng &rng, double lo = 0.0,
+                 double hi = 1.0);
+
+/** @return mean squared error between two same-shaped tensors. */
+double mse(const Tensor<float> &a, const Tensor<float> &b);
+
+/** @return max absolute difference between two same-shaped tensors. */
+double maxAbsDiff(const Tensor<float> &a, const Tensor<float> &b);
+
+/** @return Frobenius norm. */
+double frobeniusNorm(const Tensor<float> &t);
+
+} // namespace vqllm

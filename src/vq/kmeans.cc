@@ -1,0 +1,196 @@
+#include "vq/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace vqllm::vq {
+
+double
+rowDistanceSq(const Tensor<float> &A, std::size_t a, const Tensor<float> &B,
+              std::size_t b)
+{
+    vqllm_assert(A.dim(1) == B.dim(1), "dim mismatch");
+    const std::size_t dim = A.dim(1);
+    const float *pa = A.data() + a * dim;
+    const float *pb = B.data() + b * dim;
+    double acc = 0;
+    for (std::size_t d = 0; d < dim; ++d) {
+        double diff = static_cast<double>(pa[d]) - pb[d];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+namespace {
+
+/** Pick initial centroids with k-means++ (D^2 weighting). */
+Tensor<float>
+kMeansPlusPlusInit(const Tensor<float> &data, std::size_t k, Rng &rng)
+{
+    const std::size_t n = data.dim(0);
+    const std::size_t dim = data.dim(1);
+    Tensor<float> centroids({k, dim});
+
+    std::size_t first = rng.uniformInt(n);
+    for (std::size_t d = 0; d < dim; ++d)
+        centroids.at(std::size_t(0), d) = data.at(first, d);
+
+    std::vector<double> dist_sq(n, std::numeric_limits<double>::max());
+    for (std::size_t c = 1; c < k; ++c) {
+        // Update distances against the last added centroid.
+        double total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double d = rowDistanceSq(data, i, centroids, c - 1);
+            dist_sq[i] = std::min(dist_sq[i], d);
+            total += dist_sq[i];
+        }
+        std::size_t chosen;
+        if (total <= 0) {
+            chosen = rng.uniformInt(n); // all points identical
+        } else {
+            double r = rng.uniform() * total;
+            double acc = 0;
+            chosen = n - 1;
+            for (std::size_t i = 0; i < n; ++i) {
+                acc += dist_sq[i];
+                if (r < acc) {
+                    chosen = i;
+                    break;
+                }
+            }
+        }
+        for (std::size_t d = 0; d < dim; ++d)
+            centroids.at(c, d) = data.at(chosen, d);
+    }
+    return centroids;
+}
+
+/** Deterministically subsample `limit` rows of data. */
+Tensor<float>
+subsample(const Tensor<float> &data, std::size_t limit, Rng &rng)
+{
+    const std::size_t n = data.dim(0);
+    const std::size_t dim = data.dim(1);
+    Tensor<float> out({limit, dim});
+    for (std::size_t i = 0; i < limit; ++i) {
+        std::size_t src = rng.uniformInt(n);
+        for (std::size_t d = 0; d < dim; ++d)
+            out.at(i, d) = data.at(src, d);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+assignToNearest(const Tensor<float> &data, const Tensor<float> &centroids)
+{
+    const std::size_t n = data.dim(0);
+    const std::size_t k = centroids.dim(0);
+    std::vector<std::uint32_t> assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double best = std::numeric_limits<double>::max();
+        std::uint32_t best_c = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+            double d = rowDistanceSq(data, i, centroids, c);
+            if (d < best) {
+                best = d;
+                best_c = static_cast<std::uint32_t>(c);
+            }
+        }
+        assign[i] = best_c;
+    }
+    return assign;
+}
+
+KMeansResult
+kMeans(const Tensor<float> &data, std::size_t k, const KMeansOptions &opts)
+{
+    vqllm_assert(data.rank() == 2, "k-means expects [n, dim] data");
+    vqllm_assert(k >= 1, "k must be positive");
+    const std::size_t n = data.dim(0);
+    const std::size_t dim = data.dim(1);
+    vqllm_assert(n >= 1, "k-means needs at least one row");
+
+    Rng rng(opts.seed);
+
+    // Optionally fit on a subsample for paper-scale tensors.
+    const bool sampled = opts.sample_limit > 0 && opts.sample_limit < n;
+    Tensor<float> fit_storage;
+    if (sampled)
+        fit_storage = subsample(data, opts.sample_limit, rng);
+    const Tensor<float> &fit = sampled ? fit_storage : data;
+    const std::size_t fn = fit.dim(0);
+
+    KMeansResult res;
+    res.centroids = kMeansPlusPlusInit(fit, k, rng);
+
+    std::vector<std::uint32_t> fit_assign(fn, 0);
+    double prev_inertia = std::numeric_limits<double>::max();
+
+    for (int iter = 0; iter < opts.max_iters; ++iter) {
+        res.iterations = iter + 1;
+        // Assignment step.
+        double inertia = 0;
+        for (std::size_t i = 0; i < fn; ++i) {
+            double best = std::numeric_limits<double>::max();
+            std::uint32_t best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                double d = rowDistanceSq(fit, i, res.centroids, c);
+                if (d < best) {
+                    best = d;
+                    best_c = static_cast<std::uint32_t>(c);
+                }
+            }
+            fit_assign[i] = best_c;
+            inertia += best;
+        }
+
+        // Update step (double accumulation for stability).
+        std::vector<double> sums(k * dim, 0.0);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < fn; ++i) {
+            std::uint32_t c = fit_assign[i];
+            ++counts[c];
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[c * dim + d] += fit.at(i, d);
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Reseed an empty cluster at a random data row.
+                std::size_t src = rng.uniformInt(fn);
+                for (std::size_t d = 0; d < dim; ++d)
+                    res.centroids.at(c, d) = fit.at(src, d);
+                continue;
+            }
+            for (std::size_t d = 0; d < dim; ++d)
+                res.centroids.at(c, d) = static_cast<float>(
+                    sums[c * dim + d] / static_cast<double>(counts[c]));
+        }
+
+        res.inertia = inertia;
+        if (prev_inertia < std::numeric_limits<double>::max()) {
+            double rel = (prev_inertia - inertia) /
+                         std::max(prev_inertia, 1e-30);
+            if (rel >= 0 && rel < opts.tol)
+                break;
+        }
+        prev_inertia = inertia;
+    }
+
+    // Final assignment over the full dataset.
+    res.assignments = assignToNearest(data, res.centroids);
+    if (sampled) {
+        // Recompute inertia on the full data for a meaningful metric.
+        res.inertia = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            res.inertia +=
+                rowDistanceSq(data, i, res.centroids, res.assignments[i]);
+    }
+    return res;
+}
+
+} // namespace vqllm::vq

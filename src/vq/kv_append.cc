@@ -1,0 +1,116 @@
+#include "vq/kv_append.h"
+
+#include "common/logging.h"
+
+namespace vqllm::vq {
+
+KvCacheQuantizer::KvCacheQuantizer(VQConfig config,
+                                   const Tensor<float> &prefill,
+                                   KMeansOptions kmeans)
+{
+    vqllm_assert(prefill.rank() == 2,
+                 "prefill must be [tokens, channels]");
+    vqllm_assert(config.scope == CodebookScope::PerChannelGroup ||
+                     config.scope == CodebookScope::PerTensor,
+                 "KV quantization uses per-channel-group or per-tensor "
+                 "books (tile scope would shift with token count)");
+    VectorQuantizer quantizer(std::move(config), kmeans);
+    cache_ = quantizer.quantize(prefill);
+}
+
+void
+KvCacheQuantizer::append(const float *token_channels)
+{
+    const unsigned vec = cache_.config.vector_size;
+    const std::size_t row = cache_.rows;
+    std::vector<float> residual(vec), dec(vec);
+    // Index layout is row-major [token][subspace][residual], so new
+    // tokens append cleanly at the end of the bit stream.
+    for (std::size_t s = 0; s < cache_.subspaces(); ++s) {
+        for (unsigned d = 0; d < vec; ++d)
+            residual[d] = token_channels[s * vec + d];
+        std::size_t unit = cache_.codebookUnit(row, s);
+        for (unsigned stage = 0; stage < cache_.config.residuals;
+             ++stage) {
+            const Codebook &cb =
+                cache_.codebooks[unit * cache_.config.residuals + stage];
+            std::uint32_t idx = cb.encode(residual.data());
+            cache_.indices.push(idx);
+            cb.decode(idx, dec.data());
+            for (unsigned d = 0; d < vec; ++d)
+                residual[d] -= dec[d];
+        }
+    }
+    ++cache_.rows;
+}
+
+void
+KvCacheQuantizer::dequantizeToken(std::size_t token, float *out) const
+{
+    vqllm_assert(token < cache_.rows, "token out of range");
+    const unsigned vec = cache_.config.vector_size;
+    std::vector<float> sub(vec);
+    for (std::size_t s = 0; s < cache_.subspaces(); ++s) {
+        VectorQuantizer::dequantizeSubvector(cache_, token, s,
+                                             sub.data());
+        for (unsigned d = 0; d < vec; ++d)
+            out[s * vec + d] = sub[d];
+    }
+}
+
+std::uint64_t
+KvCacheQuantizer::encodeFlopsPerToken() const
+{
+    // Per sub-vector and residual: a [1, vec] x [vec, entries] distance
+    // matmul (2 flops per MAC) plus the norm terms.
+    return static_cast<std::uint64_t>(cache_.subspaces()) *
+           cache_.config.residuals * 2 * cache_.config.vector_size *
+           cache_.config.storedEntries();
+}
+
+QuantOverheadEstimate
+estimateQuantOverhead(const gpusim::GpuSpec &spec, const VQConfig &config,
+                      std::size_t batch, std::size_t prompt_len,
+                      std::size_t hidden, std::size_t layers)
+{
+    QuantOverheadEstimate est;
+    // K and V each contribute `hidden` channels per token per layer.
+    std::uint64_t subvecs_per_token =
+        2ull * hidden / config.vector_size;
+    std::uint64_t flops_per_token = subvecs_per_token *
+                                    config.residuals * 2 *
+                                    config.vector_size *
+                                    config.storedEntries();
+    // Distance computations run on tensor cores; argmin is a scalar
+    // reduction over the entries.
+    double tensor_rate = spec.fp16_tensor_tflops * 1e12 * 0.5;
+    double argmin_ops = static_cast<double>(subvecs_per_token) *
+                        config.residuals * config.storedEntries();
+    double scalar_rate = spec.num_sms * spec.issue_per_cycle * 0.5 *
+                         spec.clockHz();
+
+    double per_token_layer_us =
+        (static_cast<double>(flops_per_token) / tensor_rate +
+         argmin_ops / scalar_rate) *
+        1e6;
+    est.decode_us_per_token = per_token_layer_us;
+    est.decode_us_per_step =
+        per_token_layer_us * static_cast<double>(batch) * layers;
+
+    est.prefill_us_per_layer = per_token_layer_us *
+                               static_cast<double>(batch) *
+                               static_cast<double>(prompt_len);
+
+    // Linear projections of the prefill, per layer (QKV + O + MLP),
+    // on tensor cores at GeMM efficiency.
+    double proj_flops = 2.0 * static_cast<double>(batch) * prompt_len *
+                        (4.0 * hidden * hidden +
+                         3.0 * hidden * (hidden * 11008.0 / 4096.0));
+    double proj_us =
+        proj_flops / (spec.fp16_tensor_tflops * 1e12 * 0.75) * 1e6;
+    est.prefill_fraction_of_projections =
+        est.prefill_us_per_layer / proj_us;
+    return est;
+}
+
+} // namespace vqllm::vq

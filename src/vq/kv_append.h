@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Online KV-cache quantization (paper Sec. VII-F, "Quantization
+ * Overhead").
+ *
+ * Weights are quantized offline, but the KV cache grows during
+ * inference: the keys/values of each generated token must be quantized
+ * *on the fly* against the codebooks trained at prefill time.  The
+ * paper measures this overhead as negligible (<1 us per token in
+ * decode; <10% of the linear projections in prefill).  This module
+ * implements the mechanism — codebooks are trained once on the prompt
+ * KV and new tokens are encoded incrementally — plus the GPU cost
+ * model for the encode kernel.
+ */
+#pragma once
+
+#include "gpusim/gpu_spec.h"
+#include "vq/quantizer.h"
+
+namespace vqllm::vq {
+
+/**
+ * Incrementally-growing quantized KV cache.
+ *
+ * Rows are tokens; columns are (head, channel) pairs.  Codebooks are
+ * trained once from the prefill tokens and then frozen; append()
+ * encodes new tokens against them (the paper's asynchronous on-the-fly
+ * quantization).
+ */
+class KvCacheQuantizer
+{
+  public:
+    /**
+     * Train codebooks from the prompt KV and quantize it.
+     *
+     * @param config  VQ configuration (CQ-style per-channel-group books)
+     * @param prefill [tokens, channels] prompt-phase K or V tensor
+     * @param kmeans  training options
+     */
+    KvCacheQuantizer(VQConfig config, const Tensor<float> &prefill,
+                     KMeansOptions kmeans =
+                         VectorQuantizer::defaultTraining());
+
+    /**
+     * Quantize and append one new token (decode step).
+     *
+     * @param token_channels pointer to `channels()` new values
+     */
+    void append(const float *token_channels);
+
+    /** @return tokens currently cached (prefill + appended). */
+    std::size_t
+    tokens() const
+    {
+        return cache_.rows;
+    }
+
+    /** @return channels per token. */
+    std::size_t
+    channels() const
+    {
+        return cache_.cols;
+    }
+
+    /** @return the quantized cache (valid after any append). */
+    const QuantizedTensor &
+    cache() const
+    {
+        return cache_;
+    }
+
+    /**
+     * Reconstruct one cached token into out[0..channels).
+     */
+    void dequantizeToken(std::size_t token, float *out) const;
+
+    /** @return encode FMA operations per appended token. */
+    std::uint64_t encodeFlopsPerToken() const;
+
+  private:
+    QuantizedTensor cache_;
+};
+
+/** Modeled GPU-side cost of on-the-fly KV quantization. */
+struct QuantOverheadEstimate
+{
+    /** Microseconds to quantize one token's K+V in one layer (the
+     *  paper's "<1 us" quantity). */
+    double decode_us_per_token = 0;
+    /** Microseconds per decode step: all layers x batch sequences. */
+    double decode_us_per_step = 0;
+    /** Microseconds to quantize the full prompt KV of one layer. */
+    double prefill_us_per_layer = 0;
+    /** Prefill quantization / linear-projection latency ratio. */
+    double prefill_fraction_of_projections = 0;
+};
+
+/**
+ * Estimate the on-the-fly quantization overhead for a serving scenario
+ * (encode kernels run the distance computation as a tensor-core matmul
+ * against the codebook plus a scalar argmin pass).
+ *
+ * @param spec       target GPU
+ * @param config     KV VQ configuration
+ * @param batch      decode batch size
+ * @param prompt_len prefill tokens
+ * @param hidden     model width (K and V each have `hidden` channels)
+ * @param layers     transformer layers
+ */
+QuantOverheadEstimate estimateQuantOverhead(const gpusim::GpuSpec &spec,
+                                            const VQConfig &config,
+                                            std::size_t batch,
+                                            std::size_t prompt_len,
+                                            std::size_t hidden,
+                                            std::size_t layers);
+
+} // namespace vqllm::vq

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Offline codebook-entry access-frequency profiling (paper Sec. V).
+ *
+ * During dequantization every packed index is one lookup into its
+ * codebook, so the access histogram of a quantized tensor *is* the
+ * histogram of its stored indices (lattice indices collapse onto their
+ * base entry).  The profiler computes global and per-block histograms —
+ * the data behind paper Fig. 8 (skew), Fig. 9 (consistency across
+ * blocks), and Tbl. V (#entries above mu+3sigma) — and derives the
+ * frequency ordering used by the codebook cache.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vq/quantizer.h"
+
+namespace vqllm::vq {
+
+/** Access histogram of one codebook. */
+struct AccessHistogram
+{
+    /** Access count per stored entry index. */
+    std::vector<std::uint64_t> counts;
+
+    /** @return total accesses. */
+    std::uint64_t total() const;
+
+    /** @return mean accesses per entry. */
+    double mean() const;
+
+    /** @return population standard deviation of accesses. */
+    double stddev() const;
+
+    /** @return number of entries with count > mean + k*stddev. */
+    std::size_t entriesAbove(double k_sigma) const;
+
+    /** @return fraction of entries with count below the mean. */
+    double fractionBelowMean() const;
+
+    /**
+     * @return permutation sorting entries by descending frequency
+     *         (perm[new_index] = old_index; ties by old index)
+     */
+    std::vector<std::uint32_t> frequencyOrder() const;
+};
+
+/** Profiling results over a quantized tensor. */
+struct ProfileResult
+{
+    /** One histogram per codebook (unit x residual, same layout). */
+    std::vector<AccessHistogram> histograms;
+
+    /**
+     * Per-block histograms of codebook 0 for block-consistency analysis
+     * (Fig. 9): blocks are contiguous row ranges.
+     */
+    std::vector<AccessHistogram> block_histograms;
+};
+
+/**
+ * Profile entry access frequencies of a quantized tensor.
+ *
+ * @param qt             the quantized tensor
+ * @param rows_per_block row-range granularity for per-block histograms
+ */
+ProfileResult profileAccesses(const QuantizedTensor &qt,
+                              std::size_t rows_per_block = 64);
+
+/**
+ * Reorder all codebooks of `qt` by descending access frequency and
+ * rewrite the packed indices accordingly (codebook cache step 1,
+ * Sec. V-B: "the index of the most frequent entry is 0").
+ *
+ * @return the profile computed before reordering
+ */
+ProfileResult reorderByFrequency(QuantizedTensor &qt);
+
+/**
+ * Synthetic Zipf-distributed access histogram, a stand-in for offline
+ * profiling when no quantized tensor is at hand (e.g. latency-model
+ * sweeps at paper scale).
+ *
+ * @param entries codebook entries
+ * @param alpha   Zipf skew exponent
+ */
+AccessHistogram syntheticZipfHistogram(std::size_t entries,
+                                       double alpha = 1.0);
+
+} // namespace vqllm::vq

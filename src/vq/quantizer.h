@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The full VQ quantization/dequantization pipeline (paper Fig. 1).
+ *
+ * quantize(): split rows into sub-vectors, train per-scope codebooks with
+ * k-means, encode indices, then iterate on residuals.  dequantize(): look
+ * up each residual's entry and accumulate, then concatenate sub-spaces.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutils.h"
+#include "vq/codebook.h"
+#include "vq/kmeans.h"
+#include "vq/vq_config.h"
+
+namespace vqllm::vq {
+
+/**
+ * A VQ-compressed 2-D tensor: packed indices plus trained codebooks.
+ *
+ * Index stream layout is row-major over
+ * [row][subspace][residual]; the codebook used for position
+ * (row, subspace, residual) is `codebooks[unit(row, subspace) *
+ * residuals + residual]`.
+ */
+struct QuantizedTensor
+{
+    VQConfig config;
+    /** Original tensor shape. */
+    std::size_t rows = 0, cols = 0;
+    /** Number of codebook scope units (1 for per-tensor). */
+    std::size_t scope_units = 1;
+    /** Trained codebooks, indexed [unit * residuals + residual]. */
+    std::vector<Codebook> codebooks;
+    /** Densely packed logical indices. */
+    BitStream indices{8};
+
+    /** @return sub-spaces per row (cols / vector_size). */
+    std::size_t
+    subspaces() const
+    {
+        return cols / config.vector_size;
+    }
+
+    /** @return scope unit owning (row, subspace). */
+    std::size_t codebookUnit(std::size_t row, std::size_t subspace) const;
+
+    /** @return codebook for (row, subspace, residual). */
+    const Codebook &
+    codebookFor(std::size_t row, std::size_t subspace,
+                unsigned residual) const
+    {
+        return codebooks[codebookUnit(row, subspace) * config.residuals +
+                         residual];
+    }
+
+    /** @return flat position of (row, subspace, residual) in `indices`. */
+    std::size_t
+    indexPosition(std::size_t row, std::size_t subspace,
+                  unsigned residual) const
+    {
+        return (row * subspaces() + subspace) * config.residuals + residual;
+    }
+
+    /** @return packed-index bytes. */
+    std::size_t
+    indexBytes() const
+    {
+        return indices.sizeBytes();
+    }
+
+    /** @return codebook storage bytes across all units and residuals. */
+    std::size_t codebookTotalBytes() const;
+
+    /** @return total compressed bytes (indices + codebooks). */
+    std::size_t
+    sizeBytes() const
+    {
+        return indexBytes() + codebookTotalBytes();
+    }
+
+    /** @return compressed bytes / FP16 bytes of the original tensor. */
+    double
+    achievedCompression() const
+    {
+        return static_cast<double>(sizeBytes()) /
+               (static_cast<double>(rows) * cols * 2);
+    }
+};
+
+/** Trains codebooks and encodes/decodes tensors for one VQ config. */
+class VectorQuantizer
+{
+  public:
+    /**
+     * @param config  the VQ algorithm configuration
+     * @param kmeans  training options; kmeans.sample_limit bounds the
+     *                k-means fitting cost on large tensors
+     */
+    explicit VectorQuantizer(VQConfig config,
+                             KMeansOptions kmeans = defaultTraining());
+
+    /**
+     * Quantize a [rows, cols] tensor.
+     *
+     * cols must be divisible by the config's vector size; for PerTile
+     * scope, rows/cols are padded conceptually by clamping tiles.
+     */
+    QuantizedTensor quantize(const Tensor<float> &data) const;
+
+    /** Reconstruct the full tensor from a quantized one. */
+    static Tensor<float> dequantize(const QuantizedTensor &qt);
+
+    /**
+     * Reconstruct a single sub-vector (all residuals accumulated) into
+     * out[0..vector_size).
+     */
+    static void dequantizeSubvector(const QuantizedTensor &qt,
+                                    std::size_t row, std::size_t subspace,
+                                    float *out);
+
+    const VQConfig &config() const { return config_; }
+
+    /** Default k-means budget used by the quantizer. */
+    static KMeansOptions
+    defaultTraining()
+    {
+        KMeansOptions o;
+        o.max_iters = 15;
+        o.sample_limit = 8192;
+        return o;
+    }
+
+  private:
+    VQConfig config_;
+    KMeansOptions kmeans_;
+};
+
+} // namespace vqllm::vq

@@ -1,0 +1,184 @@
+#include "vq/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace vqllm::vq {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'Q', 'L', 'T'};
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!in)
+        vqllm_fatal("truncated quantized-tensor artifact");
+    return value;
+}
+
+void
+writeString(std::ostream &out, const std::string &s)
+{
+    writePod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &in)
+{
+    auto len = readPod<std::uint32_t>(in);
+    vqllm_assert(len < (1u << 20), "unreasonable string length");
+    std::string s(len, '\0');
+    in.read(s.data(), len);
+    if (!in)
+        vqllm_fatal("truncated quantized-tensor artifact");
+    return s;
+}
+
+void
+writeCodebook(std::ostream &out, const Codebook &cb)
+{
+    writePod<std::uint8_t>(out, cb.isLattice() ? 1 : 0);
+    writePod<std::uint64_t>(out, cb.storedEntries());
+    writePod<std::uint32_t>(out, cb.vectorSize());
+    // Entries as FP16 bit patterns (the storage format).
+    for (std::size_t i = 0; i < cb.entries().size(); ++i)
+        writePod<std::uint16_t>(out,
+                                Half(cb.entries()[i]).bits());
+}
+
+Codebook
+readCodebook(std::istream &in)
+{
+    bool lattice = readPod<std::uint8_t>(in) != 0;
+    auto stored = readPod<std::uint64_t>(in);
+    auto vec = readPod<std::uint32_t>(in);
+    vqllm_assert(stored > 0 && vec > 0 && stored < (1ull << 24),
+                 "implausible codebook header");
+    Tensor<float> entries(
+        {static_cast<std::size_t>(stored), static_cast<std::size_t>(vec)});
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        entries[i] = halfBitsToFloat(readPod<std::uint16_t>(in));
+    // plain()/lattice() re-round through FP16 (idempotent) and re-apply
+    // abs() for lattice bases (already non-negative, also idempotent).
+    return lattice ? Codebook::lattice(entries)
+                   : Codebook::plain(entries);
+}
+
+} // namespace
+
+void
+saveQuantizedTensor(const QuantizedTensor &qt, std::ostream &out)
+{
+    out.write(kMagic, 4);
+    writePod<std::uint32_t>(out, kQuantFormatVersion);
+
+    // Config.
+    writeString(out, qt.config.name);
+    writePod<std::uint32_t>(out, qt.config.vector_size);
+    writePod<std::uint64_t>(out, qt.config.num_entries);
+    writePod<std::uint32_t>(out, qt.config.residuals);
+    writePod<std::uint32_t>(out,
+                            static_cast<std::uint32_t>(qt.config.scope));
+    writePod<std::uint8_t>(out, qt.config.lattice ? 1 : 0);
+    writePod<std::uint64_t>(out, qt.config.lattice_base_entries);
+
+    // Shape.
+    writePod<std::uint64_t>(out, qt.rows);
+    writePod<std::uint64_t>(out, qt.cols);
+    writePod<std::uint64_t>(out, qt.scope_units);
+
+    // Codebooks.
+    writePod<std::uint32_t>(out,
+                            static_cast<std::uint32_t>(
+                                qt.codebooks.size()));
+    for (const auto &cb : qt.codebooks)
+        writeCodebook(out, cb);
+
+    // Index stream.
+    writePod<std::uint32_t>(out, qt.indices.bitsPerValue());
+    writePod<std::uint64_t>(out, qt.indices.size());
+    writePod<std::uint64_t>(out, qt.indices.bytes().size());
+    out.write(reinterpret_cast<const char *>(qt.indices.bytes().data()),
+              static_cast<std::streamsize>(qt.indices.bytes().size()));
+}
+
+QuantizedTensor
+loadQuantizedTensor(std::istream &in)
+{
+    char magic[4];
+    in.read(magic, 4);
+    if (!in || std::memcmp(magic, kMagic, 4) != 0)
+        vqllm_fatal("not a VQ-LLM quantized-tensor artifact");
+    auto version = readPod<std::uint32_t>(in);
+    if (version != kQuantFormatVersion)
+        vqllm_fatal("unsupported artifact version ", version);
+
+    QuantizedTensor qt;
+    qt.config.name = readString(in);
+    qt.config.vector_size = readPod<std::uint32_t>(in);
+    qt.config.num_entries = readPod<std::uint64_t>(in);
+    qt.config.residuals = readPod<std::uint32_t>(in);
+    qt.config.scope =
+        static_cast<CodebookScope>(readPod<std::uint32_t>(in));
+    qt.config.lattice = readPod<std::uint8_t>(in) != 0;
+    qt.config.lattice_base_entries = readPod<std::uint64_t>(in);
+
+    qt.rows = readPod<std::uint64_t>(in);
+    qt.cols = readPod<std::uint64_t>(in);
+    qt.scope_units = readPod<std::uint64_t>(in);
+
+    auto num_books = readPod<std::uint32_t>(in);
+    vqllm_assert(num_books < (1u << 24), "implausible codebook count");
+    qt.codebooks.reserve(num_books);
+    for (std::uint32_t b = 0; b < num_books; ++b)
+        qt.codebooks.push_back(readCodebook(in));
+
+    auto bits = readPod<std::uint32_t>(in);
+    auto count = readPod<std::uint64_t>(in);
+    auto payload = readPod<std::uint64_t>(in);
+    vqllm_assert(payload < (1ull << 40), "implausible payload size");
+    std::vector<std::uint8_t> bytes(payload);
+    in.read(reinterpret_cast<char *>(bytes.data()),
+            static_cast<std::streamsize>(payload));
+    if (!in)
+        vqllm_fatal("truncated quantized-tensor artifact");
+    qt.indices = BitStream::fromBytes(bits, count, std::move(bytes));
+    return qt;
+}
+
+void
+saveQuantizedTensorFile(const QuantizedTensor &qt,
+                        const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        vqllm_fatal("cannot open ", path, " for writing");
+    saveQuantizedTensor(qt, out);
+}
+
+QuantizedTensor
+loadQuantizedTensorFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        vqllm_fatal("cannot open ", path);
+    return loadQuantizedTensor(in);
+}
+
+} // namespace vqllm::vq

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Binary serialization of quantized tensors.
+ *
+ * A deployed VQ-LLM model ships quantized weights as artifacts: packed
+ * index streams plus trained codebooks.  This module defines a simple
+ * versioned binary format so quantization (expensive, offline) and
+ * serving (cheap, online) can run in separate processes.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vq/quantizer.h"
+
+namespace vqllm::vq {
+
+/** Write a quantized tensor to a binary stream. */
+void saveQuantizedTensor(const QuantizedTensor &qt, std::ostream &out);
+
+/**
+ * Read a quantized tensor from a binary stream.
+ *
+ * Fails (vqllm_fatal) on magic/version mismatch or truncation — a
+ * corrupt artifact is a deployment error, not a library bug.
+ */
+QuantizedTensor loadQuantizedTensor(std::istream &in);
+
+/** Convenience: save to a file path. */
+void saveQuantizedTensorFile(const QuantizedTensor &qt,
+                             const std::string &path);
+
+/** Convenience: load from a file path. */
+QuantizedTensor loadQuantizedTensorFile(const std::string &path);
+
+/** Current on-disk format version. */
+inline constexpr std::uint32_t kQuantFormatVersion = 1;
+
+} // namespace vqllm::vq

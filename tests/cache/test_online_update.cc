@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for online codebook-profile maintenance (Fig. 7 "Codebook
+ * Reorder & Update").
+ */
+#include <gtest/gtest.h>
+
+#include "cache/online_update.h"
+
+namespace vqllm::cache {
+namespace {
+
+/** Reordered histogram: counts non-increasing in index. */
+vq::AccessHistogram
+sortedHistogram(std::size_t entries, std::uint64_t top)
+{
+    vq::AccessHistogram h;
+    h.counts.resize(entries);
+    for (std::size_t i = 0; i < entries; ++i)
+        h.counts[i] = top > i ? top - i : 0;
+    return h;
+}
+
+CachePlan
+plan(std::size_t n_reg, std::size_t n_shared, std::size_t total)
+{
+    CachePlan p;
+    p.n_reg = n_reg;
+    p.n_shared = n_shared;
+    p.total_entries = total;
+    p.entry_bytes = 8;
+    return p;
+}
+
+TEST(OnlineUpdate, NoDriftWhenDistributionIsStable)
+{
+    OnlineProfile profile(sortedHistogram(64, 100));
+    auto p = plan(4, 16, 64);
+    EXPECT_DOUBLE_EQ(profile.placementDrift(p), 0.0);
+    // Observing the same distribution changes nothing.
+    profile.observe(sortedHistogram(64, 100));
+    EXPECT_DOUBLE_EQ(profile.placementDrift(p), 0.0);
+    EXPECT_FALSE(profile.shouldReorder(p));
+}
+
+TEST(OnlineUpdate, RotatedHotSetCreatesDrift)
+{
+    OnlineProfile profile(sortedHistogram(64, 100),
+                          UpdatePolicy{1.0, 0.25}); // full replacement
+    // New workload: the hot set moves to the formerly-cold entries.
+    vq::AccessHistogram rotated;
+    rotated.counts.assign(64, 0);
+    for (std::size_t i = 0; i < 16; ++i)
+        rotated.counts[63 - i] = 100 - i;
+    profile.observe(rotated);
+    auto p = plan(4, 16, 64);
+    EXPECT_GT(profile.placementDrift(p), 0.9);
+    EXPECT_TRUE(profile.shouldReorder(p));
+    // The fresh order ranks the new hot entries first.
+    auto order = profile.freshOrder();
+    EXPECT_EQ(order[0], 63u);
+}
+
+TEST(OnlineUpdate, DecayBlendsGradually)
+{
+    UpdatePolicy gentle;
+    gentle.decay = 0.2;
+    OnlineProfile profile(sortedHistogram(32, 50), gentle);
+    vq::AccessHistogram shifted;
+    shifted.counts.assign(32, 0);
+    shifted.counts[31] = 1000;
+    auto p = plan(0, 8, 32);
+    // One observation of a radically different workload is damped...
+    profile.observe(shifted);
+    double drift1 = profile.placementDrift(p);
+    // ...but repeated observations accumulate.
+    for (int i = 0; i < 8; ++i)
+        profile.observe(shifted);
+    double drift9 = profile.placementDrift(p);
+    EXPECT_GE(drift9, drift1);
+    EXPECT_GT(drift9, 0.0);
+}
+
+TEST(OnlineUpdate, ScalesObservationVolume)
+{
+    // A tiny recent sample must not swamp the running profile just
+    // because counts are absolute.
+    OnlineProfile profile(sortedHistogram(16, 1000),
+                          UpdatePolicy{0.5, 0.25});
+    vq::AccessHistogram tiny;
+    tiny.counts.assign(16, 0);
+    tiny.counts[15] = 3; // 3 accesses total
+    profile.observe(tiny);
+    // Entry 15 gets half the *distributional* weight, i.e. large.
+    EXPECT_GT(profile.histogram().counts[15],
+              profile.histogram().counts[1]);
+}
+
+TEST(OnlineUpdate, EmptySharedTierNeverReorders)
+{
+    OnlineProfile profile(sortedHistogram(16, 10));
+    auto p = plan(0, 0, 16); // GC-style plan
+    EXPECT_DOUBLE_EQ(profile.placementDrift(p), 0.0);
+    EXPECT_FALSE(profile.shouldReorder(p));
+}
+
+TEST(OnlineUpdateDeath, ValidatesInputs)
+{
+    OnlineProfile profile(sortedHistogram(16, 10));
+    vq::AccessHistogram wrong;
+    wrong.counts.assign(8, 1);
+    EXPECT_DEATH(profile.observe(wrong), "mismatch");
+    auto p = plan(0, 8, 32); // wrong entry count
+    EXPECT_DEATH(profile.placementDrift(p), "match");
+}
+
+} // namespace
+} // namespace vqllm::cache

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the CUDA source emitter: structural validity, parameter
+ * embedding, and per-config code paths (unaligned unpack, lattice
+ * decode, shuffle schedules, reduction epilogues).
+ */
+#include <gtest/gtest.h>
+
+#include "codegen/cuda_emitter.h"
+#include "engine/template_engine.h"
+
+namespace vqllm::codegen {
+namespace {
+
+using engine::OpKind;
+using engine::OptLevel;
+
+engine::PlanInputs
+inputs()
+{
+    engine::PlanInputs in;
+    in.spec = &gpusim::rtx4090();
+    return in;
+}
+
+engine::KernelPlan
+attnPlan(const vq::VQConfig &cfg, OptLevel level)
+{
+    return engine::planAttentionKernel({1, 32, 1024, 128}, cfg, level,
+                                       inputs());
+}
+
+engine::KernelPlan
+gemvPlan(const vq::VQConfig &cfg, OptLevel level)
+{
+    return engine::planWeightKernel(OpKind::GeMV, {1, 4096, 4096}, cfg,
+                                    level, inputs());
+}
+
+TEST(CudaEmitter, EmitsStructurallyValidSource)
+{
+    for (const auto &cfg : vq::paperConfigs()) {
+        bool kv = cfg.scope == vq::CodebookScope::PerChannelGroup;
+        for (OptLevel level : engine::kAllOptLevels) {
+            auto plan = kv ? attnPlan(cfg, level) : gemvPlan(cfg, level);
+            std::string src = emitCudaKernel(plan);
+            EXPECT_EQ(validateCudaSource(src), "")
+                << cfg.name << " @ " << engine::optLevelName(level);
+        }
+    }
+}
+
+TEST(CudaEmitter, ParametersAreEmbedded)
+{
+    auto plan = attnPlan(vq::cq2(), OptLevel::O4);
+    std::string src = emitCudaKernel(plan);
+    EXPECT_NE(src.find("#define VQ_VECTOR_SIZE 4"), std::string::npos);
+    EXPECT_NE(src.find("#define VQ_INDEX_BITS 8"), std::string::npos);
+    EXPECT_NE(src.find("#define CB_N_REG " +
+                       std::to_string(plan.cache_plan.n_reg)),
+              std::string::npos);
+    EXPECT_NE(src.find("#define CB_N_SHARED " +
+                       std::to_string(plan.cache_plan.n_shared)),
+              std::string::npos);
+    EXPECT_NE(src.find("#define DF_SPLIT_FACTOR " +
+                       std::to_string(plan.dataflow.split)),
+              std::string::npos);
+}
+
+TEST(CudaEmitter, CodebookCacheApiIsPresent)
+{
+    std::string src = emitCudaKernel(attnPlan(vq::cq2(), OptLevel::O2));
+    EXPECT_NE(src.find("cb_load"), std::string::npos);
+    EXPECT_NE(src.find("cb_access"), std::string::npos);
+    EXPECT_NE(src.find("cb_switch"), std::string::npos);
+    // Tier boundary tests, not tag lookups.
+    EXPECT_NE(src.find("stored_index < CB_N_REG"), std::string::npos);
+    EXPECT_NE(src.find("stored_index < CB_N_SHARED"), std::string::npos);
+}
+
+TEST(CudaEmitter, UnalignedIndexUnpackForAqlm)
+{
+    // 12-bit indices need the two-word funnel shift.
+    std::string src = emitCudaKernel(gemvPlan(vq::aqlm3(), OptLevel::O2));
+    EXPECT_NE(src.find("funnel"), std::string::npos);
+    EXPECT_NE(src.find("#define VQ_INDEX_BITS 12"), std::string::npos);
+    // Aligned 8-bit config takes the shift/mask path instead.
+    std::string aligned =
+        emitCudaKernel(gemvPlan(vq::gptvq2(), OptLevel::O2));
+    EXPECT_EQ(aligned.find("funnel"), std::string::npos);
+    EXPECT_NE(aligned.find("per_word"), std::string::npos);
+}
+
+TEST(CudaEmitter, LatticeDecodeForQuip)
+{
+    std::string src = emitCudaKernel(gemvPlan(vq::quip4(), OptLevel::O2));
+    EXPECT_NE(src.find("signs"), std::string::npos);
+    EXPECT_NE(src.find("__hneg"), std::string::npos);
+    EXPECT_NE(src.find("#define VQ_LATTICE 1"), std::string::npos);
+}
+
+TEST(CudaEmitter, RegisterFusionEmitsShuffleSchedule)
+{
+    auto plan = attnPlan(vq::cq2(), OptLevel::O4);
+    ASSERT_EQ(plan.fusion.level, engine::FusionLevel::Register);
+    std::string src = emitCudaKernel(plan);
+    EXPECT_NE(src.find("__shfl_xor_sync"), std::string::npos);
+    // CQ-2 needs 3 shuffles -> offsets 1, 2, 3 each appear.
+    for (int off : {1, 2, 3}) {
+        EXPECT_NE(src.find(", " + std::to_string(off) + ");"),
+                  std::string::npos)
+            << "offset " << off;
+    }
+}
+
+TEST(CudaEmitter, SharedFusionEmitsStaging)
+{
+    auto plan = attnPlan(vq::cq2(), OptLevel::O2);
+    ASSERT_EQ(plan.fusion.level, engine::FusionLevel::Shared);
+    std::string src = emitCudaKernel(plan);
+    EXPECT_NE(src.find("shared_fusion_store"), std::string::npos);
+    EXPECT_EQ(src.find("__shfl_xor_sync"), std::string::npos);
+}
+
+TEST(CudaEmitter, ReduceKernelOnlyWhenSplit)
+{
+    auto o3 = attnPlan(vq::cq2(), OptLevel::O3);
+    ASSERT_GT(o3.dataflow.split, 1u);
+    std::string with = emitCudaKernel(o3);
+    EXPECT_NE(with.find("_reduce("), std::string::npos);
+
+    auto o2 = attnPlan(vq::cq2(), OptLevel::O2);
+    std::string without = emitCudaKernel(o2);
+    EXPECT_EQ(without.find("_reduce("), std::string::npos);
+}
+
+TEST(CudaEmitter, LauncherUsesPlanGeometry)
+{
+    auto plan = gemvPlan(vq::gptvq2(), OptLevel::O4);
+    std::string src = emitCudaKernel(plan);
+    EXPECT_NE(src.find("dim3 grid(" +
+                       std::to_string(plan.grid_blocks) + ")"),
+              std::string::npos);
+    EXPECT_NE(src.find("cudaLaunchKernel"), std::string::npos);
+}
+
+TEST(CudaEmitter, SymbolNamesAreSanitized)
+{
+    auto plan = gemvPlan(vq::quip4(), OptLevel::O4);
+    std::string name = kernelSymbolName(plan);
+    EXPECT_EQ(name.find('#'), std::string::npos);
+    EXPECT_EQ(name.find('-'), std::string::npos);
+    EXPECT_NE(name.find("quip"), std::string::npos);
+    EXPECT_NE(name.find("gemv"), std::string::npos);
+}
+
+TEST(CudaEmitter, ValidatorCatchesDefects)
+{
+    EXPECT_NE(validateCudaSource("__global__ void f() {"), "");
+    EXPECT_NE(validateCudaSource("void f() {}"), ""); // no __global__
+    EXPECT_NE(validateCudaSource("__global__ void f() { g(; }"), "");
+    EXPECT_EQ(validateCudaSource("__global__ void f() { g(1); }"), "");
+    // Braces inside comments and strings are ignored.
+    EXPECT_EQ(validateCudaSource(
+                  "__global__ void f() { // }}}\n const char* s = "
+                  "\"{\"; }"),
+              "");
+}
+
+} // namespace
+} // namespace vqllm::codegen

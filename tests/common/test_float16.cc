@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit and property tests for the software FP16 type.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/float16.h"
+#include "common/rng.h"
+
+namespace vqllm {
+namespace {
+
+TEST(Float16, ExactSmallIntegers)
+{
+    // All integers up to 2048 are exactly representable in binary16.
+    for (int i = -2048; i <= 2048; ++i) {
+        Half h(static_cast<float>(i));
+        EXPECT_EQ(static_cast<float>(h), static_cast<float>(i)) << i;
+    }
+}
+
+TEST(Float16, KnownBitPatterns)
+{
+    EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+    EXPECT_EQ(Half(1.0f).bits(), 0x3c00);
+    EXPECT_EQ(Half(-1.0f).bits(), 0xbc00);
+    EXPECT_EQ(Half(2.0f).bits(), 0x4000);
+    EXPECT_EQ(Half(0.5f).bits(), 0x3800);
+    EXPECT_EQ(Half(65504.0f).bits(), 0x7bff); // max finite half
+}
+
+TEST(Float16, OverflowToInfinity)
+{
+    EXPECT_EQ(Half(65536.0f).bits(), 0x7c00);
+    EXPECT_EQ(Half(-1e10f).bits(), 0xfc00);
+    EXPECT_TRUE(std::isinf(static_cast<float>(Half(1e30f))));
+}
+
+TEST(Float16, NanPropagates)
+{
+    float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(static_cast<float>(Half(nan))));
+}
+
+TEST(Float16, SubnormalsRoundTrip)
+{
+    // Smallest positive subnormal half = 2^-24.
+    float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(static_cast<float>(Half(tiny)), tiny);
+    // Smallest normal half = 2^-14.
+    float min_normal = std::ldexp(1.0f, -14);
+    EXPECT_EQ(static_cast<float>(Half(min_normal)), min_normal);
+    // Below half the smallest subnormal rounds to zero.
+    EXPECT_EQ(static_cast<float>(Half(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(Float16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and the next half
+    // (1 + 2^-10); nearest-even rounds down to 1.0.
+    float halfway = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(Half(halfway).bits(), 0x3c00);
+    // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; nearest-even
+    // rounds up to the even mantissa (...10).
+    float halfway_up = 1.0f + 3 * std::ldexp(1.0f, -11);
+    EXPECT_EQ(Half(halfway_up).bits(), 0x3c02);
+}
+
+TEST(Float16, RoundTripIsIdempotent)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        float x = static_cast<float>(rng.normal(0.0, 10.0));
+        float once = roundToHalf(x);
+        float twice = roundToHalf(once);
+        EXPECT_EQ(once, twice);
+    }
+}
+
+TEST(Float16, RelativeErrorBounded)
+{
+    // For normal-range values the rounding error is <= 2^-11 relative.
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        float x = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+        if (std::abs(x) < 1e-3)
+            continue;
+        float h = roundToHalf(x);
+        EXPECT_LE(std::abs(h - x) / std::abs(x), std::ldexp(1.0f, -11));
+    }
+}
+
+TEST(Float16, BitsRoundTripThroughFloat)
+{
+    // Every finite half bit pattern converts to float and back unchanged.
+    for (std::uint32_t b = 0; b < 0x10000; ++b) {
+        auto bits = static_cast<std::uint16_t>(b);
+        std::uint32_t exp = (bits >> 10) & 0x1f;
+        if (exp == 0x1f)
+            continue; // inf/nan payloads are normalized, skip
+        Half h = Half::fromBits(bits);
+        Half back(static_cast<float>(h));
+        EXPECT_EQ(back.bits(), bits) << "pattern " << b;
+    }
+}
+
+TEST(Float16, ArithmeticMatchesFloatRoundtrip)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        float a = roundToHalf(static_cast<float>(rng.normal()));
+        float b = roundToHalf(static_cast<float>(rng.normal()));
+        Half ha(a), hb(b);
+        Half sum = ha;
+        sum += hb;
+        EXPECT_EQ(static_cast<float>(sum), roundToHalf(a + b));
+        Half prod = ha;
+        prod *= hb;
+        EXPECT_EQ(static_cast<float>(prod), roundToHalf(a * b));
+    }
+}
+
+} // namespace
+} // namespace vqllm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the logging helpers (non-fatal paths only).
+ */
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace vqllm {
+namespace {
+
+TEST(Logging, VerboseToggle)
+{
+    bool initial = verbose();
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    setVerbose(initial);
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    vqllm_warn("test warn message ", 42);
+    vqllm_inform("test inform message ", 3.14);
+    SUCCEED();
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    vqllm_assert(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ vqllm_panic("boom ", 1); }, "panic");
+}
+
+TEST(LoggingDeath, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH({ vqllm_assert(false, "must fail"); }, "assertion failed");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT({ vqllm_fatal("bad config"); },
+                ::testing::ExitedWithCode(1), "fatal");
+}
+
+TEST(Logging, ConcatFoldsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+} // namespace
+} // namespace vqllm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and distribution helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace vqllm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(9);
+    double sum = 0, sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(13);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(21);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(PowerLawWeights, MonotoneDecreasingAndSkewed)
+{
+    auto w = powerLawWeights(100, 1.0);
+    ASSERT_EQ(w.size(), 100u);
+    for (std::size_t i = 1; i < w.size(); ++i)
+        EXPECT_LE(w[i], w[i - 1]);
+    // alpha=0 is uniform.
+    auto u = powerLawWeights(10, 0.0);
+    for (double x : u)
+        EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+} // namespace
+} // namespace vqllm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for text-table rendering and numeric formatting.
+ */
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace vqllm {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name "), std::string::npos);
+    EXPECT_NE(out.find("| alpha "), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    // Header + rule + 2 rows = 4 lines.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableDeath, RowArityMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Format, Double)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(128.0 * 1024), "128.0 KiB");
+    EXPECT_EQ(formatBytes(3.5 * 1024 * 1024 * 1024), "3.50 GiB");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(formatPercent(0.4613), "46.13%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace vqllm

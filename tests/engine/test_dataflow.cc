@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the codebook-centric dataflow planner: baseline duplicated
+ * traffic accounting, the split-factor heuristic (balance point of
+ * Traffic_reduce and Traffic_codebook), and clamping.
+ */
+#include <gtest/gtest.h>
+
+#include "engine/dataflow.h"
+
+namespace vqllm::engine {
+namespace {
+
+TEST(Dataflow, AttentionBaselineDuplicatesBooksAcrossTokenBlocks)
+{
+    // Llama-7B decode, CQ-2, seq 1024: 32 heads x 32 groups x 2 (K,V)
+    // books of 2 KiB, each loaded by 1024/256 = 4 token blocks.
+    AttnShape shape{1, 32, 1024, 128};
+    auto plan = planAttentionDataflow(shape, vq::cq2());
+    EXPECT_EQ(plan.baseline_codebook_bytes,
+              32ull * 32 * 2 * 2048 * 4);
+    EXPECT_EQ(plan.max_split, 32u); // channel groups
+    EXPECT_EQ(plan.conflict_axes, (std::vector<Axis>{Axis::C}));
+}
+
+TEST(Dataflow, SplitReducesCodebookTrafficAddsReduce)
+{
+    AttnShape shape{8, 32, 4096, 128};
+    auto plan = planAttentionDataflow(shape, vq::cq2());
+    EXPECT_GT(plan.split, 1u);
+    EXPECT_LE(plan.split, plan.max_split);
+    EXPECT_EQ(plan.codebook_bytes,
+              plan.baseline_codebook_bytes / plan.split);
+    EXPECT_EQ(plan.reduce_bytes, plan.split * plan.output_bytes);
+}
+
+TEST(Dataflow, SplitFactorBalancesTraffics)
+{
+    // At the heuristic's continuous optimum F*, the two traffic terms
+    // are equal (Mean Value Theorem argument, Sec. VI-A).
+    AttnShape shape{1, 32, 2048, 128};
+    auto plan = planAttentionDataflow(shape, vq::cq2());
+    double f = plan.split_factor_raw;
+    double reduce_at_f = f * static_cast<double>(plan.output_bytes);
+    double codebook_at_f =
+        static_cast<double>(plan.baseline_codebook_bytes) / f;
+    EXPECT_NEAR(reduce_at_f / codebook_at_f, 1.0, 1e-9);
+}
+
+TEST(Dataflow, SplitIsOptimalAmongIntegers)
+{
+    // Property: no other integer split in range beats the chosen one on
+    // total traffic (codebook + reduce).
+    AttnShape shape{1, 32, 1024, 128};
+    auto plan = planAttentionDataflow(shape, vq::cq2());
+    auto total = [&](std::uint64_t f) {
+        return static_cast<double>(plan.baseline_codebook_bytes) / f +
+               static_cast<double>(f) * plan.output_bytes;
+    };
+    double chosen = total(plan.split);
+    for (std::uint64_t f = 1; f <= plan.max_split; ++f)
+        EXPECT_LE(chosen, total(f) * 1.3) << "f=" << f;
+}
+
+TEST(Dataflow, GemvPerTensorSplitsResiduals)
+{
+    // AQLM GeMV: switch axis R, at most `residuals` segments.
+    GemmShape shape{1, 4096, 4096};
+    auto plan = planWeightDataflow(shape, vq::aqlm3(), OpKind::GeMV);
+    EXPECT_EQ(plan.conflict_axes, (std::vector<Axis>{Axis::R}));
+    EXPECT_EQ(plan.max_split, 2u);
+    // Tiny outputs + large codebooks -> split to the max.
+    EXPECT_EQ(plan.split, 2u);
+    EXPECT_EQ(plan.compute_duplication, 2.0);
+    // Baseline: 2 books x 64 KiB x 32 column strips x 4 K-splits.
+    EXPECT_EQ(plan.baseline_codebook_bytes, 2ull * 65536 * 32 * 4);
+}
+
+TEST(Dataflow, GemmLargeOutputDiscouragesSplit)
+{
+    // GeMM outputs are large (Tbl. V: 32 KiB/block); the heuristic keeps
+    // the split small, matching the paper's finding that O3 can hurt
+    // GeMM (Sec. VII-C).
+    GemmShape gemm{4096, 4096, 4096};
+    auto plan = planWeightDataflow(gemm, vq::aqlm3(), OpKind::GeMM);
+    GemmShape gemv{1, 4096, 4096};
+    auto vplan = planWeightDataflow(gemv, vq::aqlm3(), OpKind::GeMV);
+    EXPECT_LE(plan.split_factor_raw, vplan.split_factor_raw);
+}
+
+TEST(Dataflow, GptvqTilesSwitchAlongMandN)
+{
+    GemmShape shape{16, 4096, 4096};
+    auto plan = planWeightDataflow(shape, vq::gptvq2(), OpKind::GeMV);
+    EXPECT_EQ(plan.conflict_axes, (std::vector<Axis>{Axis::M}));
+    // 16 K-tiles available for splitting.
+    EXPECT_EQ(plan.max_split, 16u);
+    // Baseline: (16x16 tiles) x 2 KiB x 2 strips per tile.
+    EXPECT_EQ(plan.baseline_codebook_bytes, 16ull * 16 * 2048 * 2);
+}
+
+TEST(Dataflow, QuipSharedBookAvoidsDuplication)
+{
+    // QuiP# trains one codebook for the whole tensor; its baseline
+    // duplicated traffic is small (books are 4 KiB), so the heuristic
+    // needs no aggressive split (Sec. III-C).
+    GemmShape shape{1, 4096, 4096};
+    auto q = planWeightDataflow(shape, vq::quip4(), OpKind::GeMV);
+    auto a = planWeightDataflow(shape, vq::aqlm3(), OpKind::GeMV);
+    EXPECT_LT(q.baseline_codebook_bytes, a.baseline_codebook_bytes);
+}
+
+TEST(Dataflow, NoConflictMeansNoSplit)
+{
+    // A per-tensor config with a single residual has no reduce/switch
+    // conflict: nothing to split, no global reduce.
+    vq::VQConfig cfg = vq::aqlm3();
+    cfg.residuals = 1;
+    GemmShape shape{1, 4096, 4096};
+    auto plan = planWeightDataflow(shape, cfg, OpKind::GeMV);
+    EXPECT_EQ(plan.split, 1u);
+    EXPECT_EQ(plan.reduce_bytes, 0u);
+    EXPECT_FALSE(plan.needsGlobalReduce());
+}
+
+TEST(Dataflow, LongerSequencesRaiseAttentionSplitBenefit)
+{
+    // More token blocks -> more duplicated baseline traffic -> the
+    // heuristic splits at least as much.
+    AttnShape s1{1, 32, 1024, 128};
+    AttnShape s4{1, 32, 4096, 128};
+    auto p1 = planAttentionDataflow(s1, vq::cq2());
+    auto p4 = planAttentionDataflow(s4, vq::cq2());
+    EXPECT_GE(p4.baseline_codebook_bytes, p1.baseline_codebook_bytes);
+}
+
+} // namespace
+} // namespace vqllm::engine

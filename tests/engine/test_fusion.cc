@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for hierarchical fusion planning: shuffle counts match paper
+ * Tbl. V, the threshold-5 adaptivity picks the right level, and the
+ * K-cache layout-match shortcut applies.
+ */
+#include <gtest/gtest.h>
+
+#include "engine/fusion.h"
+
+namespace vqllm::engine {
+namespace {
+
+TEST(Fusion, ComputeLayouts)
+{
+    EXPECT_EQ(computeLayout(OpKind::GeMM), 2);  // mma fragments
+    EXPECT_EQ(computeLayout(OpKind::GeMV), 1);  // elementwise reduce
+    EXPECT_EQ(computeLayout(OpKind::AttentionDecode), 1);
+}
+
+TEST(Fusion, ShuffleCountsMatchTable5)
+{
+    // Tbl. V "#Shuffle": QuiP#/AQLM (vec 8): 3 for GeMM, 7 for GeMV;
+    // GPTVQ (vec 4): 1 for GeMM, 3 for GeMV; CQ-2 (vec 4): 3 for attn.
+    EXPECT_EQ(planFusion(vq::quip4(), OpKind::GeMM).num_shuffles, 3);
+    EXPECT_EQ(planFusion(vq::quip4(), OpKind::GeMV).num_shuffles, 7);
+    EXPECT_EQ(planFusion(vq::aqlm3(), OpKind::GeMM).num_shuffles, 3);
+    EXPECT_EQ(planFusion(vq::aqlm3(), OpKind::GeMV).num_shuffles, 7);
+    EXPECT_EQ(planFusion(vq::gptvq2(), OpKind::GeMM).num_shuffles, 1);
+    EXPECT_EQ(planFusion(vq::gptvq2(), OpKind::GeMV).num_shuffles, 3);
+    EXPECT_EQ(
+        planFusion(vq::cq2(), OpKind::AttentionDecode).num_shuffles, 3);
+    EXPECT_EQ(
+        planFusion(vq::cq4(), OpKind::AttentionDecode).num_shuffles, 1);
+}
+
+TEST(Fusion, ThresholdSelectsLevel)
+{
+    // <= 5 shuffles -> register fusion; more -> shared fusion
+    // (Sec. VI-B: smem access costs ~5x a register exchange).
+    EXPECT_EQ(planFusion(vq::quip4(), OpKind::GeMM).level,
+              FusionLevel::Register);
+    EXPECT_EQ(planFusion(vq::quip4(), OpKind::GeMV).level,
+              FusionLevel::Shared); // 7 > 5
+    EXPECT_EQ(planFusion(vq::aqlm3(), OpKind::GeMV).level,
+              FusionLevel::Shared);
+    EXPECT_EQ(planFusion(vq::gptvq2(), OpKind::GeMV).level,
+              FusionLevel::Register); // 3 <= 5
+    EXPECT_EQ(planFusion(vq::cq2(), OpKind::AttentionDecode).level,
+              FusionLevel::Register);
+}
+
+TEST(Fusion, ThresholdIsConfigurable)
+{
+    // Forcing a tiny threshold pushes everything to shared fusion.
+    auto p = planFusion(vq::gptvq2(), OpKind::GeMV, 32, 0);
+    EXPECT_EQ(p.level, FusionLevel::Shared);
+    // A huge threshold admits even the 7-shuffle case.
+    auto q = planFusion(vq::quip4(), OpKind::GeMV, 32, 100);
+    EXPECT_EQ(q.level, FusionLevel::Register);
+    EXPECT_TRUE(verifyMapping(q.mapping, 32, 8, 1));
+}
+
+TEST(Fusion, RegisterPlansCarryVerifiedMappings)
+{
+    for (const auto &cfg : vq::paperConfigs()) {
+        for (OpKind kind : {OpKind::GeMM, OpKind::GeMV,
+                            OpKind::AttentionDecode}) {
+            auto plan = planFusion(cfg, kind);
+            if (plan.level == FusionLevel::Register &&
+                !plan.layout_matches) {
+                EXPECT_TRUE(verifyMapping(plan.mapping, 32,
+                                          cfg.vector_size,
+                                          plan.compute_layout))
+                    << cfg.name << " " << opKindName(kind);
+            }
+        }
+    }
+}
+
+TEST(Fusion, LayoutMatchSkipsExchange)
+{
+    // The K cache dequantizes in its consumption order (Fig. 6): no
+    // shuffles, register level, regardless of vector size.
+    auto plan = planFusion(vq::cq2(), OpKind::AttentionDecode, 32, 5,
+                           /*layout_matches=*/true);
+    EXPECT_EQ(plan.level, FusionLevel::Register);
+    EXPECT_EQ(plan.num_shuffles, 0);
+    EXPECT_TRUE(plan.layout_matches);
+}
+
+} // namespace
+} // namespace vqllm::engine

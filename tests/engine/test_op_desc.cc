@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for axis metadata (paper Tbl. III): all/reduce/switch axes per
+ * computation and VQ scope, and their conflict intersection.
+ */
+#include <gtest/gtest.h>
+
+#include "engine/op_desc.h"
+
+namespace vqllm::engine {
+namespace {
+
+TEST(OpDesc, WeightAxesMatchTable3)
+{
+    auto info = weightAxisInfo();
+    EXPECT_EQ(info.all, (std::vector<Axis>{Axis::M, Axis::N, Axis::R}));
+    EXPECT_EQ(info.reduce, (std::vector<Axis>{Axis::M, Axis::R}));
+}
+
+TEST(OpDesc, AttentionAxesMatchTable3)
+{
+    auto k = attentionAxisInfo(AttnOperand::KCache);
+    EXPECT_EQ(k.all,
+              (std::vector<Axis>{Axis::B, Axis::H, Axis::T, Axis::C}));
+    EXPECT_EQ(k.reduce, (std::vector<Axis>{Axis::C}));
+    auto v = attentionAxisInfo(AttnOperand::VCache);
+    EXPECT_EQ(v.reduce, (std::vector<Axis>{Axis::T}));
+}
+
+TEST(OpDesc, SwitchAxesPerScope)
+{
+    // Tbl. III: R for AQLM/QuiP#; M,N for GPT-VQ; H,C for CQ.
+    EXPECT_EQ(weightSwitchAxes(vq::aqlm3()),
+              (std::vector<Axis>{Axis::R}));
+    EXPECT_EQ(weightSwitchAxes(vq::quip4()),
+              (std::vector<Axis>{Axis::R}));
+    EXPECT_EQ(weightSwitchAxes(vq::gptvq2()),
+              (std::vector<Axis>{Axis::M, Axis::N}));
+    EXPECT_EQ(attentionSwitchAxes(vq::cq2()),
+              (std::vector<Axis>{Axis::H, Axis::C}));
+    EXPECT_EQ(attentionSwitchAxes(vq::cq4()),
+              (std::vector<Axis>{Axis::H, Axis::C}));
+}
+
+TEST(OpDesc, ConflictAxesForceGlobalReduce)
+{
+    // Weight + per-tensor books: reduce {M,R} ∩ switch {R} = {R}.
+    auto w = conflictAxes(weightAxisInfo(), weightSwitchAxes(vq::aqlm3()));
+    EXPECT_EQ(w, (std::vector<Axis>{Axis::R}));
+    // Weight + per-tile books: {M,R} ∩ {M,N} = {M}.
+    auto g = conflictAxes(weightAxisInfo(),
+                          weightSwitchAxes(vq::gptvq2()));
+    EXPECT_EQ(g, (std::vector<Axis>{Axis::M}));
+    // K cache + CQ: {C} ∩ {H,C} = {C} — the Fig. 11 global reduce.
+    auto k = conflictAxes(attentionAxisInfo(AttnOperand::KCache),
+                          attentionSwitchAxes(vq::cq2()));
+    EXPECT_EQ(k, (std::vector<Axis>{Axis::C}));
+    // V cache + CQ: {T} ∩ {H,C} = {} — no reduce needed for V.
+    auto v = conflictAxes(attentionAxisInfo(AttnOperand::VCache),
+                          attentionSwitchAxes(vq::cq2()));
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(OpDesc, ShapesAndFlops)
+{
+    GemmShape g{16, 4096, 4096};
+    EXPECT_EQ(g.outputElements(), 16u * 4096);
+    EXPECT_EQ(g.flops(), 2ull * 16 * 4096 * 4096);
+    AttnShape a{1, 32, 1024, 128};
+    EXPECT_EQ(a.kvElements(), 2u * 32 * 1024 * 128);
+    EXPECT_EQ(a.flops(), 4ull * 32 * 1024 * 128);
+    EXPECT_EQ(a.outputElements(), 32u * 128);
+}
+
+TEST(OpDesc, Names)
+{
+    EXPECT_STREQ(opKindName(OpKind::GeMM), "GeMM");
+    EXPECT_STREQ(opKindName(OpKind::AttentionDecode),
+                 "Attention(Decode)");
+    EXPECT_STREQ(axisName(Axis::C), "C");
+    EXPECT_STREQ(axisName(Axis::R), "R");
+}
+
+} // namespace
+} // namespace vqllm::engine

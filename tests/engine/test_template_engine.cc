@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the template engine (Alg. 2 offline phase): plans across the
+ * optimization ladder are internally consistent and reproduce the
+ * paper's qualitative structure (occupancy preserved by O1+, SC greedy,
+ * grids scale with model size).
+ */
+#include <gtest/gtest.h>
+
+#include "engine/template_engine.h"
+
+namespace vqllm::engine {
+namespace {
+
+PlanInputs
+inputs()
+{
+    PlanInputs in;
+    in.spec = &gpusim::rtx4090();
+    return in;
+}
+
+TEST(TemplateEngine, GcCachesNothingScGrabsEverything)
+{
+    AttnShape shape{1, 32, 1024, 128};
+    auto gc = planAttentionKernel(shape, vq::cq2(), OptLevel::GC,
+                                  inputs());
+    EXPECT_EQ(gc.cache_plan.n_shared, 0u);
+    EXPECT_EQ(gc.resident_books, 0u);
+
+    auto sc = planAttentionKernel(shape, vq::cq2(), OptLevel::SC,
+                                  inputs());
+    // SC keeps a whole phase's worth of books resident: 32 x 2 KiB.
+    EXPECT_EQ(sc.resident_books, 32u);
+    EXPECT_EQ(sc.cache_plan.smemBytes(), 32u * 2048);
+    EXPECT_GT(sc.block.smem_bytes, gc.block.smem_bytes);
+}
+
+TEST(TemplateEngine, ScDropsOccupancyO1Restores)
+{
+    // The central Sec. V claim: greedy shared usage reduces blocks/SM;
+    // the adaptive plan does not.
+    AttnShape shape{1, 32, 1024, 128};
+    const auto &spec = gpusim::rtx4090();
+    auto base_block = baseBlockResources(OpKind::AttentionDecode, true);
+    // Occupancy of the un-cached consumer (plus staging):
+    auto sc = planAttentionKernel(shape, vq::cq2(), OptLevel::SC,
+                                  inputs());
+    auto o1 = planAttentionKernel(shape, vq::cq2(), OptLevel::O1,
+                                  inputs());
+    auto occ_base = gpusim::computeOccupancy(spec, base_block);
+    auto occ_sc = gpusim::computeOccupancy(spec, sc.block);
+    auto occ_o1 = gpusim::computeOccupancy(spec, o1.block);
+    EXPECT_LT(occ_sc.blocks_per_sm, occ_base.blocks_per_sm);
+    EXPECT_GE(occ_o1.blocks_per_sm, occ_sc.blocks_per_sm);
+    // O1's cache must not reduce occupancy below the staged consumer's.
+    gpusim::BlockResources consumer = base_block;
+    consumer.smem_bytes += 128 * 4 * 2 * 2; // staging for vec 4
+    auto occ_consumer = gpusim::computeOccupancy(spec, consumer);
+    EXPECT_EQ(occ_o1.blocks_per_sm, occ_consumer.blocks_per_sm);
+}
+
+TEST(TemplateEngine, O2AddsRegisterTier)
+{
+    AttnShape shape{1, 32, 1024, 128};
+    auto o1 = planAttentionKernel(shape, vq::cq2(), OptLevel::O1,
+                                  inputs());
+    auto o2 = planAttentionKernel(shape, vq::cq2(), OptLevel::O2,
+                                  inputs());
+    EXPECT_EQ(o1.cache_plan.n_reg, 0u);
+    EXPECT_GT(o2.cache_plan.n_reg, 0u);
+    EXPECT_GT(o2.block.regs_per_thread, o1.block.regs_per_thread);
+}
+
+TEST(TemplateEngine, O3SwitchesToCodebookCentricGrid)
+{
+    AttnShape shape{1, 32, 1024, 128};
+    auto o2 = planAttentionKernel(shape, vq::cq2(), OptLevel::O2,
+                                  inputs());
+    auto o3 = planAttentionKernel(shape, vq::cq2(), OptLevel::O3,
+                                  inputs());
+    // Baseline: B*H*token-blocks = 32*4 = 128 blocks.
+    EXPECT_EQ(o2.grid_blocks, 128u);
+    // Codebook-centric: B*H*split blocks, split > 1.
+    EXPECT_GT(o3.dataflow.split, 1u);
+    EXPECT_EQ(o3.grid_blocks, 32u * o3.dataflow.split);
+    // Codebook traffic shrinks accordingly.
+    EXPECT_LT(o3.dataflow.codebook_bytes, o2.dataflow.codebook_bytes);
+    // Fewer switches per block once blocks own their codebooks.
+    EXPECT_LT(o3.switches_per_block, o2.switches_per_block);
+}
+
+TEST(TemplateEngine, O4RemovesStagingForRegisterFusion)
+{
+    AttnShape shape{1, 32, 1024, 128};
+    auto o3 = planAttentionKernel(shape, vq::cq2(), OptLevel::O3,
+                                  inputs());
+    auto o4 = planAttentionKernel(shape, vq::cq2(), OptLevel::O4,
+                                  inputs());
+    EXPECT_EQ(o3.fusion.level, FusionLevel::Shared);
+    EXPECT_EQ(o4.fusion.level, FusionLevel::Register);
+    EXPECT_EQ(o4.fusion.num_shuffles, 3); // CQ-2 vec 4, layout 1
+    // Register fusion frees the staging shared memory.
+    EXPECT_LT(o4.block.smem_bytes - o4.cache_plan.smemBytes(),
+              o3.block.smem_bytes - o3.cache_plan.smemBytes());
+}
+
+TEST(TemplateEngine, KCacheFusionAlwaysLayoutMatched)
+{
+    AttnShape shape{1, 32, 1024, 128};
+    auto plan = planAttentionKernel(shape, vq::cq2(), OptLevel::O4,
+                                    inputs());
+    EXPECT_TRUE(plan.fusion_k.layout_matches);
+    EXPECT_EQ(plan.fusion_k.num_shuffles, 0);
+}
+
+TEST(TemplateEngine, GemvQuipAvoidsRegisterFusion)
+{
+    // QuiP# vec 8 on GeMV needs 7 > 5 shuffles: adaptive plan stays at
+    // shared fusion (Sec. VII-C).
+    GemmShape shape{1, 4096, 4096};
+    auto plan = planWeightKernel(OpKind::GeMV, shape, vq::quip4(),
+                                 OptLevel::O4, inputs());
+    EXPECT_EQ(plan.fusion.level, FusionLevel::Shared);
+    // While GeMM fuses in registers with 3 shuffles.
+    GemmShape mm{4096, 4096, 4096};
+    auto gemm = planWeightKernel(OpKind::GeMM, mm, vq::quip4(),
+                                 OptLevel::O4, inputs());
+    EXPECT_EQ(gemm.fusion.level, FusionLevel::Register);
+    EXPECT_EQ(gemm.fusion.num_shuffles, 3);
+}
+
+TEST(TemplateEngine, BiggerModelScalesGrid)
+{
+    // Llama-65B GeMV (n=k=8192) launches ~4x the blocks of 7B
+    // (n=k=4096): the paper's scalability argument (Sec. VII-B).
+    auto p7 = planWeightKernel(OpKind::GeMV, {1, 4096, 4096},
+                               vq::gptvq2(), OptLevel::O4, inputs());
+    auto p65 = planWeightKernel(OpKind::GeMV, {1, 8192, 8192},
+                                vq::gptvq2(), OptLevel::O4, inputs());
+    EXPECT_GE(p65.grid_blocks, 2 * p7.grid_blocks);
+}
+
+TEST(TemplateEngine, PlansAreLaunchable)
+{
+    // Property: every plan in the (config x op x level) space fits the
+    // hardware (non-zero occupancy).
+    PlanInputs in = inputs();
+    for (const auto &cfg : vq::paperConfigs()) {
+        bool kv = cfg.scope == vq::CodebookScope::PerChannelGroup;
+        for (OptLevel level : kAllOptLevels) {
+            KernelPlan plan;
+            if (kv) {
+                plan = planAttentionKernel({1, 32, 1024, 128}, cfg, level,
+                                           in);
+            } else {
+                plan = planWeightKernel(OpKind::GeMV, {1, 4096, 4096},
+                                        cfg, level, in);
+            }
+            auto occ = gpusim::computeOccupancy(*in.spec, plan.block);
+            EXPECT_GT(occ.blocks_per_sm, 0)
+                << cfg.name << " @ " << optLevelName(level);
+            EXPECT_GT(plan.grid_blocks, 0u);
+        }
+    }
+}
+
+TEST(TemplateEngine, SummaryMentionsKeyDecisions)
+{
+    auto plan = planAttentionKernel({1, 32, 1024, 128}, vq::cq2(),
+                                    OptLevel::O4, inputs());
+    std::string s = plan.summary();
+    EXPECT_NE(s.find("CQ-2"), std::string::npos);
+    EXPECT_NE(s.find("O4"), std::string::npos);
+    EXPECT_NE(s.find("register"), std::string::npos);
+    EXPECT_NE(s.find("split"), std::string::npos);
+}
+
+} // namespace
+} // namespace vqllm::engine

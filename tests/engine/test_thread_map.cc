@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the offline thread-mapping algorithm (paper Alg. 1): the
+ * remapping confines exchanges to mini-warps and the xor schedule
+ * delivers every fragment to its computing lane; the naive mapping
+ * provably does not.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "engine/thread_map.h"
+
+namespace vqllm::engine {
+namespace {
+
+TEST(ThreadMap, IdentityWhenLayoutsMatch)
+{
+    auto m = computeThreadMapping(32, 4, 4);
+    EXPECT_EQ(m.mini_warp_size, 1);
+    EXPECT_EQ(m.numShuffles(), 0);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(m.lane_map[i], i);
+    EXPECT_TRUE(verifyMapping(m, 32, 4, 4));
+}
+
+TEST(ThreadMap, Fig12CaseVec8Layout2)
+{
+    // The paper's example: VQ<8,...> fused with mma (layout 2) needs
+    // mini-warps of 4 and 3 shuffles.
+    auto m = computeThreadMapping(32, 8, 2);
+    EXPECT_EQ(m.mini_warp_size, 4);
+    EXPECT_EQ(m.numShuffles(), 3);
+    EXPECT_EQ(m.shuffle_offsets, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(verifyMapping(m, 32, 8, 2));
+}
+
+TEST(ThreadMap, LaneMapIsPermutation)
+{
+    for (auto [vec, layout] : std::vector<std::pair<int, int>>{
+             {8, 2}, {8, 1}, {4, 1}, {4, 2}, {2, 1}}) {
+        auto m = computeThreadMapping(32, vec, layout);
+        std::set<int> lanes(m.lane_map.begin(), m.lane_map.end());
+        EXPECT_EQ(lanes.size(), 32u) << vec << "/" << layout;
+        EXPECT_EQ(*lanes.begin(), 0);
+        EXPECT_EQ(*lanes.rbegin(), 31);
+    }
+}
+
+TEST(ThreadMap, MiniWarpMembersShareConsumerSet)
+{
+    // Members of one mini-warp produce data consumed by the same lanes.
+    auto m = computeThreadMapping(32, 8, 2); // ratio 4
+    // Under the fragment model, dequant lanes d and d+8 produce for the
+    // same consumer lanes; the remap must send them to the same aligned
+    // 4-lane group.
+    for (int d = 0; d < 8; ++d) {
+        int group = m.lane_map[d] / 4;
+        EXPECT_EQ(m.lane_map[d + 8] / 4, group);
+        EXPECT_EQ(m.lane_map[d + 16] / 4, group);
+        EXPECT_EQ(m.lane_map[d + 24] / 4, group);
+    }
+}
+
+TEST(ThreadMap, NaiveSequentialMappingFailsVerification)
+{
+    // Alg. 1's motivation: the identity (sequential) mapping produces a
+    // complex exchange graph the xor schedule cannot realize.
+    ThreadMapping naive;
+    naive.mini_warp_size = 4;
+    naive.lane_map.resize(32);
+    std::iota(naive.lane_map.begin(), naive.lane_map.end(), 0);
+    naive.shuffle_offsets = {1, 2, 3};
+    EXPECT_FALSE(verifyMapping(naive, 32, 8, 2));
+}
+
+TEST(ThreadMap, VerifyRejectsBrokenPermutations)
+{
+    auto m = computeThreadMapping(32, 8, 2);
+    auto broken = m;
+    broken.lane_map[0] = broken.lane_map[1]; // duplicate lane
+    EXPECT_FALSE(verifyMapping(broken, 32, 8, 2));
+    auto truncated = m;
+    truncated.shuffle_offsets.pop_back(); // schedule too short
+    EXPECT_FALSE(verifyMapping(truncated, 32, 8, 2));
+}
+
+class ThreadMapSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ThreadMapSweep, MappingVerifiesForAllLayoutPairs)
+{
+    // Property (paper Tbl. V #Shuffle rows): for every vector size and
+    // compute layout in the design space, the computed mapping passes
+    // functional verification with exactly ratio-1 shuffles.
+    auto [vec, layout] = GetParam();
+    if (vec % layout != 0)
+        GTEST_SKIP() << "layout must divide vector size";
+    auto m = computeThreadMapping(32, vec, layout);
+    EXPECT_EQ(m.numShuffles(), vec / layout - 1);
+    EXPECT_TRUE(verifyMapping(m, 32, vec, layout))
+        << "vec=" << vec << " layout=" << layout;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutPairs, ThreadMapSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                       ::testing::Values(1, 2, 4, 8)));
+
+TEST(ThreadMapDeath, RejectsIndivisibleLayouts)
+{
+    EXPECT_DEATH(computeThreadMapping(32, 8, 3), "divide");
+}
+
+} // namespace
+} // namespace vqllm::engine

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the occupancy calculator and resource-slack analysis.
+ */
+#include <gtest/gtest.h>
+
+#include "gpusim/occupancy.h"
+
+namespace vqllm::gpusim {
+namespace {
+
+TEST(Occupancy, ThreadLimited)
+{
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 512;
+    block.smem_bytes = 0;
+    block.regs_per_thread = 32;
+    auto res = computeOccupancy(spec, block);
+    // 1536 threads / 512 = 3 blocks; smem unconstrained; regs:
+    // 512*32 = 16384 regs -> 4 blocks; threads bind.
+    EXPECT_EQ(res.blocks_per_sm, 3);
+    EXPECT_EQ(res.limiter, OccupancyLimiter::Threads);
+    EXPECT_DOUBLE_EQ(res.occupancy, 1.0);
+}
+
+TEST(Occupancy, SharedMemoryLimited)
+{
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 128;
+    block.smem_bytes = 48 * 1024; // two blocks of 48K exceed 100K? no: 2*48=96K fits, 3rd does not
+    block.regs_per_thread = 32;
+    auto res = computeOccupancy(spec, block);
+    EXPECT_EQ(res.blocks_per_sm, 2);
+    EXPECT_EQ(res.limiter, OccupancyLimiter::SharedMemory);
+    EXPECT_LT(res.occupancy, 0.2); // 2 blocks * 4 warps / 48 max warps
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 256;
+    block.smem_bytes = 0;
+    block.regs_per_thread = 128; // 256*128 = 32768 regs -> 2 blocks
+    auto res = computeOccupancy(spec, block);
+    EXPECT_EQ(res.blocks_per_sm, 2);
+    EXPECT_EQ(res.limiter, OccupancyLimiter::Registers);
+}
+
+TEST(Occupancy, BlockSlotLimited)
+{
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 32; // 48 by threads, 24 by slots
+    block.smem_bytes = 0;
+    block.regs_per_thread = 16;
+    auto res = computeOccupancy(spec, block);
+    EXPECT_EQ(res.blocks_per_sm, spec.max_blocks_per_sm);
+    EXPECT_EQ(res.limiter, OccupancyLimiter::BlockSlots);
+}
+
+TEST(Occupancy, UnlaunchableBlocks)
+{
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 128;
+    block.smem_bytes = spec.max_smem_per_block + 1;
+    auto res = computeOccupancy(spec, block);
+    EXPECT_EQ(res.blocks_per_sm, 0);
+    EXPECT_DOUBLE_EQ(res.occupancy, 0.0);
+}
+
+TEST(Occupancy, MonotoneInSharedMemory)
+{
+    // Occupancy never increases when a block asks for more shared memory.
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 128;
+    block.regs_per_thread = 40;
+    int prev = 1 << 30;
+    for (std::size_t smem = 0; smem <= 96 * 1024; smem += 4096) {
+        block.smem_bytes = smem;
+        auto res = computeOccupancy(spec, block);
+        EXPECT_LE(res.blocks_per_sm, prev) << "smem=" << smem;
+        prev = res.blocks_per_sm;
+    }
+}
+
+TEST(Occupancy, StaircaseStructureExists)
+{
+    // Fig. 10: occupancy is a step function of resource consumption, so
+    // there are plateaus (slack) followed by drops.
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 128;
+    block.regs_per_thread = 32;
+    int distinct = 0;
+    int prev = -1;
+    for (std::size_t smem = 1024; smem <= 96 * 1024; smem += 1024) {
+        block.smem_bytes = smem;
+        int b = computeOccupancy(spec, block).blocks_per_sm;
+        if (b != prev) {
+            ++distinct;
+            prev = b;
+        }
+    }
+    EXPECT_GT(distinct, 4); // several steps, i.e. plateaus exist
+}
+
+TEST(Slack, ConsumingSlackPreservesOccupancy)
+{
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 256;
+    block.smem_bytes = 20 * 1024;
+    block.regs_per_thread = 48;
+    auto base = computeOccupancy(spec, block);
+    auto slack = computeSlack(spec, block);
+
+    BlockResources bigger = block;
+    bigger.smem_bytes += slack.smem_bytes;
+    bigger.regs_per_thread += slack.regs_per_thread;
+    auto after = computeOccupancy(spec, bigger);
+    EXPECT_EQ(after.blocks_per_sm, base.blocks_per_sm)
+        << "slack smem=" << slack.smem_bytes
+        << " regs=" << slack.regs_per_thread;
+}
+
+TEST(Slack, ExceedingSlackDropsOccupancy)
+{
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 256;
+    block.smem_bytes = 18 * 1024; // 5 blocks; budget 20480 -> 2 KiB slack
+    block.regs_per_thread = 48;
+    auto base = computeOccupancy(spec, block);
+    auto slack = computeSlack(spec, block);
+    ASSERT_GT(slack.smem_bytes, 0u);
+
+    BlockResources too_big = block;
+    too_big.smem_bytes += slack.smem_bytes + spec.smem_alloc_granularity;
+    auto after = computeOccupancy(spec, too_big);
+    EXPECT_LT(after.blocks_per_sm, base.blocks_per_sm);
+}
+
+TEST(Slack, ZeroWhenResourceIsBinding)
+{
+    const GpuSpec &spec = rtx4090();
+    BlockResources block;
+    block.threads = 128;
+    // Exactly 1/2 of shared memory: two blocks resident, zero slack
+    // beyond granularity effects.
+    block.smem_bytes = spec.smem_per_sm / 2;
+    block.regs_per_thread = 32;
+    auto slack = computeSlack(spec, block);
+    EXPECT_EQ(slack.smem_bytes, 0u);
+}
+
+class OccupancySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(OccupancySweep, SlackInvariantHoldsEverywhere)
+{
+    // Property: for any block shape, consuming the reported slack never
+    // reduces resident blocks (paper Sec. V-B requires this invariant).
+    auto [threads, regs] = GetParam();
+    const GpuSpec &spec = rtx4090();
+    for (std::size_t smem = 0; smem <= 64 * 1024; smem += 8 * 1024) {
+        BlockResources block{threads, smem, regs};
+        auto base = computeOccupancy(spec, block);
+        if (base.blocks_per_sm == 0)
+            continue;
+        auto slack = computeSlack(spec, block);
+        BlockResources bigger{threads, smem + slack.smem_bytes,
+                              regs + slack.regs_per_thread};
+        auto after = computeOccupancy(spec, bigger);
+        ASSERT_EQ(after.blocks_per_sm, base.blocks_per_sm)
+            << "threads=" << threads << " regs=" << regs
+            << " smem=" << smem;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OccupancySweep,
+    ::testing::Combine(::testing::Values(32, 64, 128, 256, 512, 1024),
+                       ::testing::Values(16, 32, 64, 96, 128)));
+
+TEST(GpuSpecs, PresetsAreSane)
+{
+    for (const GpuSpec *spec : {&rtx4090(), &teslaA40()}) {
+        EXPECT_GT(spec->num_sms, 0);
+        EXPECT_GT(spec->dram_bw_gbps, 0);
+        EXPECT_EQ(spec->warp_size, 32);
+        EXPECT_EQ(spec->smem_banks, 32);
+        EXPECT_LE(spec->max_smem_per_block, spec->smem_per_sm);
+    }
+    // The paper's A40 point: ~67% of 4090 bandwidth.
+    EXPECT_NEAR(teslaA40().dram_bw_gbps / rtx4090().dram_bw_gbps, 0.69,
+                0.03);
+}
+
+} // namespace
+} // namespace vqllm::gpusim

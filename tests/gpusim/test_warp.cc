@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the functional warp shuffle (shfl.xor) model, including the
+ * paper's Fig. 12 example: a mini-warp of 4 threads with 4 registers each
+ * exchanges data so that register contents transpose across lanes.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpusim/warp.h"
+
+namespace vqllm::gpusim {
+namespace {
+
+/** Tag register r of lane l with a unique value l*100 + r. */
+void
+tagRegisters(WarpRegisters<float> &w)
+{
+    for (int l = 0; l < w.lanes(); ++l)
+        for (int r = 0; r < w.regsPerLane(); ++r)
+            w.at(l, r) = static_cast<float>(l * 100 + r);
+}
+
+TEST(WarpShuffle, Fig12ExchangePattern)
+{
+    // 4 lanes x 4 regs; offset 1 must realize:
+    //   Tid0.[1] <-> Tid1.[0],  Tid2.[3] <-> Tid3.[2]
+    WarpRegisters<float> w(4, 4);
+    tagRegisters(w);
+    w.shflXorStep(1);
+    EXPECT_EQ(w.at(0, 1), 100.0f + 0); // from lane 1 reg 0
+    EXPECT_EQ(w.at(1, 0), 0.0f + 1);   // from lane 0 reg 1
+    EXPECT_EQ(w.at(2, 3), 300.0f + 2); // from lane 3 reg 2
+    EXPECT_EQ(w.at(3, 2), 200.0f + 3); // from lane 2 reg 3
+    // Untouched slots remain.
+    EXPECT_EQ(w.at(0, 0), 0.0f);
+    EXPECT_EQ(w.at(0, 2), 2.0f);
+}
+
+TEST(WarpShuffle, ThreeStepsTransposeMiniWarp)
+{
+    // After offsets 1, 2, 3 the 4x4 register block is fully transposed:
+    // lane t's reg r ends up holding lane r's original reg t.
+    WarpRegisters<float> w(4, 4);
+    tagRegisters(w);
+    w.shflXorStep(1);
+    w.shflXorStep(2);
+    w.shflXorStep(3);
+    for (int t = 0; t < 4; ++t)
+        for (int r = 0; r < 4; ++r)
+            EXPECT_EQ(w.at(t, r), static_cast<float>(r * 100 + t))
+                << "lane " << t << " reg " << r;
+}
+
+TEST(WarpShuffle, ExchangeIsInvolution)
+{
+    // Applying the same offset twice restores the original state.
+    WarpRegisters<float> w(8, 8);
+    tagRegisters(w);
+    WarpRegisters<float> orig = w;
+    w.shflXorStep(3);
+    w.shflXorStep(3);
+    for (int l = 0; l < 8; ++l)
+        for (int r = 0; r < 8; ++r)
+            EXPECT_EQ(w.at(l, r), orig.at(l, r));
+}
+
+TEST(WarpShuffle, ValuesArePermutedNotLost)
+{
+    // Any sequence of exchanges permutes the multiset of register values.
+    WarpRegisters<float> w(32, 4);
+    tagRegisters(w);
+    std::multiset<float> before;
+    for (int l = 0; l < 32; ++l)
+        for (int r = 0; r < 4; ++r)
+            before.insert(w.at(l, r));
+    w.shflXorStep(1);
+    w.shflXorStep(2);
+    w.shflXorStep(3);
+    std::multiset<float> after;
+    for (int l = 0; l < 32; ++l)
+        for (int r = 0; r < 4; ++r)
+            after.insert(w.at(l, r));
+    EXPECT_EQ(before, after);
+}
+
+TEST(WarpShuffle, FullWarpMiniWarpsAreIndependent)
+{
+    // Exchanges with offset < regs stay confined to aligned mini-warps of
+    // `regs` lanes: lanes 0-3 never see data from lanes 4-7.
+    WarpRegisters<float> w(32, 4);
+    tagRegisters(w);
+    w.shflXorStep(1);
+    w.shflXorStep(2);
+    w.shflXorStep(3);
+    for (int l = 0; l < 32; ++l) {
+        int mini = l / 4;
+        for (int r = 0; r < 4; ++r) {
+            int src_lane = static_cast<int>(w.at(l, r)) / 100;
+            EXPECT_EQ(src_lane / 4, mini)
+                << "lane " << l << " got data from outside its mini-warp";
+        }
+    }
+}
+
+TEST(WarpShuffleDeath, RejectsBadOffsets)
+{
+    WarpRegisters<float> w(4, 4);
+    EXPECT_DEATH(w.shflXorStep(0), "offset");
+    EXPECT_DEATH(w.shflXorStep(4), "offset");
+}
+
+} // namespace
+} // namespace vqllm::gpusim

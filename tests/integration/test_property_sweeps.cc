@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Cross-module property sweeps: invariants that must hold at every
+ * point of the (VQ config x computation x optimization level x shape)
+ * space the framework covers.  These are the guardrails behind every
+ * bench number.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "codegen/cuda_emitter.h"
+#include "engine/template_engine.h"
+#include "kernels/fp16_kernels.h"
+#include "kernels/vq_kernels.h"
+#include "vq/profiler.h"
+
+namespace vqllm {
+namespace {
+
+using engine::AttnShape;
+using engine::GemmShape;
+using engine::KernelPlan;
+using engine::OpKind;
+using engine::OptLevel;
+using gpusim::rtx4090;
+using gpusim::teslaA40;
+
+const vq::AccessHistogram &
+hist(const vq::VQConfig &cfg)
+{
+    static std::map<std::size_t, vq::AccessHistogram> memo;
+    auto [it, fresh] = memo.try_emplace(cfg.storedEntries());
+    if (fresh)
+        it->second = vq::syntheticZipfHistogram(cfg.storedEntries());
+    return it->second;
+}
+
+/** All plan invariants that must hold regardless of inputs. */
+void
+checkPlanInvariants(const KernelPlan &plan, const gpusim::GpuSpec &spec)
+{
+    SCOPED_TRACE(plan.summary());
+    // Launchable.
+    auto occ = gpusim::computeOccupancy(spec, plan.block);
+    EXPECT_GT(occ.blocks_per_sm, 0);
+    EXPECT_GT(plan.grid_blocks, 0u);
+    // Cache boundaries are ordered and within the codebook.
+    EXPECT_LE(plan.cache_plan.n_reg, plan.cache_plan.n_shared);
+    EXPECT_LE(plan.cache_plan.n_shared, plan.cache_plan.total_entries);
+    // Split respects its bound.
+    EXPECT_GE(plan.dataflow.split, 1u);
+    EXPECT_LE(plan.dataflow.split,
+              std::max<std::uint64_t>(plan.dataflow.max_split, 1));
+    // Reduce traffic appears exactly when the plan splits.
+    EXPECT_EQ(plan.dataflow.reduce_bytes > 0, plan.dataflow.split > 1);
+    // Register fusion carries a verified mapping.
+    if (plan.fusion.level == engine::FusionLevel::Register &&
+        !plan.fusion.layout_matches) {
+        EXPECT_TRUE(engine::verifyMapping(plan.fusion.mapping, 32,
+                                          plan.config.vector_size,
+                                          plan.fusion.compute_layout));
+    }
+    // The plan always emits valid CUDA.
+    EXPECT_EQ(codegen::validateCudaSource(codegen::emitCudaKernel(plan)),
+              "");
+}
+
+class WeightSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(WeightSweep, PlanAndEstimateInvariants)
+{
+    auto [cfg_idx, level_idx, kind_idx] = GetParam();
+    const vq::VQConfig &cfg = vq::paperConfigs()[cfg_idx];
+    if (cfg.scope == vq::CodebookScope::PerChannelGroup)
+        GTEST_SKIP() << "CQ quantizes KV, not weights";
+    auto level = static_cast<OptLevel>(level_idx);
+    auto kind = kind_idx == 0 ? OpKind::GeMM : OpKind::GeMV;
+    GemmShape shape{kind == OpKind::GeMM ? 2048u : 8u, 4096, 4096};
+
+    engine::PlanInputs in;
+    in.spec = &rtx4090();
+    in.histogram = &hist(cfg);
+    auto plan = engine::planWeightKernel(kind, shape, cfg, level, in);
+    checkPlanInvariants(plan, rtx4090());
+
+    auto r = kernels::estimateVqWeightKernel(rtx4090(), plan,
+                                             in.histogram);
+    EXPECT_GT(r.us(), 0.0);
+    EXPECT_LT(r.us(), 1e7);
+    EXPECT_GE(r.counters.smem_transactions,
+              r.counters.smem_ideal_transactions);
+    // Quantized kernels read less than the FP16 weight volume plus
+    // codebooks and activations would allow... at minimum, the index
+    // stream must be accounted.
+    EXPECT_GE(r.counters.dram_read_bytes,
+              static_cast<std::uint64_t>(4096ull * 4096 *
+                                         cfg.bitsPerElement() / 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, WeightSweep,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 6),
+                       ::testing::Range(0, 2)));
+
+class AttnSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(AttnSweep, PlanAndEstimateInvariants)
+{
+    auto [cq_idx, level_idx, shape_idx] = GetParam();
+    const vq::VQConfig cfg = cq_idx == 0 ? vq::cq4() : vq::cq2();
+    auto level = static_cast<OptLevel>(level_idx);
+    const AttnShape shapes[] = {
+        {1, 32, 1024, 128},
+        {8, 32, 4096, 128},
+        {4, 64, 2048, 128, 8}, // GQA
+    };
+    AttnShape shape = shapes[shape_idx];
+
+    engine::PlanInputs in;
+    in.spec = &rtx4090();
+    in.histogram = &hist(cfg);
+    auto plan = engine::planAttentionKernel(shape, cfg, level, in);
+    checkPlanInvariants(plan, rtx4090());
+
+    auto r = kernels::estimateVqAttentionKernel(rtx4090(), plan,
+                                                in.histogram);
+    EXPECT_GT(r.us(), 0.0);
+    // The K-cache operand never needs an exchange.
+    EXPECT_TRUE(plan.fusion_k.layout_matches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, AttnSweep,
+    ::testing::Combine(::testing::Range(0, 2), ::testing::Range(0, 6),
+                       ::testing::Range(0, 3)));
+
+TEST(MonotonicitySweep, AttentionLatencyGrowsWithSequence)
+{
+    engine::PlanInputs in;
+    in.spec = &rtx4090();
+    in.histogram = &hist(vq::cq2());
+    double prev = 0;
+    for (std::size_t seq : {512u, 1024u, 2048u, 4096u, 8192u}) {
+        auto plan = engine::planAttentionKernel({8, 32, seq, 128},
+                                                vq::cq2(),
+                                                OptLevel::O4, in);
+        double us = kernels::estimateVqAttentionKernel(
+                        rtx4090(), plan, in.histogram)
+                        .us();
+        EXPECT_GT(us, prev) << "seq " << seq;
+        prev = us;
+    }
+}
+
+TEST(MonotonicitySweep, OptimizedNeverLosesToGcAnywhere)
+{
+    // The adaptive best (min over O1..O4) must beat GC at every shape
+    // and config — the framework's core promise.
+    engine::PlanInputs in;
+    in.spec = &rtx4090();
+    for (const auto &cfg : {vq::cq4(), vq::cq2()}) {
+        in.histogram = &hist(cfg);
+        for (std::size_t bs : {1u, 8u}) {
+            for (std::size_t seq : {1024u, 4096u}) {
+                AttnShape shape{bs, 32, seq, 128};
+                auto gc = kernels::estimateVqAttentionKernel(
+                    rtx4090(),
+                    engine::planAttentionKernel(shape, cfg,
+                                                OptLevel::GC, in),
+                    in.histogram);
+                double best = 1e30;
+                for (auto level : {OptLevel::O1, OptLevel::O2,
+                                   OptLevel::O3, OptLevel::O4}) {
+                    best = std::min(
+                        best, kernels::estimateVqAttentionKernel(
+                                  rtx4090(),
+                                  engine::planAttentionKernel(
+                                      shape, cfg, level, in),
+                                  in.histogram)
+                                  .us());
+                }
+                EXPECT_LT(best, gc.us())
+                    << cfg.name << " bs=" << bs << " seq=" << seq;
+            }
+        }
+    }
+}
+
+TEST(CrossGpuSweep, PlansAdaptToTheA40)
+{
+    // Plans re-derived for the A40 remain valid; latencies grow roughly
+    // with the bandwidth ratio for memory-bound kernels.
+    engine::PlanInputs in4090, inA40;
+    in4090.spec = &rtx4090();
+    inA40.spec = &teslaA40();
+    in4090.histogram = inA40.histogram = &hist(vq::cq2());
+    AttnShape shape{8, 32, 4096, 128};
+    auto p4090 = engine::planAttentionKernel(shape, vq::cq2(),
+                                             OptLevel::O4, in4090);
+    auto pA40 = engine::planAttentionKernel(shape, vq::cq2(),
+                                            OptLevel::O4, inA40);
+    checkPlanInvariants(pA40, teslaA40());
+    double r = kernels::estimateVqAttentionKernel(teslaA40(), pA40,
+                                                  inA40.histogram)
+                   .us() /
+               kernels::estimateVqAttentionKernel(rtx4090(), p4090,
+                                                  in4090.histogram)
+                   .us();
+    EXPECT_GT(r, 1.1);
+    EXPECT_LT(r, 2.5);
+}
+
+} // namespace
+} // namespace vqllm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for FP16 baseline kernel models, including the Fig. 18
+ * attention-variant orderings.
+ */
+#include <gtest/gtest.h>
+
+#include "kernels/fp16_kernels.h"
+
+namespace vqllm::kernels {
+namespace {
+
+using engine::AttnShape;
+using engine::GemmShape;
+using gpusim::rtx4090;
+
+TEST(Fp16Gemm, ComputeBoundAtLargeShapes)
+{
+    auto r = fp16GemmEstimate(rtx4090(), {4096, 4096, 4096});
+    EXPECT_GT(r.latency.compute_us, r.latency.dram_us);
+    // 137 GFLOP on a ~90 TFLOP/s effective pipe: order 1.5 ms.
+    EXPECT_GT(r.us(), 800.0);
+    EXPECT_LT(r.us(), 4000.0);
+}
+
+TEST(Fp16Gemv, MemoryBoundNearPeakBandwidth)
+{
+    auto r = fp16GemvEstimate(rtx4090(), {1, 4096, 4096});
+    EXPECT_GT(r.latency.dram_us, r.latency.compute_us);
+    // 32 MiB of weights at ~826 GB/s effective: ~40 us.
+    EXPECT_GT(r.us(), 30.0);
+    EXPECT_LT(r.us(), 70.0);
+}
+
+TEST(Fp16Attention, ScalesWithSequenceAndBatch)
+{
+    AttnShape s1{1, 32, 1024, 128};
+    AttnShape s4{1, 32, 4096, 128};
+    AttnShape s4b8{8, 32, 4096, 128};
+    auto r1 = fp16AttentionEstimate(rtx4090(), s1);
+    auto r4 = fp16AttentionEstimate(rtx4090(), s4);
+    auto r48 = fp16AttentionEstimate(rtx4090(), s4b8);
+    EXPECT_GT(r4.us(), 2.5 * r1.us());
+    EXPECT_GT(r48.us(), 5.0 * r4.us());
+}
+
+TEST(Fig18, FlashDecodingBeatsFlashAttentionAtBs1)
+{
+    // Decode with BS1: FlashAttention's one-block-per-head grid leaves
+    // most SMs idle; FlashDecoding splits tokens (paper Fig. 18).
+    AttnShape shape{1, 32, 4096, 128};
+    auto fd = fp16AttentionEstimate(rtx4090(), shape,
+                                    AttnVariant::FlashDecoding);
+    auto fa = fp16AttentionEstimate(rtx4090(), shape,
+                                    AttnVariant::FlashAttention);
+    EXPECT_LT(fd.us(), fa.us());
+}
+
+TEST(Fig18, BatchNarrowsTheFlashAttentionGap)
+{
+    AttnShape bs1{1, 32, 2048, 128};
+    AttnShape bs8{8, 32, 2048, 128};
+    auto gap_bs1 =
+        fp16AttentionEstimate(rtx4090(), bs1,
+                              AttnVariant::FlashAttention)
+            .us() /
+        fp16AttentionEstimate(rtx4090(), bs1,
+                              AttnVariant::FlashDecoding)
+            .us();
+    auto gap_bs8 =
+        fp16AttentionEstimate(rtx4090(), bs8,
+                              AttnVariant::FlashAttention)
+            .us() /
+        fp16AttentionEstimate(rtx4090(), bs8,
+                              AttnVariant::FlashDecoding)
+            .us();
+    EXPECT_LT(gap_bs8, gap_bs1);
+    EXPECT_GE(gap_bs8, 0.95); // never meaningfully faster
+}
+
+TEST(Fig18, PagedVariantsCostMore)
+{
+    AttnShape shape{8, 32, 4096, 128};
+    auto fd = fp16AttentionEstimate(rtx4090(), shape,
+                                    AttnVariant::FlashDecoding);
+    auto pfd = fp16AttentionEstimate(rtx4090(), shape,
+                                     AttnVariant::PagedFlashDecoding);
+    auto fa = fp16AttentionEstimate(rtx4090(), shape,
+                                    AttnVariant::FlashAttention);
+    auto pfa = fp16AttentionEstimate(rtx4090(), shape,
+                                     AttnVariant::PagedFlashAttention);
+    EXPECT_GT(pfd.us(), fd.us());
+    EXPECT_GT(pfa.us(), fa.us());
+    // Paging overhead is bounded (<25%).
+    EXPECT_LT(pfd.us(), fd.us() * 1.25);
+}
+
+TEST(Fp16Kernels, VariantNames)
+{
+    EXPECT_STREQ(attnVariantName(AttnVariant::FlashDecoding),
+                 "Flash Decoding");
+    EXPECT_STREQ(attnVariantName(AttnVariant::PagedFlashAttention),
+                 "Paged Flash Attention");
+}
+
+} // namespace
+} // namespace vqllm::kernels

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the reference LLM computations.
+ */
+#include <gtest/gtest.h>
+
+#include "kernels/reference.h"
+#include "tensor/datagen.h"
+
+namespace vqllm::kernels {
+namespace {
+
+TEST(Reference, GemvMatchesManual)
+{
+    Tensor<float> w({2, 3});
+    w.at(std::size_t(0), std::size_t(0)) = 1;
+    w.at(std::size_t(0), std::size_t(1)) = 2;
+    w.at(std::size_t(0), std::size_t(2)) = 3;
+    w.at(std::size_t(1), std::size_t(0)) = -1;
+    w.at(std::size_t(1), std::size_t(1)) = 0;
+    w.at(std::size_t(1), std::size_t(2)) = 1;
+    Tensor<float> x({3});
+    x[0] = 1; x[1] = 1; x[2] = 2;
+    auto y = referenceGemv(w, x);
+    EXPECT_FLOAT_EQ(y[0], 9.0f);
+    EXPECT_FLOAT_EQ(y[1], 1.0f);
+}
+
+TEST(Reference, GemmAgreesWithGemvRows)
+{
+    Rng rng(1);
+    Tensor<float> x({4, 8}), w({6, 8});
+    fillNormal(x, rng);
+    fillNormal(w, rng);
+    auto y = referenceGemm(x, w);
+    ASSERT_EQ(y.shape(), (Shape{4, 6}));
+    for (std::size_t i = 0; i < 4; ++i) {
+        Tensor<float> xi({8});
+        for (std::size_t l = 0; l < 8; ++l)
+            xi[l] = x.at(i, l);
+        auto yi = referenceGemv(w, xi);
+        for (std::size_t j = 0; j < 6; ++j)
+            EXPECT_NEAR(y.at(i, j), yi[j], 1e-5);
+    }
+}
+
+TEST(Reference, SoftmaxNormalizes)
+{
+    std::vector<float> logits = {1.0f, 2.0f, 3.0f, -1.0f};
+    softmaxInPlace(logits);
+    double sum = 0;
+    for (float p : logits) {
+        EXPECT_GT(p, 0.0f);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    // Monotonicity: larger logits get larger probabilities.
+    EXPECT_GT(logits[2], logits[1]);
+    EXPECT_GT(logits[1], logits[0]);
+    EXPECT_GT(logits[0], logits[3]);
+}
+
+TEST(Reference, SoftmaxStableForLargeLogits)
+{
+    std::vector<float> logits = {1000.0f, 1001.0f};
+    softmaxInPlace(logits);
+    EXPECT_FALSE(std::isnan(logits[0]));
+    EXPECT_NEAR(logits[0] + logits[1], 1.0, 1e-6);
+    EXPECT_GT(logits[1], logits[0]);
+}
+
+TEST(Reference, AttentionUniformKeysAverageValues)
+{
+    // With identical keys, attention weights are uniform and the output
+    // is the mean of the values.
+    const std::size_t T = 8, C = 4;
+    Tensor<float> q({C}), k({T, C}), v({T, C});
+    q.fill(1.0f);
+    k.fill(0.5f);
+    Rng rng(3);
+    fillNormal(v, rng);
+    auto out = referenceAttentionHead(q, k, v);
+    for (std::size_t c = 0; c < C; ++c) {
+        double mean = 0;
+        for (std::size_t t = 0; t < T; ++t)
+            mean += v.at(t, c);
+        mean /= T;
+        EXPECT_NEAR(out[c], mean, 1e-5);
+    }
+}
+
+TEST(Reference, AttentionAttendsToMatchingKey)
+{
+    // A key aligned with the query at large scale dominates the output.
+    const std::size_t T = 4, C = 8;
+    Tensor<float> q({C}), k({T, C}), v({T, C});
+    for (std::size_t c = 0; c < C; ++c)
+        q[c] = 10.0f;
+    for (std::size_t c = 0; c < C; ++c)
+        k.at(std::size_t(2), c) = 10.0f; // token 2 matches strongly
+    Rng rng(5);
+    fillNormal(v, rng);
+    auto out = referenceAttentionHead(q, k, v);
+    for (std::size_t c = 0; c < C; ++c)
+        EXPECT_NEAR(out[c], v.at(std::size_t(2), c), 1e-3);
+}
+
+TEST(Reference, MultiHeadMatchesPerHead)
+{
+    Rng rng(7);
+    const std::size_t H = 3, T = 16, C = 8;
+    Tensor<float> q({H, C}), k({H, T, C}), v({H, T, C});
+    fillNormal(q, rng);
+    fillNormal(k, rng);
+    fillNormal(v, rng);
+    auto out = referenceAttention(q, k, v);
+    ASSERT_EQ(out.shape(), (Shape{H, C}));
+    // Check head 1 against a manual single-head computation.
+    Tensor<float> q1({C}), k1({T, C}), v1({T, C});
+    for (std::size_t c = 0; c < C; ++c)
+        q1[c] = q.at(std::size_t(1), c);
+    for (std::size_t t = 0; t < T; ++t)
+        for (std::size_t c = 0; c < C; ++c) {
+            k1.at(t, c) = k.at(std::size_t(1), t, c);
+            v1.at(t, c) = v.at(std::size_t(1), t, c);
+        }
+    auto o1 = referenceAttentionHead(q1, k1, v1);
+    for (std::size_t c = 0; c < C; ++c)
+        EXPECT_FLOAT_EQ(out.at(std::size_t(1), c), o1[c]);
+}
+
+} // namespace
+} // namespace vqllm::kernels

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the functional VQ GeMM runner: numerics vs the reference,
+ * and the per-row-block re-dequantization accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "engine/template_engine.h"
+#include "kernels/reference.h"
+#include "kernels/vq_kernels.h"
+#include "tensor/datagen.h"
+#include "vq/profiler.h"
+
+namespace vqllm::kernels {
+namespace {
+
+using engine::GemmShape;
+using engine::OpKind;
+using engine::OptLevel;
+
+engine::PlanInputs
+inputs()
+{
+    engine::PlanInputs in;
+    in.spec = &gpusim::rtx4090();
+    return in;
+}
+
+vq::QuantizedTensor
+smallWeight(std::size_t n, std::size_t k, std::uint64_t seed)
+{
+    vq::VQConfig cfg = vq::gptvq2();
+    cfg.num_entries = 32;
+    Rng rng(seed);
+    auto w = generateLlmWeight(n, k, rng);
+    vq::KMeansOptions opts;
+    opts.max_iters = 6;
+    auto qt = vq::VectorQuantizer(cfg, opts).quantize(w);
+    vq::reorderByFrequency(qt);
+    return qt;
+}
+
+TEST(VqGemmFunctional, MatchesReferenceGemm)
+{
+    auto qt = smallWeight(24, 32, 3);
+    Rng rng(5);
+    Tensor<float> x({8, qt.cols});
+    fillNormal(x, rng);
+    auto plan = engine::planWeightKernel(
+        OpKind::GeMM, {8, qt.rows, qt.cols}, qt.config, OptLevel::O4,
+        inputs());
+    auto result = runVqGemm(plan, qt, x);
+    auto expect = referenceGemm(x, vq::VectorQuantizer::dequantize(qt));
+    ASSERT_EQ(result.output.shape(), expect.shape());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_NEAR(result.output[i], expect[i], 1e-3) << i;
+}
+
+TEST(VqGemmFunctional, RowBlocksRedequantize)
+{
+    // Lookup count scales with the number of 64-row output blocks: the
+    // GeMM re-dequantization cost (Sec. VII-B).
+    auto qt = smallWeight(16, 32, 7);
+    auto plan_small = engine::planWeightKernel(
+        OpKind::GeMM, {64, qt.rows, qt.cols}, qt.config, OptLevel::O2,
+        inputs());
+    auto plan_large = engine::planWeightKernel(
+        OpKind::GeMM, {128, qt.rows, qt.cols}, qt.config, OptLevel::O2,
+        inputs());
+    Rng rng(9);
+    Tensor<float> x64({64, qt.cols}), x128({128, qt.cols});
+    fillNormal(x64, rng);
+    fillNormal(x128, rng);
+    auto r64 = runVqGemm(plan_small, qt, x64);
+    auto r128 = runVqGemm(plan_large, qt, x128);
+    EXPECT_EQ(r128.counters.dequant_lookups,
+              2 * r64.counters.dequant_lookups);
+}
+
+TEST(VqGemmFunctional, GemvIsGemmWithOneRow)
+{
+    auto qt = smallWeight(32, 32, 11);
+    Rng rng(13);
+    Tensor<float> x1({1, qt.cols});
+    Tensor<float> xv({qt.cols});
+    fillNormal(xv, rng);
+    for (std::size_t i = 0; i < qt.cols; ++i)
+        x1.at(std::size_t(0), i) = xv[i];
+
+    auto gemm_plan = engine::planWeightKernel(
+        OpKind::GeMM, {1, qt.rows, qt.cols}, qt.config, OptLevel::O4,
+        inputs());
+    auto gemv_plan = engine::planWeightKernel(
+        OpKind::GeMV, {1, qt.rows, qt.cols}, qt.config, OptLevel::O4,
+        inputs());
+    auto gemm = runVqGemm(gemm_plan, qt, x1);
+    auto gemv = runVqGemv(gemv_plan, qt, xv);
+    for (std::size_t r = 0; r < qt.rows; ++r)
+        EXPECT_NEAR(gemm.output.at(std::size_t(0), r), gemv.output[r],
+                    1e-4);
+}
+
+TEST(VqGemmFunctionalDeath, ValidatesInputs)
+{
+    auto qt = smallWeight(16, 32, 15);
+    Tensor<float> bad({4, 8}); // wrong k
+    auto plan = engine::planWeightKernel(
+        OpKind::GeMM, {4, qt.rows, qt.cols}, qt.config, OptLevel::O4,
+        inputs());
+    EXPECT_DEATH(runVqGemm(plan, qt, bad), "k == qt.cols");
+    auto gemv_plan = engine::planWeightKernel(
+        OpKind::GeMV, {1, qt.rows, qt.cols}, qt.config, OptLevel::O4,
+        inputs());
+    Tensor<float> x2d({2, qt.cols});
+    EXPECT_DEATH(runVqGemm(gemv_plan, qt, x2d), "GeMM plan");
+}
+
+} // namespace
+} // namespace vqllm::kernels

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the end-to-end estimator: Fig. 17's speedups, memory
+ * footprints, and the A40 bandwidth-sensitivity claim.
+ */
+#include <gtest/gtest.h>
+
+#include "llm/e2e.h"
+
+namespace vqllm::llm {
+namespace {
+
+using gpusim::rtx4090;
+using gpusim::teslaA40;
+
+TEST(E2E, Fig17SpeedupOrdering)
+{
+    // FP16 slowest; 4-bit VQ comparable to qServe; 2-bit VQ fastest.
+    auto fp16 = estimateE2E(rtx4090(), llama7b(), QuantScheme::FP16);
+    auto ewq4 = estimateE2E(rtx4090(), llama7b(), QuantScheme::EWQ4);
+    auto vq4 = estimateE2E(rtx4090(), llama7b(), QuantScheme::VQ4);
+    auto vq2 = estimateE2E(rtx4090(), llama7b(), QuantScheme::VQ2);
+
+    double s_ewq4 = fp16.totalUs() / ewq4.totalUs();
+    double s_vq4 = fp16.totalUs() / vq4.totalUs();
+    double s_vq2 = fp16.totalUs() / vq2.totalUs();
+
+    // Paper: ~2.2x for both 4-bit schemes, larger for 2-bit.
+    EXPECT_GT(s_ewq4, 1.5);
+    EXPECT_GT(s_vq4, 1.5);
+    EXPECT_LT(s_vq4, 4.0);
+    EXPECT_NEAR(s_vq4 / s_ewq4, 1.0, 0.35);
+    EXPECT_GT(s_vq2, s_vq4);
+}
+
+TEST(E2E, DecodeDominatesGeneration)
+{
+    // 256 decode steps outweigh one prefill (paper Sec. VII-D: "the
+    // decoding stage dominates LLM inference execution time").
+    auto fp16 = estimateE2E(rtx4090(), llama7b(), QuantScheme::FP16);
+    EXPECT_GT(fp16.decode_us, fp16.prefill_us);
+}
+
+TEST(E2E, MemoryFootprintsMatchPaper)
+{
+    // Paper: FP16 over 22 GB; qServe-4 and VQ-LLM-4 under 6 GB.
+    auto fp16 = estimateE2E(rtx4090(), llama7b(), QuantScheme::FP16);
+    auto ewq4 = estimateE2E(rtx4090(), llama7b(), QuantScheme::EWQ4);
+    auto vq4 = estimateE2E(rtx4090(), llama7b(), QuantScheme::VQ4);
+    EXPECT_GT(fp16.totalMemoryBytes(), 20ull << 30);
+    EXPECT_LT(ewq4.totalMemoryBytes(), 7ull << 30);
+    EXPECT_LT(vq4.totalMemoryBytes(), 7ull << 30);
+    // 2-bit VQ goes lower still.
+    auto vq2 = estimateE2E(rtx4090(), llama7b(), QuantScheme::VQ2);
+    EXPECT_LT(vq2.totalMemoryBytes(), vq4.totalMemoryBytes());
+}
+
+TEST(E2E, ElementwiseShareGrowsWhenQuantized)
+{
+    // Paper: RMSNorm/SiLU/RoPE are ~10% of FP16 latency and ~20% of the
+    // 4-bit version (fixed costs over a faster base).
+    auto fp16 = estimateE2E(rtx4090(), llama7b(), QuantScheme::FP16);
+    auto vq4 = estimateE2E(rtx4090(), llama7b(), QuantScheme::VQ4);
+    EXPECT_GT(vq4.elementwise_fraction, fp16.elementwise_fraction);
+    EXPECT_GT(fp16.elementwise_fraction, 0.02);
+    EXPECT_LT(vq4.elementwise_fraction, 0.45);
+}
+
+TEST(E2E, A40BenefitsMoreFromCompression)
+{
+    // Paper: "the Tesla A40 demonstrates a greater speedup than the RTX
+    // 4090 ... VQ-LLM is more effective in bandwidth-constrained
+    // environments."
+    auto s4090 =
+        estimateE2E(rtx4090(), llama7b(), QuantScheme::FP16).totalUs() /
+        estimateE2E(rtx4090(), llama7b(), QuantScheme::VQ4).totalUs();
+    auto sA40 =
+        estimateE2E(teslaA40(), llama7b(), QuantScheme::FP16).totalUs() /
+        estimateE2E(teslaA40(), llama7b(), QuantScheme::VQ4).totalUs();
+    EXPECT_GT(sA40, s4090 * 0.98);
+}
+
+TEST(E2E, BiggerModelCostsMore)
+{
+    auto small = estimateE2E(rtx4090(), llama7b(), QuantScheme::VQ4);
+    auto big = estimateE2E(rtx4090(), llama65b(), QuantScheme::VQ4);
+    EXPECT_GT(big.totalUs(), 3.0 * small.totalUs());
+    EXPECT_GT(big.weight_bytes, 8ull * small.weight_bytes);
+}
+
+TEST(E2E, SchemeNames)
+{
+    EXPECT_STREQ(quantSchemeName(QuantScheme::FP16), "FP16");
+    EXPECT_STREQ(quantSchemeName(QuantScheme::VQ2), "VQ-LLM (2 bit)");
+}
+
+} // namespace
+} // namespace vqllm::llm

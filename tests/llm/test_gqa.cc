@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for grouped-query attention (GQA) support: KV compression from
+ * head sharing composes with VQ compression.
+ */
+#include <gtest/gtest.h>
+
+#include "engine/template_engine.h"
+#include "kernels/fp16_kernels.h"
+#include "kernels/vq_kernels.h"
+#include "llm/e2e.h"
+
+namespace vqllm::llm {
+namespace {
+
+using engine::AttnShape;
+using gpusim::rtx4090;
+
+TEST(Gqa, ShapeDefaultsToMha)
+{
+    AttnShape mha{1, 32, 1024, 128};
+    EXPECT_EQ(mha.kvHeads(), 32u);
+    AttnShape gqa{1, 32, 1024, 128, 8};
+    EXPECT_EQ(gqa.kvHeads(), 8u);
+    // KV shrinks 4x; compute (query-head driven) does not.
+    EXPECT_EQ(gqa.kvElements(), mha.kvElements() / 4);
+    EXPECT_EQ(gqa.flops(), mha.flops());
+}
+
+TEST(Gqa, Fp16AttentionGetsFaster)
+{
+    AttnShape mha{8, 64, 4096, 128};
+    AttnShape gqa{8, 64, 4096, 128, 8};
+    auto r_mha = kernels::fp16AttentionEstimate(rtx4090(), mha);
+    auto r_gqa = kernels::fp16AttentionEstimate(rtx4090(), gqa);
+    EXPECT_LT(r_gqa.us(), r_mha.us());
+    EXPECT_EQ(r_gqa.counters.dram_read_bytes <
+                  r_mha.counters.dram_read_bytes,
+              true);
+}
+
+TEST(Gqa, ComposesWithVqCompression)
+{
+    // GQA (8x fewer KV heads) and CQ-2 (8x per-element compression)
+    // stack: the quantized-GQA cache traffic is far below either alone.
+    AttnShape mha{8, 64, 4096, 128};
+    AttnShape gqa{8, 64, 4096, 128, 8};
+    engine::PlanInputs in;
+    in.spec = &rtx4090();
+    auto hist = vq::syntheticZipfHistogram(256);
+    in.histogram = &hist;
+    auto plan_mha = engine::planAttentionKernel(mha, vq::cq2(),
+                                                engine::OptLevel::O4,
+                                                in);
+    auto plan_gqa = engine::planAttentionKernel(gqa, vq::cq2(),
+                                                engine::OptLevel::O4,
+                                                in);
+    auto r_mha = kernels::estimateVqAttentionKernel(rtx4090(), plan_mha,
+                                                    &hist);
+    auto r_gqa = kernels::estimateVqAttentionKernel(rtx4090(), plan_gqa,
+                                                    &hist);
+    EXPECT_LT(r_gqa.counters.dram_read_bytes,
+              r_mha.counters.dram_read_bytes);
+    EXPECT_LE(r_gqa.us(), r_mha.us());
+    // Fewer KV heads also means fewer codebooks overall.
+    EXPECT_LT(plan_gqa.total_books, plan_mha.total_books);
+}
+
+TEST(Gqa, Llama70bConfig)
+{
+    const auto &cfg = llama70b();
+    EXPECT_EQ(cfg.kvHeads(), 8u);
+    EXPECT_EQ(cfg.heads, 64u);
+    // KV cache is 8x smaller than the MHA equivalent (Llama-65B).
+    EXPECT_EQ(llama65b().kvCacheBytesFp16(16, 1024),
+              8 * cfg.kvCacheBytesFp16(16, 1024));
+    // attnShape carries the KV head count through.
+    EXPECT_EQ(cfg.attnShape(16, 1024).kvHeads(), 8u);
+}
+
+TEST(Gqa, E2eStillOrdersSchemes)
+{
+    auto fp16 = estimateE2E(rtx4090(), llama70b(), QuantScheme::FP16);
+    auto vq4 = estimateE2E(rtx4090(), llama70b(), QuantScheme::VQ4);
+    EXPECT_LT(vq4.totalUs(), fp16.totalUs());
+    EXPECT_LT(vq4.kv_bytes, fp16.kv_bytes);
+}
+
+} // namespace
+} // namespace vqllm::llm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for RMSNorm / SiLU / RoPE and the element-wise latency model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "llm/ops.h"
+
+namespace vqllm::llm {
+namespace {
+
+TEST(Ops, RmsNormUnitScale)
+{
+    Tensor<float> x({1, 4});
+    x.at(std::size_t(0), std::size_t(0)) = 2;
+    x.at(std::size_t(0), std::size_t(1)) = -2;
+    x.at(std::size_t(0), std::size_t(2)) = 2;
+    x.at(std::size_t(0), std::size_t(3)) = -2;
+    std::vector<float> gain(4, 1.0f);
+    rmsNorm(x, gain);
+    // RMS is 2, so all values normalize to +-1.
+    for (std::size_t d = 0; d < 4; ++d)
+        EXPECT_NEAR(std::abs(x.at(std::size_t(0), d)), 1.0f, 1e-4);
+}
+
+TEST(Ops, RmsNormAppliesGain)
+{
+    Rng rng(1);
+    Tensor<float> x({3, 8});
+    fillNormal(x, rng);
+    Tensor<float> y = x;
+    std::vector<float> unit(8, 1.0f), doubled(8, 2.0f);
+    rmsNorm(x, unit);
+    rmsNorm(y, doubled);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], 2.0f * x[i], 1e-4);
+}
+
+TEST(Ops, SiluKnownValues)
+{
+    Tensor<float> x({3});
+    x[0] = 0.0f;
+    x[1] = 10.0f;
+    x[2] = -10.0f;
+    silu(x);
+    EXPECT_NEAR(x[0], 0.0f, 1e-6);
+    EXPECT_NEAR(x[1], 10.0f, 1e-3);  // sigmoid(10) ~ 1
+    EXPECT_NEAR(x[2], 0.0f, 1e-3);   // sigmoid(-10) ~ 0
+}
+
+TEST(Ops, RopePreservesNorm)
+{
+    // Rotations preserve the norm of each (even, odd) pair.
+    Rng rng(3);
+    Tensor<float> qk({2, 8});
+    fillNormal(qk, rng);
+    Tensor<float> orig = qk;
+    applyRope(qk, 57);
+    for (std::size_t h = 0; h < 2; ++h) {
+        for (std::size_t d = 0; d < 4; ++d) {
+            double before = std::hypot(orig.at(h, 2 * d),
+                                       orig.at(h, 2 * d + 1));
+            double after = std::hypot(qk.at(h, 2 * d),
+                                      qk.at(h, 2 * d + 1));
+            EXPECT_NEAR(after, before, 1e-4);
+        }
+    }
+}
+
+TEST(Ops, RopePositionZeroIsIdentity)
+{
+    Rng rng(5);
+    Tensor<float> qk({1, 8});
+    fillNormal(qk, rng);
+    Tensor<float> orig = qk;
+    applyRope(qk, 0);
+    EXPECT_EQ(maxAbsDiff(qk, orig), 0.0);
+}
+
+TEST(Ops, RopeRelativePhaseProperty)
+{
+    // The inner product of RoPE'd q and k depends on relative position:
+    // rotating both by the same offset leaves q.k unchanged.
+    Rng rng(7);
+    Tensor<float> q({1, 8}), k({1, 8});
+    fillNormal(q, rng);
+    fillNormal(k, rng);
+    auto dot = [](const Tensor<float> &a, const Tensor<float> &b) {
+        double acc = 0;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            acc += static_cast<double>(a[i]) * b[i];
+        return acc;
+    };
+    Tensor<float> q1 = q, k1 = k, q2 = q, k2 = k;
+    applyRope(q1, 3);
+    applyRope(k1, 10);
+    applyRope(q2, 13);
+    applyRope(k2, 20);
+    EXPECT_NEAR(dot(q1, k1), dot(q2, k2), 1e-3);
+}
+
+TEST(Ops, ElementwiseLatencyScalesWithWidth)
+{
+    const auto &spec = gpusim::rtx4090();
+    double small = elementwiseLayerLatencyUs(spec, 16, 4096);
+    double large = elementwiseLayerLatencyUs(spec, 16, 8192);
+    EXPECT_GT(large, small);
+    // Dominated by launch overheads at this scale: order tens of us.
+    EXPECT_GT(small, 5.0);
+    EXPECT_LT(small, 100.0);
+}
+
+} // namespace
+} // namespace vqllm::llm

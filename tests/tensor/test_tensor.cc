@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the dense tensor container and numeric helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace vqllm {
+namespace {
+
+TEST(Tensor, ShapeAndSize)
+{
+    Tensor<float> t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3u);
+    EXPECT_EQ(t.size(), 24u);
+    EXPECT_EQ(t.sizeBytes(), 24u * sizeof(float));
+    EXPECT_EQ(t.dim(0), 2u);
+    EXPECT_EQ(t.dim(2), 4u);
+}
+
+TEST(Tensor, RowMajorLayout)
+{
+    Tensor<float> t({2, 3});
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(i);
+    EXPECT_EQ(t.at(0, 0), 0.0f);
+    EXPECT_EQ(t.at(0, 2), 2.0f);
+    EXPECT_EQ(t.at(1, 0), 3.0f);
+    EXPECT_EQ(t.at(1, 2), 5.0f);
+    EXPECT_EQ(t.flatIndex(1, 2), 5u);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor<float> t({16});
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillAndReshape)
+{
+    Tensor<float> t({4, 4});
+    t.fill(2.5f);
+    EXPECT_EQ(t.at(3, 3), 2.5f);
+    t.reshape({2, 8});
+    EXPECT_EQ(t.rank(), 2u);
+    EXPECT_EQ(t.dim(1), 8u);
+    EXPECT_EQ(t.at(1, 7), 2.5f);
+}
+
+TEST(TensorDeath, OutOfBoundsPanics)
+{
+    Tensor<float> t({2, 2});
+    EXPECT_DEATH(t.at(2, 0), "out of bounds");
+    EXPECT_DEATH(t.at(0, 0, 0), "rank");
+    EXPECT_DEATH(t.reshape({5}), "element count");
+}
+
+TEST(Tensor, HalfConversionRoundTrip)
+{
+    Rng rng(2);
+    Tensor<float> t({64});
+    fillNormal(t, rng);
+    Tensor<Half> h = toHalf(t);
+    Tensor<float> back = toFloat(h);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(back[i], roundToHalf(t[i]));
+    // Converting again is lossless.
+    Tensor<float> back2 = toFloat(toHalf(back));
+    EXPECT_EQ(maxAbsDiff(back, back2), 0.0);
+}
+
+TEST(Tensor, MseAndNorms)
+{
+    Tensor<float> a({3}), b({3});
+    a[0] = 1; a[1] = 2; a[2] = 3;
+    b[0] = 1; b[1] = 2; b[2] = 5;
+    EXPECT_DOUBLE_EQ(mse(a, b), 4.0 / 3.0);
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 2.0);
+    EXPECT_DOUBLE_EQ(frobeniusNorm(a), std::sqrt(14.0));
+    EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(Tensor, FillDistributions)
+{
+    Rng rng(5);
+    Tensor<float> t({10000});
+    fillNormal(t, rng, 1.0, 2.0);
+    double sum = 0;
+    for (std::size_t i = 0; i < t.size(); ++i)
+        sum += t[i];
+    EXPECT_NEAR(sum / static_cast<double>(t.size()), 1.0, 0.1);
+
+    fillUniform(t, rng, -1.0, 1.0);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_GE(t[i], -1.0f);
+        ASSERT_LT(t[i], 1.0f);
+    }
+}
+
+} // namespace
+} // namespace vqllm

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for on-the-fly KV-cache quantization (paper Sec. VII-F).
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/datagen.h"
+#include "vq/kv_append.h"
+
+namespace vqllm::vq {
+namespace {
+
+Tensor<float>
+kvSlice(std::size_t tokens, std::size_t channels, std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto kv3 = generateKvCache(1, tokens, channels, rng);
+    Tensor<float> flat({tokens, channels});
+    for (std::size_t t = 0; t < tokens; ++t)
+        for (std::size_t c = 0; c < channels; ++c)
+            flat.at(t, c) = kv3.at(std::size_t(0), t, c);
+    return flat;
+}
+
+VQConfig
+smallCq()
+{
+    VQConfig cfg = cq2();
+    cfg.num_entries = 32;
+    return cfg;
+}
+
+KMeansOptions
+fastOpts()
+{
+    KMeansOptions o;
+    o.max_iters = 6;
+    return o;
+}
+
+TEST(KvAppend, AppendMatchesBatchQuantization)
+{
+    // Quantizing [prefill; new] in one shot must equal quantizing the
+    // prefill and appending the new tokens: same codebooks (trained on
+    // prefill), so the encoder must produce identical indices.
+    auto all = kvSlice(64, 16, 5);
+    Tensor<float> prefill({48, 16});
+    for (std::size_t t = 0; t < 48; ++t)
+        for (std::size_t c = 0; c < 16; ++c)
+            prefill.at(t, c) = all.at(t, c);
+
+    KvCacheQuantizer online(smallCq(), prefill, fastOpts());
+    for (std::size_t t = 48; t < 64; ++t)
+        online.append(all.data() + t * 16);
+    ASSERT_EQ(online.tokens(), 64u);
+
+    // Reference: encode the appended tokens manually with the same
+    // codebooks (dequantizeToken must reproduce the nearest entries).
+    std::vector<float> out(16);
+    for (std::size_t t = 48; t < 64; ++t) {
+        online.dequantizeToken(t, out.data());
+        for (std::size_t s = 0; s < online.cache().subspaces(); ++s) {
+            const Codebook &cb = online.cache().codebookFor(t, s, 0);
+            // The stored index must be the nearest-entry encode of the
+            // original sub-vector.
+            std::uint32_t stored = online.cache().indices.get(
+                online.cache().indexPosition(t, s, 0));
+            EXPECT_EQ(stored, cb.encode(all.data() + t * 16 + s * 4));
+        }
+    }
+}
+
+TEST(KvAppend, ReconstructionQualityHoldsForAppendedTokens)
+{
+    auto all = kvSlice(96, 16, 7);
+    Tensor<float> prefill({64, 16});
+    for (std::size_t t = 0; t < 64; ++t)
+        for (std::size_t c = 0; c < 16; ++c)
+            prefill.at(t, c) = all.at(t, c);
+    KvCacheQuantizer online(smallCq(), prefill, fastOpts());
+    for (std::size_t t = 64; t < 96; ++t)
+        online.append(all.data() + t * 16);
+
+    auto rec = VectorQuantizer::dequantize(online.cache());
+    // Appended tokens reconstruct about as well as prefill tokens
+    // (the KV distribution is stationary).
+    double prefill_err = 0, appended_err = 0;
+    for (std::size_t t = 0; t < 96; ++t) {
+        double e = 0;
+        for (std::size_t c = 0; c < 16; ++c) {
+            double d = rec.at(t, c) - all.at(t, c);
+            e += d * d;
+        }
+        (t < 64 ? prefill_err : appended_err) += e;
+    }
+    prefill_err /= 64;
+    appended_err /= 32;
+    // Appended tokens drift from the prefill distribution (AR(1) token
+    // dynamics), so their error may grow — but must stay bounded and
+    // far below the unquantized variance.
+    EXPECT_LT(appended_err, prefill_err * 6 + 0.1);
+    Tensor<float> zeros({32, 16}), tail({32, 16});
+    for (std::size_t t = 0; t < 32; ++t)
+        for (std::size_t c = 0; c < 16; ++c)
+            tail.at(t, c) = all.at(64 + t, c);
+    EXPECT_LT(appended_err, 0.5 * mse(tail, zeros));
+}
+
+TEST(KvAppend, DequantizeTokenMatchesFullDequantize)
+{
+    auto prefill = kvSlice(32, 16, 9);
+    KvCacheQuantizer online(smallCq(), prefill, fastOpts());
+    auto full = VectorQuantizer::dequantize(online.cache());
+    std::vector<float> out(16);
+    for (std::size_t t = 0; t < 32; t += 5) {
+        online.dequantizeToken(t, out.data());
+        for (std::size_t c = 0; c < 16; ++c)
+            EXPECT_EQ(out[c], full.at(t, c));
+    }
+}
+
+TEST(KvAppend, ResidualConfigsAppendCorrectly)
+{
+    VQConfig cfg = smallCq();
+    cfg.residuals = 2;
+    auto all = kvSlice(48, 16, 11);
+    Tensor<float> prefill({40, 16});
+    for (std::size_t t = 0; t < 40; ++t)
+        for (std::size_t c = 0; c < 16; ++c)
+            prefill.at(t, c) = all.at(t, c);
+    KvCacheQuantizer online(cfg, prefill, fastOpts());
+    for (std::size_t t = 40; t < 48; ++t)
+        online.append(all.data() + t * 16);
+    auto rec = VectorQuantizer::dequantize(online.cache());
+    // Two-stage reconstruction of appended tokens stays bounded.
+    double err = 0;
+    for (std::size_t t = 40; t < 48; ++t)
+        for (std::size_t c = 0; c < 16; ++c) {
+            double d = rec.at(t, c) - all.at(t, c);
+            err += d * d;
+        }
+    Tensor<float> zeros({8, 16}), tail({8, 16});
+    for (std::size_t t = 0; t < 8; ++t)
+        for (std::size_t c = 0; c < 16; ++c)
+            tail.at(t, c) = all.at(40 + t, c);
+    EXPECT_LT(err / (8 * 16), 0.5 * mse(tail, zeros));
+}
+
+TEST(KvAppend, OverheadEstimateMatchesPaperClaims)
+{
+    const auto &spec = gpusim::rtx4090();
+    for (const auto &cfg : {cq4(), cq2()}) {
+        auto est = estimateQuantOverhead(spec, cfg, 16, 1024, 4096, 32);
+        // Paper: "<1 us" for the new token's K/V in decode.
+        EXPECT_LT(est.decode_us_per_token, 1.0) << cfg.name;
+        // Paper: "less than a 10% overhead compared to linear
+        // projections" in prefill.
+        EXPECT_LT(est.prefill_fraction_of_projections, 0.10)
+            << cfg.name;
+        EXPECT_GT(est.prefill_fraction_of_projections, 0.0);
+    }
+}
+
+TEST(KvAppendDeath, RejectsTileScope)
+{
+    auto prefill = kvSlice(32, 16, 13);
+    VQConfig cfg = gptvq2(); // per-tile scope shifts with token count
+    EXPECT_DEATH(KvCacheQuantizer(cfg, prefill, fastOpts()),
+                 "tile scope");
+}
+
+} // namespace
+} // namespace vqllm::vq

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for quantized-tensor serialization: bit-exact round trips for
+ * every paper configuration, and corruption handling.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "tensor/datagen.h"
+#include "vq/profiler.h"
+#include "vq/serialize.h"
+
+namespace vqllm::vq {
+namespace {
+
+QuantizedTensor
+sample(const VQConfig &base, std::uint64_t seed)
+{
+    VQConfig cfg = base;
+    cfg.num_entries = std::min<std::size_t>(cfg.num_entries, 32);
+    if (cfg.lattice) {
+        cfg.lattice_base_entries = 16;
+        cfg.num_entries = 16u << cfg.vector_size;
+    }
+    Rng rng(seed);
+    auto data = generateClustered(64, 32, ClusteredDataSpec{}, rng);
+    KMeansOptions opts;
+    opts.max_iters = 5;
+    return VectorQuantizer(cfg, opts).quantize(data);
+}
+
+class SerializeAllConfigs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SerializeAllConfigs, RoundTripIsBitExact)
+{
+    auto qt = sample(paperConfigs()[GetParam()], 100 + GetParam());
+    std::stringstream buffer;
+    saveQuantizedTensor(qt, buffer);
+    auto loaded = loadQuantizedTensor(buffer);
+
+    // Metadata round trip.
+    EXPECT_EQ(loaded.rows, qt.rows);
+    EXPECT_EQ(loaded.cols, qt.cols);
+    EXPECT_EQ(loaded.scope_units, qt.scope_units);
+    EXPECT_EQ(loaded.config.name, qt.config.name);
+    EXPECT_EQ(loaded.config.vector_size, qt.config.vector_size);
+    EXPECT_EQ(loaded.config.residuals, qt.config.residuals);
+    EXPECT_EQ(loaded.config.scope, qt.config.scope);
+    EXPECT_EQ(loaded.codebooks.size(), qt.codebooks.size());
+
+    // Index stream round trip.
+    ASSERT_EQ(loaded.indices.size(), qt.indices.size());
+    for (std::size_t i = 0; i < qt.indices.size(); ++i)
+        ASSERT_EQ(loaded.indices.get(i), qt.indices.get(i)) << i;
+
+    // Bit-exact reconstruction.
+    auto before = VectorQuantizer::dequantize(qt);
+    auto after = VectorQuantizer::dequantize(loaded);
+    EXPECT_EQ(maxAbsDiff(before, after), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperConfigs, SerializeAllConfigs,
+                         ::testing::Range(0, 5));
+
+TEST(Serialize, SurvivesReorderThenRoundTrip)
+{
+    auto qt = sample(cq2(), 7);
+    reorderByFrequency(qt);
+    std::stringstream buffer;
+    saveQuantizedTensor(qt, buffer);
+    auto loaded = loadQuantizedTensor(buffer);
+    EXPECT_EQ(maxAbsDiff(VectorQuantizer::dequantize(qt),
+                         VectorQuantizer::dequantize(loaded)),
+              0.0);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    auto qt = sample(cq4(), 9);
+    std::string path = ::testing::TempDir() + "/vqllm_serialize_test.vqt";
+    saveQuantizedTensorFile(qt, path);
+    auto loaded = loadQuantizedTensorFile(path);
+    EXPECT_EQ(maxAbsDiff(VectorQuantizer::dequantize(qt),
+                         VectorQuantizer::dequantize(loaded)),
+              0.0);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeath, RejectsCorruptArtifacts)
+{
+    // Wrong magic.
+    std::stringstream bad_magic("NOPE this is not an artifact");
+    EXPECT_EXIT(loadQuantizedTensor(bad_magic),
+                ::testing::ExitedWithCode(1), "not a VQ-LLM");
+
+    // Truncation mid-payload.
+    auto qt = sample(cq2(), 11);
+    std::stringstream buffer;
+    saveQuantizedTensor(qt, buffer);
+    std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_EXIT(loadQuantizedTensor(truncated),
+                ::testing::ExitedWithCode(1), "truncated|implausible");
+
+    // Version bump.
+    std::string versioned = full;
+    versioned[4] = 99; // little-endian version byte
+    std::stringstream wrong_version(versioned);
+    EXPECT_EXIT(loadQuantizedTensor(wrong_version),
+                ::testing::ExitedWithCode(1), "version");
+
+    // Missing file.
+    EXPECT_EXIT(loadQuantizedTensorFile("/nonexistent/x.vqt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace vqllm::vq

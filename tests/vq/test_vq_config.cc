@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests that the five paper configurations (Tbl. II) are encoded
+ * faithfully: vector sizes, entry counts, residuals, compression ratios.
+ */
+#include <gtest/gtest.h>
+
+#include "vq/vq_config.h"
+
+namespace vqllm::vq {
+namespace {
+
+TEST(VQConfig, Table2CompressionRatios)
+{
+    // Tbl. II: compression ratio against FP16.
+    EXPECT_DOUBLE_EQ(quip4().compressionRatio(), 0.25);
+    EXPECT_DOUBLE_EQ(aqlm3().compressionRatio(), 0.1875);
+    EXPECT_DOUBLE_EQ(gptvq2().compressionRatio(), 0.125);
+    EXPECT_DOUBLE_EQ(cq4().compressionRatio(), 0.25);
+    EXPECT_DOUBLE_EQ(cq2().compressionRatio(), 0.125);
+}
+
+TEST(VQConfig, Table2Parameters)
+{
+    auto q = quip4();
+    EXPECT_EQ(q.vector_size, 8u);
+    EXPECT_EQ(q.num_entries, 65536u);
+    EXPECT_EQ(q.residuals, 2u);
+    EXPECT_TRUE(q.lattice);
+    EXPECT_EQ(q.lattice_base_entries, 256u);
+    EXPECT_EQ(q.storedEntries(), 256u);
+
+    auto a = aqlm3();
+    EXPECT_EQ(a.vector_size, 8u);
+    EXPECT_EQ(a.num_entries, 4096u);
+    EXPECT_EQ(a.indexBits(), 12u); // the unaligned 12-bit format
+    EXPECT_EQ(a.residuals, 2u);
+
+    auto g = gptvq2();
+    EXPECT_EQ(g.vector_size, 4u);
+    EXPECT_EQ(g.num_entries, 256u);
+    EXPECT_EQ(g.scope, CodebookScope::PerTile);
+
+    auto c4 = cq4();
+    EXPECT_EQ(c4.vector_size, 2u);
+    EXPECT_EQ(c4.scope, CodebookScope::PerChannelGroup);
+
+    auto c2 = cq2();
+    EXPECT_EQ(c2.vector_size, 4u);
+    EXPECT_EQ(c2.notation(), "VQ<4,8,1>");
+}
+
+TEST(VQConfig, BitsPerElement)
+{
+    EXPECT_DOUBLE_EQ(quip4().bitsPerElement(), 4.0);
+    EXPECT_DOUBLE_EQ(aqlm3().bitsPerElement(), 3.0);
+    EXPECT_DOUBLE_EQ(gptvq2().bitsPerElement(), 2.0);
+    EXPECT_DOUBLE_EQ(cq4().bitsPerElement(), 4.0);
+    EXPECT_DOUBLE_EQ(cq2().bitsPerElement(), 2.0);
+}
+
+TEST(VQConfig, EntryAndCodebookBytes)
+{
+    // CQ-2: 256 entries x 4 elements x 2 bytes = 2 KiB per codebook.
+    EXPECT_EQ(cq2().entryBytes(), 8u);
+    EXPECT_EQ(cq2().codebookBytes(), 2048u);
+    // QuiP#-4 stores only the 256-entry base: 256 x 8 x 2 = 4 KiB.
+    EXPECT_EQ(quip4().codebookBytes(), 4096u);
+    // AQLM-3: 4096 x 8 x 2 = 64 KiB per codebook (x2 residuals = the
+    // 128 KiB/block figure in Tbl. V).
+    EXPECT_EQ(aqlm3().codebookBytes(), 65536u);
+}
+
+TEST(VQConfig, PaperConfigsOrderAndCount)
+{
+    const auto &cfgs = paperConfigs();
+    ASSERT_EQ(cfgs.size(), 5u);
+    EXPECT_EQ(cfgs[0].name, "QuiP#-4");
+    EXPECT_EQ(cfgs[1].name, "AQLM-3");
+    EXPECT_EQ(cfgs[2].name, "GPTVQ-2");
+    EXPECT_EQ(cfgs[3].name, "CQ-4");
+    EXPECT_EQ(cfgs[4].name, "CQ-2");
+}
+
+} // namespace
+} // namespace vqllm::vq
