@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Serving-throughput comparison: sustained QPS under an SLO for FP16,
+ * element-wise 4-bit, VQ-LLM 4-bit and VQ-LLM 2-bit.
+ *
+ * For each scheme the harness (1) serves a fixed reference load and
+ * reports the latency profile, then (2) searches the largest arrival
+ * rate whose latency percentiles stay inside the SLO (p95 TTFT and p95
+ * TBT) with no preemption storms — the "max QPS under SLO" a capacity
+ * planner provisions against.  Quantized KV caches win twice: smaller
+ * weights leave more HBM to the block pool, and fewer KV bytes per
+ * token stretch that pool over more concurrent contexts, so VQ schemes
+ * saturate at strictly higher QPS than FP16.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "serving/simulator.h"
+
+using namespace vqllm;
+
+namespace {
+
+/** SLO of the capacity search. */
+constexpr double kTtftP95SloUs = 1500e3; // 1.5 s to first token
+constexpr double kTbtP95SloUs = 200e3;   // 200 ms between tokens
+
+serving::ServingReport
+runAt(llm::QuantScheme scheme, double qps)
+{
+    serving::SimulatorConfig cfg;
+    cfg.scheme = scheme;
+    cfg.workload.qps = qps;
+    cfg.workload.duration_s = 15;
+    cfg.workload.seed = 42;
+    return serving::ServingSimulator(cfg).run();
+}
+
+bool
+meetsSlo(const serving::ServingReport &r)
+{
+    return r.ttft.p95_us <= kTtftP95SloUs &&
+           r.tbt.p95_us <= kTbtP95SloUs && r.rejected_requests == 0;
+}
+
+/** Largest sustainable QPS via bisection on [lo, hi). */
+double
+maxQpsUnderSlo(llm::QuantScheme scheme)
+{
+    double lo = 0.25, hi = 64.0;
+    if (!meetsSlo(runAt(scheme, lo)))
+        return 0.0;
+    while (hi - lo > 0.25) {
+        double mid = 0.5 * (lo + hi);
+        if (meetsSlo(runAt(scheme, mid)))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double ref_qps = 8.0;
+    std::printf("Serving comparison: Llama-7B on %s, Poisson arrivals, "
+                "seed 42\n\n",
+                gpusim::rtx4090().name.c_str());
+
+    std::printf("Latency profile at the reference load (%.0f QPS, "
+                "15 s):\n\n",
+                ref_qps);
+    TextTable profile({"scheme", "TTFT p95 (ms)", "TBT p95 (ms)",
+                       "tok/s", "KV peak", "preempt", "book hit"});
+    for (auto scheme : llm::kAllQuantSchemes) {
+        auto r = runAt(scheme, ref_qps);
+        profile.addRow(
+            {llm::quantSchemeName(scheme),
+             formatDouble(r.ttft.p95_us / 1e3, 1),
+             formatDouble(r.tbt.p95_us / 1e3, 1),
+             formatDouble(r.tokens_per_sec, 0),
+             formatBytes(static_cast<double>(r.kv_peak_bytes)),
+             std::to_string(r.preemptions),
+             formatPercent(r.codebook_hit_rate, 1)});
+    }
+    std::printf("%s\n", profile.render().c_str());
+
+    std::printf("Max QPS under SLO (p95 TTFT <= %.1f s, p95 TBT <= "
+                "%.0f ms):\n\n",
+                kTtftP95SloUs / 1e6, kTbtP95SloUs / 1e3);
+    TextTable capacity({"scheme", "max QPS", "vs FP16"});
+    double fp16_qps = 0;
+    for (auto scheme : llm::kAllQuantSchemes) {
+        double qps = maxQpsUnderSlo(scheme);
+        if (scheme == llm::QuantScheme::FP16)
+            fp16_qps = qps;
+        capacity.addRow({llm::quantSchemeName(scheme),
+                         formatDouble(qps, 2),
+                         fp16_qps > 0
+                             ? formatDouble(qps / fp16_qps, 2) + "x"
+                             : "-"});
+    }
+    std::printf("%s\n", capacity.render().c_str());
+    std::printf("quantized KV caches turn kernel-level speedups into "
+                "capacity: more HBM left for\nthe block pool and fewer "
+                "bytes per cached token raise the sustainable arrival "
+                "rate.\n");
+    return 0;
+}

@@ -15,28 +15,7 @@ using engine::GemmShape;
 using engine::OpKind;
 using engine::OptLevel;
 
-const char *
-quantSchemeName(QuantScheme scheme)
-{
-    switch (scheme) {
-      case QuantScheme::FP16: return "FP16";
-      case QuantScheme::EWQ4: return "qServe (4 bit)";
-      case QuantScheme::VQ4:  return "VQ-LLM (4 bit)";
-      case QuantScheme::VQ2:  return "VQ-LLM (2 bit)";
-    }
-    return "?";
-}
-
 namespace {
-
-/** Weight/KV VQ configs of a scheme (weights, kv). */
-std::pair<vq::VQConfig, vq::VQConfig>
-vqConfigsFor(QuantScheme scheme)
-{
-    if (scheme == QuantScheme::VQ2)
-        return {vq::gptvq2(), vq::cq2()};
-    return {vq::quip4(), vq::cq4()};
-}
 
 /** Best adaptive VQ latency for a weight kernel. */
 double
@@ -95,10 +74,28 @@ bestVqAttnUs(const gpusim::GpuSpec &spec, const engine::AttnShape &shape,
 } // namespace
 
 double
+estimatePrefillUs(const gpusim::GpuSpec &spec, const LlamaConfig &model,
+                  std::size_t batch, std::size_t prompt_len)
+{
+    std::size_t rows = batch * prompt_len;
+    double layer_us = 0;
+    for (auto [n, k] : model.layerLinearShapes()) {
+        GemmShape shape{rows, n, k};
+        layer_us += kernels::fp16GemmEstimate(spec, shape).us();
+    }
+    // Causal attention: ~2 ops x B*H*(T^2/2)*C MACs per layer.
+    double attn_flops = 2.0 * 2.0 * batch * model.heads * 0.5 *
+                        static_cast<double>(prompt_len) * prompt_len *
+                        model.head_dim;
+    layer_us += attn_flops / (spec.fp16_tensor_tflops * 1e12 * 0.5) * 1e6;
+    return layer_us * static_cast<double>(model.layers);
+}
+
+double
 schemeLinearUs(const gpusim::GpuSpec &spec, QuantScheme scheme,
                const GemmShape &shape)
 {
-    auto weight_cfg = vqConfigsFor(scheme).first;
+    auto weight_cfg = schemeVqConfigs(scheme).first;
     switch (scheme) {
       case QuantScheme::FP16:
         return kernels::fp16GemvEstimate(spec, shape).us();
@@ -115,7 +112,7 @@ double
 schemeAttentionUs(const gpusim::GpuSpec &spec, QuantScheme scheme,
                   const engine::AttnShape &shape)
 {
-    auto kv_cfg = vqConfigsFor(scheme).second;
+    auto kv_cfg = schemeVqConfigs(scheme).second;
     switch (scheme) {
       case QuantScheme::FP16:
         return kernels::fp16AttentionEstimate(spec, shape).us();
@@ -132,7 +129,6 @@ E2EResult
 estimateE2E(const gpusim::GpuSpec &spec, const LlamaConfig &model,
             QuantScheme scheme, const E2EConfig &cfg)
 {
-    auto [weight_cfg, kv_cfg] = vqConfigsFor(scheme);
     E2EResult result;
 
     // ---- Decode: evaluate one representative step at mid-generation
@@ -154,55 +150,18 @@ estimateE2E(const gpusim::GpuSpec &spec, const LlamaConfig &model,
     result.elementwise_fraction =
         step_elem_us * model.layers / step_us;
 
-    // ---- Prefill: GeMM-dominated, plus causal attention flops.
-    std::size_t prefill_rows = cfg.batch * cfg.prompt_len;
-    double layer_prefill_us = 0;
-    for (auto [n, k] : model.layerLinearShapes()) {
-        GemmShape shape{prefill_rows, n, k};
-        // Weight quantization barely helps prefill GeMMs (compute
-        // bound); use the FP16 GeMM model for all schemes, as the paper
-        // does by leaving cutlass GeMM unmodified (Sec. VII-D).
-        layer_prefill_us += kernels::fp16GemmEstimate(spec, shape).us();
-    }
-    // Causal attention: ~2 ops x B*H*(T^2/2)*C MACs per layer.
-    double attn_flops = 2.0 * 2.0 * cfg.batch * model.heads * 0.5 *
-                        static_cast<double>(cfg.prompt_len) *
-                        cfg.prompt_len * model.head_dim;
-    layer_prefill_us +=
-        attn_flops / (spec.fp16_tensor_tflops * 1e12 * 0.5) * 1e6;
-    result.prefill_us = layer_prefill_us *
-                        static_cast<double>(model.layers);
+    // ---- Prefill (scheme-independent, see estimatePrefillUs).
+    result.prefill_us =
+        estimatePrefillUs(spec, model, cfg.batch, cfg.prompt_len);
 
-    // ---- Memory footprint.
-    double weight_scale;
-    switch (scheme) {
-      case QuantScheme::FP16: weight_scale = 2.0; break;
-      case QuantScheme::EWQ4: weight_scale = 0.5 + 4.0 / 128; break;
-      case QuantScheme::VQ4:
-        weight_scale = 2.0 * weight_cfg.compressionRatio();
-        break;
-      case QuantScheme::VQ2:
-        weight_scale = 2.0 * weight_cfg.compressionRatio();
-        break;
-      default: weight_scale = 2.0; break;
-    }
+    // ---- Memory footprint (shared scheme scales, model_config.h).
     result.weight_bytes = static_cast<std::uint64_t>(
-        static_cast<double>(model.decoderParams()) * weight_scale);
-    double kv_scale;
-    switch (scheme) {
-      case QuantScheme::FP16: kv_scale = 1.0; break;
-      case QuantScheme::EWQ4: kv_scale = 0.25 + 0.02; break;
-      case QuantScheme::VQ4:
-      case QuantScheme::VQ2:
-        // Packed indices plus a small codebook overhead.
-        kv_scale = kv_cfg.compressionRatio() + 0.01;
-        break;
-      default: kv_scale = 1.0; break;
-    }
+        static_cast<double>(model.decoderParams()) *
+        schemeWeightBytesPerParam(scheme));
     result.kv_bytes = static_cast<std::uint64_t>(
         static_cast<double>(model.kvCacheBytesFp16(
             cfg.batch, cfg.prompt_len + cfg.gen_tokens)) *
-        kv_scale);
+        schemeKvScale(scheme));
     return result;
 }
 

@@ -15,16 +15,8 @@
 
 namespace vqllm::llm {
 
-/** Quantization scheme of an end-to-end run. */
-enum class QuantScheme {
-    FP16,   ///< no quantization
-    EWQ4,   ///< qServe-style W4A8KV4 element-wise quantization
-    VQ4,    ///< VQ-LLM 4-bit: QuiP#-4 weights + CQ-4 KV cache
-    VQ2,    ///< VQ-LLM 2-bit: GPTVQ-2 weights + CQ-2 KV cache
-};
-
-/** @return printable scheme name. */
-const char *quantSchemeName(QuantScheme scheme);
+// QuantScheme and its scheme -> bytes mappings live in
+// llm/model_config.h (shared with the serving-layer KV block pool).
 
 /** Serving scenario of the end-to-end evaluation. */
 struct E2EConfig
@@ -72,6 +64,19 @@ struct E2EResult
 E2EResult estimateE2E(const gpusim::GpuSpec &spec,
                       const LlamaConfig &model, QuantScheme scheme,
                       const E2EConfig &cfg = E2EConfig{});
+
+/**
+ * Full-stack prefill latency of a batch of equal-length prompts.
+ *
+ * GeMM-dominated: weight quantization barely helps the compute-bound
+ * prefill, so every scheme prices GeMMs with the FP16 model (the paper
+ * leaves cutlass GeMM unmodified, Sec. VII-D), plus the causal
+ * attention flops.  Shared by estimateE2E and the serving simulator's
+ * iteration pricer.
+ */
+double estimatePrefillUs(const gpusim::GpuSpec &spec,
+                         const LlamaConfig &model, std::size_t batch,
+                         std::size_t prompt_len);
 
 /** Latency of one decode-phase linear layer under a scheme (best
  *  adaptive VQ version for the VQ schemes). */

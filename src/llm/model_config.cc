@@ -1,6 +1,88 @@
 #include "llm/model_config.h"
 
+#include <algorithm>
+#include <cctype>
+
 namespace vqllm::llm {
+
+const char *
+quantSchemeName(QuantScheme scheme)
+{
+    switch (scheme) {
+      case QuantScheme::FP16: return "FP16";
+      case QuantScheme::EWQ4: return "qServe (4 bit)";
+      case QuantScheme::VQ4:  return "VQ-LLM (4 bit)";
+      case QuantScheme::VQ2:  return "VQ-LLM (2 bit)";
+    }
+    return "?";
+}
+
+bool
+parseQuantScheme(const std::string &token, QuantScheme *out)
+{
+    std::string t = token;
+    std::transform(t.begin(), t.end(), t.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (t == "fp16")
+        *out = QuantScheme::FP16;
+    else if (t == "ewq4" || t == "qserve")
+        *out = QuantScheme::EWQ4;
+    else if (t == "vq4")
+        *out = QuantScheme::VQ4;
+    else if (t == "vq2")
+        *out = QuantScheme::VQ2;
+    else
+        return false;
+    return true;
+}
+
+std::pair<vq::VQConfig, vq::VQConfig>
+schemeVqConfigs(QuantScheme scheme)
+{
+    if (scheme == QuantScheme::VQ2)
+        return {vq::gptvq2(), vq::cq2()};
+    return {vq::quip4(), vq::cq4()};
+}
+
+double
+schemeWeightBytesPerParam(QuantScheme scheme)
+{
+    switch (scheme) {
+      case QuantScheme::FP16:
+        return 2.0;
+      case QuantScheme::EWQ4:
+        // 4-bit weights plus one FP16 scale per 128-element group.
+        return 0.5 + 4.0 / 128;
+      case QuantScheme::VQ4:
+      case QuantScheme::VQ2:
+        return 2.0 * schemeVqConfigs(scheme).first.compressionRatio();
+    }
+    return 2.0;
+}
+
+double
+schemeKvScale(QuantScheme scheme)
+{
+    switch (scheme) {
+      case QuantScheme::FP16:
+        return 1.0;
+      case QuantScheme::EWQ4:
+        // 4-bit entries plus per-group scale/zero-point overhead.
+        return 0.25 + 0.02;
+      case QuantScheme::VQ4:
+      case QuantScheme::VQ2:
+        // Packed indices plus a small codebook overhead.
+        return schemeVqConfigs(scheme).second.compressionRatio() + 0.01;
+    }
+    return 1.0;
+}
+
+std::uint64_t
+schemeKvBytesPerToken(const LlamaConfig &model, QuantScheme scheme)
+{
+    double fp16 = static_cast<double>(model.kvCacheBytesFp16(1, 1));
+    return static_cast<std::uint64_t>(fp16 * schemeKvScale(scheme));
+}
 
 const LlamaConfig &
 llama7b()

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/op_desc.h"
@@ -74,6 +75,51 @@ struct LlamaConfig
         return {batch, heads, seq_len, head_dim, kv_heads};
     }
 };
+
+/** Quantization scheme of an end-to-end run. */
+enum class QuantScheme {
+    FP16,   ///< no quantization
+    EWQ4,   ///< qServe-style W4A8KV4 element-wise quantization
+    VQ4,    ///< VQ-LLM 4-bit: QuiP#-4 weights + CQ-4 KV cache
+    VQ2,    ///< VQ-LLM 2-bit: GPTVQ-2 weights + CQ-2 KV cache
+};
+
+/** All schemes in evaluation order (paper Fig. 17). */
+inline constexpr QuantScheme kAllQuantSchemes[] = {
+    QuantScheme::FP16,
+    QuantScheme::EWQ4,
+    QuantScheme::VQ4,
+    QuantScheme::VQ2,
+};
+
+/** @return printable scheme name. */
+const char *quantSchemeName(QuantScheme scheme);
+
+/**
+ * Parse a scheme from a CLI-style token ("fp16", "ewq4", "vq4", "vq2").
+ *
+ * @return true and sets *out on success; false on unknown token.
+ */
+bool parseQuantScheme(const std::string &token, QuantScheme *out);
+
+/** Weight/KV VQ configurations of a scheme as (weights, kv). The VQ
+ *  members are meaningful for VQ4/VQ2 only; FP16/EWQ4 return the 4-bit
+ *  configs as placeholders for histogram-free call sites. */
+std::pair<vq::VQConfig, vq::VQConfig> schemeVqConfigs(QuantScheme scheme);
+
+/** Weight-memory bytes per model parameter under a scheme (FP16 = 2;
+ *  element-wise 4-bit adds per-group scale overhead; VQ uses the
+ *  configured compression ratio). */
+double schemeWeightBytesPerParam(QuantScheme scheme);
+
+/** KV-cache bytes under a scheme relative to FP16 (1.0 for FP16; packed
+ *  indices plus codebook/scale overhead for the quantized schemes). */
+double schemeKvScale(QuantScheme scheme);
+
+/** KV-cache bytes one cached token occupies across the whole decoder
+ *  stack (all layers, K and V) under a scheme. */
+std::uint64_t schemeKvBytesPerToken(const LlamaConfig &model,
+                                    QuantScheme scheme);
 
 /** @return the Llama-7B configuration. */
 const LlamaConfig &llama7b();

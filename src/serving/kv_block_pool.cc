@@ -1,0 +1,167 @@
+#include "serving/kv_block_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vqllm::serving {
+
+KvBlockPool::KvBlockPool(const KvBlockPoolConfig &cfg) : cfg_(cfg)
+{
+    vqllm_assert(cfg_.block_tokens > 0, "block_tokens must be positive");
+    vqllm_assert(cfg_.bytes_per_token > 0,
+                "bytes_per_token must be positive");
+    total_blocks_ = cfg_.capacity_bytes / blockBytes();
+}
+
+bool
+KvBlockPool::allocSequence(std::uint64_t seq_id, std::size_t tokens)
+{
+    vqllm_assert(seqs_.find(seq_id) == seqs_.end(),
+                "sequence already resident");
+    std::uint64_t need = blocksForTokens(tokens);
+    if (need > freeBlocks()) {
+        ++stats_.failed_allocs;
+        return false;
+    }
+    seqs_[seq_id] = SeqEntry{tokens, need};
+    used_blocks_ += need;
+    stored_tokens_ += tokens;
+    stats_.block_allocs += need;
+    stats_.peak_used_blocks =
+        std::max(stats_.peak_used_blocks, used_blocks_);
+    return true;
+}
+
+bool
+KvBlockPool::appendToken(std::uint64_t seq_id)
+{
+    auto it = seqs_.find(seq_id);
+    vqllm_assert(it != seqs_.end(), "sequence not resident");
+    SeqEntry &e = it->second;
+    std::uint64_t need = blocksForTokens(e.tokens + 1);
+    if (need > e.blocks) {
+        if (freeBlocks() == 0) {
+            ++stats_.failed_allocs;
+            return false;
+        }
+        ++e.blocks;
+        ++used_blocks_;
+        ++stats_.block_allocs;
+        stats_.peak_used_blocks =
+            std::max(stats_.peak_used_blocks, used_blocks_);
+    }
+    ++e.tokens;
+    ++stored_tokens_;
+    return true;
+}
+
+void
+KvBlockPool::freeSequence(std::uint64_t seq_id)
+{
+    auto it = seqs_.find(seq_id);
+    if (it == seqs_.end())
+        return;
+    used_blocks_ -= it->second.blocks;
+    stored_tokens_ -= it->second.tokens;
+    stats_.block_frees += it->second.blocks;
+    seqs_.erase(it);
+}
+
+std::uint64_t
+KvBlockPool::seqBlocks(std::uint64_t seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    return it == seqs_.end() ? 0 : it->second.blocks;
+}
+
+std::size_t
+KvBlockPool::seqTokens(std::uint64_t seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    return it == seqs_.end() ? 0 : it->second.tokens;
+}
+
+double
+KvBlockPool::internalFragmentation() const
+{
+    std::uint64_t slots = used_blocks_ * cfg_.block_tokens;
+    if (slots == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(stored_tokens_) /
+                     static_cast<double>(slots);
+}
+
+// ---------------------------------------------------------------------
+// CodebookResidency
+
+CodebookResidency::CodebookResidency(std::size_t slots) : slots_(slots)
+{
+    vqllm_assert(slots_ > 0, "residency cache needs at least one slot");
+}
+
+bool
+CodebookResidency::resident(std::uint64_t group) const
+{
+    return resident_.find(group) != resident_.end();
+}
+
+CodebookResidency::BatchResult
+CodebookResidency::touchBatch(const std::vector<std::uint64_t> &groups)
+{
+    BatchResult out;
+
+    // Deduplicate: one upload serves every sequence sharing the group.
+    std::vector<std::uint64_t> unique = groups;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()),
+                 unique.end());
+
+    // Pin already-resident members of the batch so admissions below
+    // cannot evict them mid-iteration.
+    for (std::uint64_t g : unique) {
+        auto it = resident_.find(g);
+        if (it != resident_.end())
+            it->second.pinned = true;
+    }
+
+    for (std::uint64_t g : unique) {
+        auto it = resident_.find(g);
+        if (it != resident_.end()) {
+            ++it->second.freq;
+            ++out.hits;
+            continue;
+        }
+        ++out.misses;
+        if (resident_.size() >= slots_) {
+            // Hit-aware LFU victim: min frequency among unpinned
+            // residents; ties toward the smallest group id.
+            auto victim = resident_.end();
+            for (auto cand = resident_.begin(); cand != resident_.end();
+                 ++cand) {
+                if (cand->second.pinned)
+                    continue;
+                if (victim == resident_.end() ||
+                    cand->second.freq < victim->second.freq ||
+                    (cand->second.freq == victim->second.freq &&
+                     cand->first < victim->first))
+                    victim = cand;
+            }
+            if (victim == resident_.end())
+                continue; // whole cache pinned by this batch: overflow
+            resident_.erase(victim);
+            ++out.evictions;
+        }
+        resident_.emplace(g, Slot{1, true});
+    }
+
+    for (auto &[g, slot] : resident_)
+        slot.pinned = false;
+
+    stats_.hits += out.hits;
+    stats_.misses += out.misses;
+    stats_.evictions += out.evictions;
+    return out;
+}
+
+} // namespace vqllm::serving

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Paged VQ KV-cache block pool and codebook residency cache.
+ *
+ * The serving layer stores every sequence's quantized KV cache in
+ * fixed-size token blocks (paged-attention style).  Fixed pages remove
+ * external fragmentation entirely, so the pool's job is accounting:
+ * per-sequence block lists, capacity pressure (a failed extension is the
+ * scheduler's preemption signal), the high-water mark, and internal
+ * fragmentation (allocated-but-unused token slots in tail blocks).
+ * Bytes per token come from the quantization scheme
+ * (llm::schemeKvBytesPerToken), which is where VQ buys its capacity: a
+ * CQ-2 cache packs ~7x the tokens of FP16 into the same HBM.
+ *
+ * CodebookResidency models the GPU-resident codebook slots shared by a
+ * mixed batch: each request's codebook group must be resident for the
+ * iteration that touches it.  Eviction is hit-aware LFU — frequencies
+ * accumulate across iterations, and groups referenced by the *current*
+ * batch are pinned so they cannot evict each other mid-iteration (the
+ * masking idiom of hit-aware LFU embedding caches).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vqllm::serving {
+
+/** Static parameters of the block pool. */
+struct KvBlockPoolConfig
+{
+    /** HBM bytes reserved for the KV cache. */
+    std::uint64_t capacity_bytes = 8ull << 30;
+    /** Tokens per block (paged-attention page size). */
+    std::size_t block_tokens = 16;
+    /** KV bytes one token occupies across all layers under the active
+     *  quantization scheme. */
+    std::uint64_t bytes_per_token = 1;
+};
+
+/** Lifetime counters of the pool. */
+struct KvBlockPoolStats
+{
+    std::uint64_t block_allocs = 0;
+    std::uint64_t block_frees = 0;
+    /** Allocation requests refused for lack of free blocks. */
+    std::uint64_t failed_allocs = 0;
+    /** Peak concurrently-used blocks. */
+    std::uint64_t peak_used_blocks = 0;
+};
+
+/**
+ * Fixed-size paged allocator for quantized KV caches.
+ *
+ * Sequences allocate whole blocks; a sequence holding t tokens owns
+ * ceil(t / block_tokens) blocks.  All operations are O(1) in the number
+ * of resident sequences.
+ */
+class KvBlockPool
+{
+  public:
+    explicit KvBlockPool(const KvBlockPoolConfig &cfg);
+
+    /** @return total blocks the capacity affords. */
+    std::uint64_t totalBlocks() const { return total_blocks_; }
+
+    /** @return currently free blocks. */
+    std::uint64_t
+    freeBlocks() const
+    {
+        return total_blocks_ - used_blocks_;
+    }
+
+    std::uint64_t usedBlocks() const { return used_blocks_; }
+
+    /** @return blocks needed to hold n tokens. */
+    std::uint64_t
+    blocksForTokens(std::size_t tokens) const
+    {
+        return (tokens + cfg_.block_tokens - 1) / cfg_.block_tokens;
+    }
+
+    /** @return true if a sequence of n tokens could ever fit. */
+    bool
+    canEverFit(std::size_t tokens) const
+    {
+        return blocksForTokens(tokens) <= total_blocks_;
+    }
+
+    /**
+     * Reserve blocks for a new (or re-prefilling) sequence of n tokens.
+     *
+     * @return false (and change nothing) if free blocks are insufficient
+     */
+    bool allocSequence(std::uint64_t seq_id, std::size_t tokens);
+
+    /**
+     * Extend a resident sequence by one token, taking a fresh block when
+     * the token crosses a block boundary.
+     *
+     * @return false if a block was needed and none was free (the
+     *         scheduler's preemption signal); the sequence is unchanged
+     */
+    bool appendToken(std::uint64_t seq_id);
+
+    /** Release all blocks of a sequence (completion or preemption). */
+    void freeSequence(std::uint64_t seq_id);
+
+    /** @return blocks held by a sequence (0 if not resident). */
+    std::uint64_t seqBlocks(std::uint64_t seq_id) const;
+
+    /** @return tokens stored by a sequence (0 if not resident). */
+    std::size_t seqTokens(std::uint64_t seq_id) const;
+
+    std::uint64_t
+    usedBytes() const
+    {
+        return used_blocks_ * blockBytes();
+    }
+
+    /** @return peak concurrently-used KV bytes (high-water mark). */
+    std::uint64_t
+    peakBytes() const
+    {
+        return stats_.peak_used_blocks * blockBytes();
+    }
+
+    /** @return bytes of one block. */
+    std::uint64_t
+    blockBytes() const
+    {
+        return cfg_.block_tokens * cfg_.bytes_per_token;
+    }
+
+    /**
+     * Internal fragmentation: fraction of allocated token slots not
+     * holding a token (tail-block slack).  Fixed paging has no external
+     * fragmentation, so this is the pool's only wasted space.
+     */
+    double internalFragmentation() const;
+
+    const KvBlockPoolStats &stats() const { return stats_; }
+    const KvBlockPoolConfig &config() const { return cfg_; }
+
+  private:
+    struct SeqEntry
+    {
+        std::size_t tokens = 0;
+        std::uint64_t blocks = 0;
+    };
+
+    KvBlockPoolConfig cfg_;
+    std::uint64_t total_blocks_ = 0;
+    std::uint64_t used_blocks_ = 0;
+    std::size_t stored_tokens_ = 0;
+    std::unordered_map<std::uint64_t, SeqEntry> seqs_;
+    KvBlockPoolStats stats_;
+};
+
+/** Lifetime counters of the residency cache. */
+struct CodebookResidencyStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total == 0 ? 1.0
+                          : static_cast<double>(hits) / total;
+    }
+};
+
+/**
+ * Hit-aware LFU cache of GPU-resident codebook-group slots.
+ *
+ * touchBatch() processes one iteration's working set: every group in the
+ * batch is pinned for the duration of the call, so admitting a missing
+ * group can only evict groups *outside* the current batch.  Eviction
+ * picks the minimum-frequency unpinned resident (ties broken toward the
+ * smallest group id for determinism).
+ */
+class CodebookResidency
+{
+  public:
+    /** @param slots resident codebook-group capacity (>= 1). */
+    explicit CodebookResidency(std::size_t slots);
+
+    /** Per-iteration outcome of touchBatch. */
+    struct BatchResult
+    {
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+        std::size_t evictions = 0;
+    };
+
+    /**
+     * Reference one iteration's codebook groups (duplicates are
+     * counted once — a group serves every sequence in the batch that
+     * shares it).  Misses admit the group, evicting hit-aware-LFU
+     * victims as needed.  If the batch holds more distinct groups than
+     * slots, the overflow groups stay non-resident and count as misses
+     * every iteration (they stream from HBM).
+     */
+    BatchResult touchBatch(const std::vector<std::uint64_t> &groups);
+
+    bool resident(std::uint64_t group) const;
+    std::size_t size() const { return resident_.size(); }
+    std::size_t capacity() const { return slots_; }
+    const CodebookResidencyStats &stats() const { return stats_; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t freq = 0;
+        bool pinned = false;
+    };
+
+    std::size_t slots_;
+    std::unordered_map<std::uint64_t, Slot> resident_;
+    CodebookResidencyStats stats_;
+};
+
+} // namespace vqllm::serving

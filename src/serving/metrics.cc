@@ -1,0 +1,77 @@
+#include "serving/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace vqllm::serving {
+
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    q = std::clamp(q, 0.0, 1.0);
+    double rank = q * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+LatencyStats
+summarize(std::vector<double> samples)
+{
+    LatencyStats s;
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end());
+    s.count = samples.size();
+    s.mean_us = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                static_cast<double>(samples.size());
+    s.p50_us = percentile(samples, 0.50);
+    s.p95_us = percentile(samples, 0.95);
+    s.p99_us = percentile(samples, 0.99);
+    s.max_us = samples.back();
+    return s;
+}
+
+std::string
+ServingReport::summary() const
+{
+    char buf[1024];
+    auto line = [](const char *name, const LatencyStats &s) {
+        char b[192];
+        std::snprintf(b, sizeof(b),
+                      "  %-5s p50 %9.1f ms  p95 %9.1f ms  p99 %9.1f ms"
+                      "  (n=%zu)\n",
+                      name, s.p50_us / 1e3, s.p95_us / 1e3,
+                      s.p99_us / 1e3, s.count);
+        return std::string(b);
+    };
+    std::string out;
+    out += line("TTFT", ttft);
+    out += line("TBT", tbt);
+    out += line("E2E", e2e);
+    std::snprintf(buf, sizeof(buf),
+                  "  throughput %.1f tok/s over %.1f s simulated\n"
+                  "  completed %llu, rejected %llu, preemptions %llu, "
+                  "iterations %llu\n"
+                  "  KV high-water %.2f GB of %.2f GB, codebook hit rate "
+                  "%.1f%%\n",
+                  tokens_per_sec, sim_time_us / 1e6,
+                  static_cast<unsigned long long>(completed_requests),
+                  static_cast<unsigned long long>(rejected_requests),
+                  static_cast<unsigned long long>(preemptions),
+                  static_cast<unsigned long long>(iterations),
+                  static_cast<double>(kv_peak_bytes) / 1e9,
+                  static_cast<double>(kv_capacity_bytes) / 1e9,
+                  codebook_hit_rate * 100.0);
+    out += buf;
+    return out;
+}
+
+} // namespace vqllm::serving

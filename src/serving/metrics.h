@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Serving-level metrics: latency percentiles and throughput counters.
+ *
+ * The simulator records three latency populations per run — TTFT (time
+ * to first token, including queueing and prefill), TBT (time between
+ * consecutive output tokens of one request, so preemption stalls appear
+ * as TBT outliers) and request end-to-end latency — plus the counters a
+ * capacity planner needs: sustained tokens/sec, the KV high-water mark,
+ * preemptions, and codebook residency hit rate.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vqllm::serving {
+
+/** Summary statistics of one latency population (microseconds). */
+struct LatencyStats
+{
+    std::size_t count = 0;
+    double mean_us = 0;
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+};
+
+/**
+ * Percentile by linear interpolation between closest ranks.
+ *
+ * @param sorted ascending samples (empty returns 0)
+ * @param q      quantile in [0, 1]
+ */
+double percentile(const std::vector<double> &sorted, double q);
+
+/** Summarize a latency population (sorts a copy; empty input → zeros). */
+LatencyStats summarize(std::vector<double> samples);
+
+/** Accumulator the simulator feeds while the clock advances. */
+class MetricsCollector
+{
+  public:
+    void
+    recordTtft(double us)
+    {
+        ttft_us_.push_back(us);
+    }
+
+    void
+    recordTbt(double us)
+    {
+        tbt_us_.push_back(us);
+    }
+
+    void
+    recordE2e(double us)
+    {
+        e2e_us_.push_back(us);
+    }
+
+    void
+    recordDecodeTokens(std::uint64_t n)
+    {
+        decode_tokens_ += n;
+    }
+
+    void
+    recordPrefillTokens(std::uint64_t n)
+    {
+        prefill_tokens_ += n;
+    }
+
+    void
+    recordPreemption()
+    {
+        ++preemptions_;
+    }
+
+    const std::vector<double> &ttftSamples() const { return ttft_us_; }
+    const std::vector<double> &tbtSamples() const { return tbt_us_; }
+    const std::vector<double> &e2eSamples() const { return e2e_us_; }
+    std::uint64_t decodeTokens() const { return decode_tokens_; }
+    std::uint64_t prefillTokens() const { return prefill_tokens_; }
+    std::uint64_t preemptions() const { return preemptions_; }
+
+  private:
+    std::vector<double> ttft_us_;
+    std::vector<double> tbt_us_;
+    std::vector<double> e2e_us_;
+    std::uint64_t decode_tokens_ = 0;
+    std::uint64_t prefill_tokens_ = 0;
+    std::uint64_t preemptions_ = 0;
+};
+
+/** Final report of one serving simulation. */
+struct ServingReport
+{
+    LatencyStats ttft;
+    LatencyStats tbt;
+    LatencyStats e2e;
+
+    /** Simulated makespan (last event timestamp), microseconds. */
+    double sim_time_us = 0;
+    /** Decode tokens emitted per simulated second. */
+    double tokens_per_sec = 0;
+    std::uint64_t completed_requests = 0;
+    std::uint64_t rejected_requests = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t decode_tokens = 0;
+    std::uint64_t prefill_tokens = 0;
+    /** Scheduler iterations executed. */
+    std::uint64_t iterations = 0;
+
+    /** KV-cache high-water mark, bytes. */
+    std::uint64_t kv_peak_bytes = 0;
+    std::uint64_t kv_capacity_bytes = 0;
+    /** Codebook residency hit rate over the run ([0,1]; 1 when the
+     *  scheme has no codebooks). */
+    double codebook_hit_rate = 1.0;
+
+    /** @return multi-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace vqllm::serving

@@ -1,0 +1,54 @@
+#include "serving/request.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vqllm::serving {
+
+namespace {
+
+/** Log-normal sample around a median, clamped to [lo, hi]. */
+std::size_t
+sampleLength(Rng &rng, std::size_t median, double sigma, std::size_t lo,
+             std::size_t hi)
+{
+    double x = static_cast<double>(median) *
+               std::exp(sigma * rng.normal());
+    auto n = static_cast<std::size_t>(std::llround(x));
+    return std::clamp(n, lo, hi);
+}
+
+} // namespace
+
+std::vector<Request>
+generateWorkload(const WorkloadConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    auto group_weights =
+        powerLawWeights(cfg.num_codebook_groups, cfg.group_zipf_alpha);
+
+    std::vector<Request> trace;
+    double now_us = 0;
+    const double horizon_us = cfg.duration_s * 1e6;
+    const double mean_gap_us = 1e6 / cfg.qps;
+    while (true) {
+        // Exponential inter-arrival gap (Poisson process).
+        now_us += -std::log(1.0 - rng.uniform()) * mean_gap_us;
+        if (now_us >= horizon_us)
+            break;
+        Request r;
+        r.id = trace.size();
+        r.arrival_us = now_us;
+        r.prompt_len =
+            sampleLength(rng, cfg.prompt_len_median, cfg.prompt_len_sigma,
+                         cfg.prompt_len_min, cfg.prompt_len_max);
+        r.max_new_tokens =
+            sampleLength(rng, cfg.gen_tokens_median, cfg.gen_tokens_sigma,
+                         cfg.gen_tokens_min, cfg.gen_tokens_max);
+        r.codebook_group = rng.weightedIndex(group_weights);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace vqllm::serving

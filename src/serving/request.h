@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Request model and synthetic serving workloads.
+ *
+ * A serving simulation consumes a finite trace of requests: Poisson
+ * arrivals over a wall-clock window with log-normally distributed prompt
+ * and generation lengths, the shape reported for production LLM traffic.
+ * Each request also names a *codebook group* — the set of VQ codebooks
+ * its KV cache was quantized with (per-tenant / per-adapter codebooks,
+ * cf. src/cache/online_update).  Group popularity is Zipf-distributed so
+ * a small residency cache of hot groups captures most of the batch.
+ *
+ * All sampling is driven by common/rng.h: one seed reproduces one trace.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vqllm::serving {
+
+/** Lifecycle of a request inside the simulator. */
+enum class RequestState {
+    Waiting,   ///< arrived, not yet scheduled
+    Running,   ///< prefilled; decoding one token per iteration
+    Preempted, ///< KV blocks reclaimed; awaiting re-prefill (recompute)
+    Finished,  ///< reached max_new_tokens
+    Rejected,  ///< context can never fit in the KV pool
+};
+
+/** One inference request plus its simulation bookkeeping. */
+struct Request
+{
+    std::uint64_t id = 0;
+    /** Arrival timestamp, microseconds since trace start. */
+    double arrival_us = 0;
+    std::size_t prompt_len = 0;
+    std::size_t max_new_tokens = 0;
+    /** Codebook group the request's KV codebooks belong to. */
+    std::uint64_t codebook_group = 0;
+
+    // ---- mutable simulation state ----
+    RequestState state = RequestState::Waiting;
+    /** Decode tokens produced so far. */
+    std::size_t generated = 0;
+    /** Timestamp of the first output token (-1 until prefilled). */
+    double first_token_us = -1;
+    /** Timestamp of the most recent output token. */
+    double last_token_us = -1;
+    /** Completion timestamp (-1 until finished). */
+    double finish_us = -1;
+    /** Times this request lost its KV blocks to capacity pressure. */
+    std::size_t preemptions = 0;
+
+    /** @return tokens of KV context currently implied by the request. */
+    std::size_t
+    contextTokens() const
+    {
+        return prompt_len + generated;
+    }
+
+    /** @return true once all requested tokens were generated. */
+    bool
+    done() const
+    {
+        return generated >= max_new_tokens;
+    }
+};
+
+/** Parameters of the synthetic workload generator. */
+struct WorkloadConfig
+{
+    /** Mean arrival rate, requests per second (Poisson process). */
+    double qps = 4.0;
+    /** Arrival window, seconds (requests arrive in [0, duration_s)). */
+    double duration_s = 60.0;
+
+    /** Median prompt length, tokens (log-normal body). */
+    std::size_t prompt_len_median = 512;
+    /** Log-normal sigma of the prompt-length distribution. */
+    double prompt_len_sigma = 0.6;
+    std::size_t prompt_len_min = 16;
+    std::size_t prompt_len_max = 4096;
+
+    /** Median generation length, tokens. */
+    std::size_t gen_tokens_median = 128;
+    double gen_tokens_sigma = 0.6;
+    std::size_t gen_tokens_min = 8;
+    std::size_t gen_tokens_max = 1024;
+
+    /** Distinct codebook groups (tenants) in the trace. */
+    std::size_t num_codebook_groups = 64;
+    /** Zipf skew of group popularity (0 = uniform). */
+    double group_zipf_alpha = 1.0;
+
+    /** Trace seed; one seed fully determines one trace. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Generate a request trace: Poisson arrivals, log-normal lengths,
+ * Zipf-popular codebook groups.  Deterministic in cfg.seed; requests are
+ * returned sorted by arrival time with ids 0..n-1.
+ */
+std::vector<Request> generateWorkload(const WorkloadConfig &cfg);
+
+} // namespace vqllm::serving

@@ -1,0 +1,240 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "llm/e2e.h"
+#include "llm/ops.h"
+
+namespace vqllm::serving {
+
+Scheduler::Scheduler(const SchedulerConfig &cfg, KvBlockPool &pool)
+    : cfg_(cfg), pool_(pool)
+{
+    vqllm_assert(cfg_.max_batch > 0, "max_batch must be positive");
+}
+
+void
+Scheduler::submit(Request *r)
+{
+    if (!pool_.canEverFit(r->prompt_len + r->max_new_tokens)) {
+        r->state = RequestState::Rejected;
+        ++rejected_;
+        return;
+    }
+    r->state = RequestState::Waiting;
+    requeue(r);
+}
+
+void
+Scheduler::requeue(Request *r)
+{
+    // Keep the waiting queue arrival-ordered so preempted requests
+    // (older arrivals) are re-admitted ahead of younger ones.
+    auto pos = std::lower_bound(waiting_.begin(), waiting_.end(), r,
+                                [](const Request *a, const Request *b) {
+                                    return a->arrival_us < b->arrival_us;
+                                });
+    waiting_.insert(pos, r);
+}
+
+void
+Scheduler::preempt(Request *r)
+{
+    pool_.freeSequence(r->id);
+    r->state = RequestState::Preempted;
+    ++r->preemptions;
+    requeue(r);
+}
+
+Scheduler::Iteration
+Scheduler::next()
+{
+    Iteration it;
+
+    // ---- Prefill-prioritized admission, strict arrival order.  Stop
+    // at the first request that does not fit (no hole-skipping: FCFS).
+    std::size_t prefill_tokens = 0;
+    while (!waiting_.empty() &&
+           running_.size() + it.prefill.size() < cfg_.max_batch) {
+        Request *r = waiting_.front();
+        std::size_t ctx = r->contextTokens();
+        if (!it.prefill.empty() &&
+            prefill_tokens + ctx > cfg_.max_prefill_tokens)
+            break;
+        if (!pool_.allocSequence(r->id, ctx))
+            break;
+        waiting_.pop_front();
+        prefill_tokens += ctx;
+        it.prefill.push_back(r);
+    }
+    if (!it.prefill.empty()) {
+        for (Request *r : it.prefill) {
+            r->state = RequestState::Running;
+            running_.push_back(r);
+        }
+        // Running set stays arrival-ordered: re-admitted preempted
+        // requests may be older than current members.
+        std::sort(running_.begin(), running_.end(),
+                  [](const Request *a, const Request *b) {
+                      return a->arrival_us < b->arrival_us;
+                  });
+        return it;
+    }
+
+    // ---- Decode: one token for every running sequence.  A sequence
+    // that cannot take a block preempts from the back of the running
+    // set (latest arrival) until its append succeeds or it preempts
+    // itself.
+    std::size_t i = 0;
+    while (i < running_.size()) {
+        Request *r = running_[i];
+        bool ok = pool_.appendToken(r->id);
+        while (!ok) {
+            Request *victim = running_.back();
+            running_.pop_back();
+            preempt(victim);
+            ++it.preempted;
+            if (victim == r)
+                break;
+            ok = pool_.appendToken(r->id);
+        }
+        if (!ok)
+            continue; // r preempted itself; it was the tail, loop ends
+        it.decode.push_back(r);
+        ++i;
+    }
+    return it;
+}
+
+void
+Scheduler::retire(Request *r)
+{
+    pool_.freeSequence(r->id);
+    r->state = RequestState::Finished;
+    auto pos = std::find(running_.begin(), running_.end(), r);
+    if (pos != running_.end())
+        running_.erase(pos);
+}
+
+// ---------------------------------------------------------------------
+// IterationPricer
+
+IterationPricer::IterationPricer(const gpusim::GpuSpec &spec,
+                                 const llm::LlamaConfig &model,
+                                 llm::QuantScheme scheme,
+                                 const PricerConfig &cfg)
+    : spec_(spec), model_(model), scheme_(scheme), cfg_(cfg)
+{
+    vqllm_assert(cfg_.seq_bucket > 0, "seq_bucket must be positive");
+}
+
+double
+IterationPricer::prefillUs(std::size_t prompt_tokens)
+{
+    // Bucket prompts for memoization; prefill cost is smooth in length.
+    std::size_t bucket =
+        ((prompt_tokens + cfg_.seq_bucket - 1) / cfg_.seq_bucket) *
+        cfg_.seq_bucket;
+    auto memo = prefill_memo_.find(bucket);
+    if (memo != prefill_memo_.end())
+        return memo->second;
+
+    double us = llm::estimatePrefillUs(spec_, model_, 1, bucket);
+    prefill_memo_[bucket] = us;
+    return us;
+}
+
+double
+IterationPricer::decodeLinearUs(std::size_t batch)
+{
+    auto memo = linear_memo_.find(batch);
+    if (memo != linear_memo_.end())
+        return memo->second;
+    double us = 0;
+    for (auto [n, k] : model_.layerLinearShapes()) {
+        engine::GemmShape shape{batch, n, k};
+        us += llm::schemeLinearUs(spec_, scheme_, shape);
+    }
+    linear_memo_[batch] = us;
+    return us;
+}
+
+double
+IterationPricer::decodeAttnUs(std::size_t batch, std::size_t seq_bucket)
+{
+    auto key = std::make_pair(batch, seq_bucket);
+    auto memo = attn_memo_.find(key);
+    if (memo != attn_memo_.end())
+        return memo->second;
+    double us = llm::schemeAttentionUs(
+        spec_, scheme_, model_.attnShape(batch, seq_bucket));
+    attn_memo_[key] = us;
+    return us;
+}
+
+double
+IterationPricer::decodeUs(const std::vector<Request *> &batch)
+{
+    if (batch.empty())
+        return 0;
+
+    // Attention over a ragged batch: group sequences into context
+    // buckets and price one homogeneous sub-launch per bucket
+    // (flash-decoding style).
+    std::map<std::size_t, std::size_t> bucket_counts;
+    for (const Request *r : batch) {
+        std::size_t ctx = std::max<std::size_t>(r->contextTokens(), 1);
+        std::size_t bucket =
+            ((ctx + cfg_.seq_bucket - 1) / cfg_.seq_bucket) *
+            cfg_.seq_bucket;
+        ++bucket_counts[bucket];
+    }
+    double attn_us = 0;
+    for (auto [bucket, count] : bucket_counts)
+        attn_us += decodeAttnUs(count, bucket);
+
+    std::size_t n = batch.size();
+    auto elem_memo = elem_memo_.find(n);
+    double elem_us;
+    if (elem_memo != elem_memo_.end()) {
+        elem_us = elem_memo->second;
+    } else {
+        elem_us = llm::elementwiseLayerLatencyUs(spec_, n, model_.hidden);
+        elem_memo_[n] = elem_us;
+    }
+
+    double layers = static_cast<double>(model_.layers);
+    return (decodeLinearUs(n) + elem_us + attn_us) * layers;
+}
+
+std::uint64_t
+IterationPricer::codebookGroupBytes() const
+{
+    if (scheme_ != llm::QuantScheme::VQ4 &&
+        scheme_ != llm::QuantScheme::VQ2)
+        return 0;
+    const vq::VQConfig kv_cfg = llm::schemeVqConfigs(scheme_).second;
+    // Per-channel-group scope: one codebook per vector_size channels of
+    // the flattened KV heads, per layer, for K and V.
+    std::uint64_t channels = model_.kvHeads() * model_.head_dim;
+    std::uint64_t books_per_layer =
+        2 * (channels + kv_cfg.vector_size - 1) / kv_cfg.vector_size;
+    return books_per_layer * model_.layers * kv_cfg.codebookBytes();
+}
+
+double
+IterationPricer::codebookMissUs(std::size_t misses) const
+{
+    if (misses == 0)
+        return 0;
+    std::uint64_t bytes = codebookGroupBytes();
+    if (bytes == 0)
+        return 0;
+    double per_upload_us =
+        static_cast<double>(bytes) / (cfg_.upload_gbps * 1e9) * 1e6 +
+        cfg_.upload_fixed_us;
+    return per_upload_us * static_cast<double>(misses);
+}
+
+} // namespace vqllm::serving

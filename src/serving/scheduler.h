@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Continuous-batching scheduler and iteration pricer.
+ *
+ * The scheduler owns the waiting/running queues and forms one
+ * *iteration* at a time, vLLM-style: prefill-prioritized admission in
+ * strict arrival order (an iteration is either a prefill batch or one
+ * decode step for every running sequence), KV block accounting through
+ * KvBlockPool, and recompute-style preemption — when a decode step
+ * cannot take a fresh block, the latest-arrived running sequence loses
+ * its blocks and re-queues for a future re-prefill.
+ *
+ * IterationPricer turns a formed iteration into simulated microseconds
+ * by calling the same machinery the end-to-end model uses
+ * (llm::schemeLinearUs / schemeAttentionUs, which plan adaptive VQ
+ * kernels via engine::planWeightKernel / planAttentionKernel and price
+ * them with gpusim::CostModel).  Decode attention is priced per
+ * context-length bucket — mirroring flash-decoding's homogeneous
+ * sub-launches over a ragged batch — and every price is memoized on the
+ * bucketed shape, which keeps a multi-minute simulation to a few
+ * thousand planner invocations.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "gpusim/gpu_spec.h"
+#include "llm/model_config.h"
+#include "serving/kv_block_pool.h"
+#include "serving/request.h"
+
+namespace vqllm::serving {
+
+/** Batch-formation limits. */
+struct SchedulerConfig
+{
+    /** Maximum concurrently running (decoding) sequences. */
+    std::size_t max_batch = 64;
+    /** Prompt-token budget of one prefill iteration.  A single prompt
+     *  longer than the budget is still admitted alone. */
+    std::size_t max_prefill_tokens = 4096;
+};
+
+/**
+ * Forms per-iteration batches over the request queues.
+ *
+ * All queue order is by arrival time (FCFS); preempted sequences
+ * re-enter the waiting queue at their original arrival position, so
+ * they are re-admitted ahead of younger requests.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(const SchedulerConfig &cfg, KvBlockPool &pool);
+
+    /** One scheduled iteration (either prefill or decode, never both). */
+    struct Iteration
+    {
+        /** Requests (re)prefilled this iteration. */
+        std::vector<Request *> prefill;
+        /** Requests decoding one token this iteration. */
+        std::vector<Request *> decode;
+        /** Preemptions triggered while forming the iteration. */
+        std::size_t preempted = 0;
+
+        bool
+        empty() const
+        {
+            return prefill.empty() && decode.empty();
+        }
+    };
+
+    /**
+     * Enqueue an arrived request.  Requests whose full context
+     * (prompt + max_new_tokens) can never fit in the pool are rejected
+     * immediately (state -> Rejected) — admitting them would livelock
+     * the preemption loop.
+     */
+    void submit(Request *r);
+
+    /** Form the next iteration (empty when no work is schedulable). */
+    Iteration next();
+
+    /** Retire a finished request: release its KV blocks. */
+    void retire(Request *r);
+
+    /** @return true when no request is waiting or running. */
+    bool
+    idle() const
+    {
+        return waiting_.empty() && running_.empty();
+    }
+
+    std::size_t waitingCount() const { return waiting_.size(); }
+    std::size_t runningCount() const { return running_.size(); }
+    std::uint64_t rejectedCount() const { return rejected_; }
+    const std::vector<Request *> &running() const { return running_; }
+
+  private:
+    void preempt(Request *r);
+    void requeue(Request *r);
+
+    SchedulerConfig cfg_;
+    KvBlockPool &pool_;
+    /** Arrival-ordered arrival queue (front = oldest). */
+    std::deque<Request *> waiting_;
+    /** Arrival-ordered running set. */
+    std::vector<Request *> running_;
+    std::uint64_t rejected_ = 0;
+};
+
+/** Tunables of the iteration pricer. */
+struct PricerConfig
+{
+    /** Context-length bucket for attention memoization, tokens. */
+    std::size_t seq_bucket = 256;
+    /** Host->device bandwidth for codebook-group uploads, GB/s. */
+    double upload_gbps = 32.0;
+    /** Fixed per-upload latency (launch + synchronization), us. */
+    double upload_fixed_us = 10.0;
+};
+
+/**
+ * Prices scheduler iterations in simulated microseconds.
+ *
+ * Not thread-safe (memo tables); create one per simulator.
+ */
+class IterationPricer
+{
+  public:
+    IterationPricer(const gpusim::GpuSpec &spec,
+                    const llm::LlamaConfig &model,
+                    llm::QuantScheme scheme,
+                    const PricerConfig &cfg = PricerConfig{});
+
+    /** Full-stack prefill latency of one request's context. */
+    double prefillUs(std::size_t prompt_tokens);
+
+    /** One decode iteration over the batch's current contexts. */
+    double decodeUs(const std::vector<Request *> &batch);
+
+    /** Upload penalty for codebook-residency misses (0 for schemes
+     *  without codebooks). */
+    double codebookMissUs(std::size_t misses) const;
+
+    /** Bytes of one codebook group (all layers' KV codebooks). */
+    std::uint64_t codebookGroupBytes() const;
+
+    llm::QuantScheme scheme() const { return scheme_; }
+
+  private:
+    double decodeLinearUs(std::size_t batch);
+    double decodeAttnUs(std::size_t batch, std::size_t seq_bucket);
+
+    const gpusim::GpuSpec &spec_;
+    const llm::LlamaConfig &model_;
+    llm::QuantScheme scheme_;
+    PricerConfig cfg_;
+
+    std::map<std::size_t, double> prefill_memo_;
+    std::map<std::size_t, double> linear_memo_;
+    std::map<std::pair<std::size_t, std::size_t>, double> attn_memo_;
+    std::map<std::size_t, double> elem_memo_;
+};
+
+} // namespace vqllm::serving

@@ -1,0 +1,163 @@
+#include "serving/simulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gpusim/gpu_spec.h"
+
+namespace vqllm::serving {
+
+ServingSimulator::ServingSimulator(const SimulatorConfig &cfg)
+    : cfg_(cfg),
+      spec_(cfg.spec != nullptr ? *cfg.spec : gpusim::rtx4090()),
+      model_(cfg.model != nullptr ? *cfg.model : llm::llama7b())
+{
+    double weight_bytes =
+        static_cast<double>(model_.decoderParams()) *
+        llm::schemeWeightBytesPerParam(cfg_.scheme);
+    double free_bytes = cfg_.hbm_gb * 1e9 - weight_bytes -
+                        cfg_.hbm_reserve_gb * 1e9;
+    if (free_bytes <= 0)
+        vqllm_fatal("model weights (", weight_bytes / 1e9,
+                    " GB) exceed HBM budget of ", cfg_.hbm_gb, " GB");
+    kv_capacity_bytes_ = static_cast<std::uint64_t>(free_bytes);
+}
+
+ServingReport
+ServingSimulator::run()
+{
+    auto trace = generateWorkload(cfg_.workload);
+    return run(trace);
+}
+
+ServingReport
+ServingSimulator::run(std::vector<Request> &trace)
+{
+    KvBlockPoolConfig pool_cfg;
+    pool_cfg.capacity_bytes = kv_capacity_bytes_;
+    pool_cfg.block_tokens = cfg_.kv_block_tokens;
+    pool_cfg.bytes_per_token =
+        std::max<std::uint64_t>(
+            llm::schemeKvBytesPerToken(model_, cfg_.scheme), 1);
+    KvBlockPool pool(pool_cfg);
+    Scheduler scheduler(cfg_.scheduler, pool);
+    IterationPricer pricer(spec_, model_, cfg_.scheme, cfg_.pricer);
+    CodebookResidency residency(cfg_.codebook_slots);
+    const bool has_codebooks = pricer.codebookGroupBytes() > 0;
+    MetricsCollector metrics;
+
+    double now_us = 0;
+    std::size_t next_arrival = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t iterations = 0;
+    std::vector<std::uint64_t> groups;
+
+    auto deliver = [&](double now) {
+        while (next_arrival < trace.size() &&
+               trace[next_arrival].arrival_us <= now)
+            scheduler.submit(&trace[next_arrival++]);
+    };
+
+    while (completed + scheduler.rejectedCount() < trace.size()) {
+        deliver(now_us);
+        if (scheduler.idle()) {
+            if (next_arrival >= trace.size())
+                break; // every remaining request was rejected
+            // Fast-forward the idle gap to the next arrival.
+            now_us = trace[next_arrival].arrival_us;
+            continue;
+        }
+
+        auto iter = scheduler.next();
+        if (iter.empty()) {
+            // Waiting head cannot be admitted until running sequences
+            // finish; with nothing running this cannot happen (submit
+            // rejects requests that can never fit).
+            vqllm_assert(scheduler.runningCount() > 0,
+                         "scheduler stalled with empty running set");
+            // No decode and no admission: unreachable by construction
+            // (decode always schedules running sequences), but guard
+            // against infinite loops.
+            vqllm_panic("scheduler returned an empty iteration");
+        }
+        ++iterations;
+        for (std::size_t k = 0; k < iter.preempted; ++k)
+            metrics.recordPreemption();
+
+        // ---- Price the iteration.
+        double iter_us = 0;
+        if (!iter.prefill.empty()) {
+            for (const Request *r : iter.prefill) {
+                iter_us += pricer.prefillUs(r->contextTokens());
+                metrics.recordPrefillTokens(r->contextTokens());
+            }
+        } else {
+            iter_us += pricer.decodeUs(iter.decode);
+        }
+        if (has_codebooks) {
+            groups.clear();
+            for (const Request *r : iter.prefill)
+                groups.push_back(r->codebook_group);
+            for (const Request *r : iter.decode)
+                groups.push_back(r->codebook_group);
+            auto touch = residency.touchBatch(groups);
+            iter_us += pricer.codebookMissUs(touch.misses);
+        }
+        now_us += iter_us;
+
+        // ---- Emit tokens and retire finished requests.
+        std::vector<Request *> finished;
+        for (Request *r : iter.prefill) {
+            if (r->generated == 0) {
+                // Fresh prefill emits the first output token.
+                r->first_token_us = now_us;
+                r->last_token_us = now_us;
+                r->generated = 1;
+                metrics.recordTtft(now_us - r->arrival_us);
+                metrics.recordDecodeTokens(1);
+                if (r->done())
+                    finished.push_back(r);
+            }
+            // Re-prefill (recompute after preemption) emits nothing;
+            // the stall shows up in the next TBT sample.
+        }
+        for (Request *r : iter.decode) {
+            ++r->generated;
+            metrics.recordTbt(now_us - r->last_token_us);
+            r->last_token_us = now_us;
+            metrics.recordDecodeTokens(1);
+            if (r->done())
+                finished.push_back(r);
+        }
+        for (Request *r : finished) {
+            r->finish_us = now_us;
+            metrics.recordE2e(now_us - r->arrival_us);
+            scheduler.retire(r);
+            ++completed;
+        }
+    }
+
+    // ---- Assemble the report.
+    ServingReport report;
+    report.ttft = summarize(metrics.ttftSamples());
+    report.tbt = summarize(metrics.tbtSamples());
+    report.e2e = summarize(metrics.e2eSamples());
+    report.sim_time_us = now_us;
+    report.tokens_per_sec =
+        now_us > 0 ? static_cast<double>(metrics.decodeTokens()) /
+                         (now_us / 1e6)
+                   : 0;
+    report.completed_requests = completed;
+    report.rejected_requests = scheduler.rejectedCount();
+    report.preemptions = metrics.preemptions();
+    report.decode_tokens = metrics.decodeTokens();
+    report.prefill_tokens = metrics.prefillTokens();
+    report.iterations = iterations;
+    report.kv_peak_bytes = pool.peakBytes();
+    report.kv_capacity_bytes = kv_capacity_bytes_;
+    report.codebook_hit_rate =
+        has_codebooks ? residency.stats().hitRate() : 1.0;
+    return report;
+}
+
+} // namespace vqllm::serving

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Serving simulator: the event loop tying workload, scheduler, KV block
+ * pool, codebook residency and the iteration pricer together.
+ *
+ * The clock is iteration-driven: the simulator delivers arrivals, asks
+ * the scheduler for the next iteration, prices it (kernel latencies plus
+ * codebook-upload penalties for residency misses), advances simulated
+ * time by that latency, and records metrics.  A fresh prefill emits the
+ * request's first token (TTFT); every decode iteration emits one token
+ * per running sequence (TBT).  The run ends when every request of the
+ * finite trace has finished or been rejected — reports therefore cover
+ * complete traces, never a truncated tail.
+ *
+ * Determinism: given one SimulatorConfig (including the workload seed)
+ * two runs produce bit-identical reports.
+ */
+#pragma once
+
+#include "gpusim/gpu_spec.h"
+#include "llm/model_config.h"
+#include "serving/kv_block_pool.h"
+#include "serving/metrics.h"
+#include "serving/request.h"
+#include "serving/scheduler.h"
+
+namespace vqllm::serving {
+
+/** Full parameterization of one serving simulation. */
+struct SimulatorConfig
+{
+    llm::QuantScheme scheme = llm::QuantScheme::VQ2;
+    const gpusim::GpuSpec *spec = nullptr;   ///< default: rtx4090()
+    const llm::LlamaConfig *model = nullptr; ///< default: llama7b()
+
+    WorkloadConfig workload;
+    SchedulerConfig scheduler;
+    PricerConfig pricer;
+
+    /** GPU HBM capacity, GB (24 matches the RTX 4090). */
+    double hbm_gb = 24.0;
+    /** HBM held back for activations and scratch, GB. */
+    double hbm_reserve_gb = 1.0;
+    /** Tokens per KV block (paged-attention page size). */
+    std::size_t kv_block_tokens = 16;
+    /** Codebook-group residency slots (hit-aware LFU capacity). */
+    std::size_t codebook_slots = 48;
+};
+
+/**
+ * Runs one serving simulation to completion.
+ *
+ * The KV pool capacity is what the scheme leaves free: HBM minus the
+ * scheme's weight footprint minus the activation reserve — so a
+ * quantized scheme gains twice, from smaller weights and from fewer KV
+ * bytes per token.
+ */
+class ServingSimulator
+{
+  public:
+    explicit ServingSimulator(const SimulatorConfig &cfg);
+
+    /** Generate the workload from cfg and run it. */
+    ServingReport run();
+
+    /** Run an explicit trace (must be arrival-sorted). */
+    ServingReport run(std::vector<Request> &trace);
+
+    /** @return KV bytes available to the pool under this config. */
+    std::uint64_t kvCapacityBytes() const { return kv_capacity_bytes_; }
+
+  private:
+    SimulatorConfig cfg_;
+    const gpusim::GpuSpec &spec_;
+    const llm::LlamaConfig &model_;
+    std::uint64_t kv_capacity_bytes_ = 0;
+};
+
+} // namespace vqllm::serving

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the paged KV block pool and the hit-aware LFU codebook
+ * residency cache.
+ */
+#include <gtest/gtest.h>
+
+#include "serving/kv_block_pool.h"
+
+namespace vqllm::serving {
+namespace {
+
+KvBlockPoolConfig
+smallPool(std::uint64_t blocks, std::size_t block_tokens = 4,
+          std::uint64_t bytes_per_token = 8)
+{
+    KvBlockPoolConfig cfg;
+    cfg.block_tokens = block_tokens;
+    cfg.bytes_per_token = bytes_per_token;
+    cfg.capacity_bytes = blocks * block_tokens * bytes_per_token;
+    return cfg;
+}
+
+TEST(KvBlockPool, CapacityDerivesFromBytes)
+{
+    KvBlockPool pool(smallPool(10));
+    EXPECT_EQ(pool.totalBlocks(), 10u);
+    EXPECT_EQ(pool.freeBlocks(), 10u);
+    EXPECT_EQ(pool.blockBytes(), 32u);
+}
+
+TEST(KvBlockPool, AllocRoundsUpToBlocks)
+{
+    KvBlockPool pool(smallPool(10));
+    ASSERT_TRUE(pool.allocSequence(1, 5)); // 5 tokens -> 2 blocks of 4
+    EXPECT_EQ(pool.seqBlocks(1), 2u);
+    EXPECT_EQ(pool.seqTokens(1), 5u);
+    EXPECT_EQ(pool.usedBlocks(), 2u);
+}
+
+TEST(KvBlockPool, AllocFailsAtomicallyWhenFull)
+{
+    KvBlockPool pool(smallPool(4));
+    ASSERT_TRUE(pool.allocSequence(1, 12)); // 3 blocks
+    EXPECT_FALSE(pool.allocSequence(2, 8)); // needs 2, only 1 free
+    EXPECT_EQ(pool.usedBlocks(), 3u);
+    EXPECT_EQ(pool.seqBlocks(2), 0u);
+    EXPECT_EQ(pool.stats().failed_allocs, 1u);
+    // The single remaining block still serves a small sequence.
+    EXPECT_TRUE(pool.allocSequence(3, 4));
+}
+
+TEST(KvBlockPool, AppendTakesBlockOnlyAtBoundary)
+{
+    KvBlockPool pool(smallPool(4));
+    ASSERT_TRUE(pool.allocSequence(1, 3));
+    EXPECT_EQ(pool.seqBlocks(1), 1u);
+    EXPECT_TRUE(pool.appendToken(1)); // token 4 fills the block
+    EXPECT_EQ(pool.seqBlocks(1), 1u);
+    EXPECT_TRUE(pool.appendToken(1)); // token 5 crosses the boundary
+    EXPECT_EQ(pool.seqBlocks(1), 2u);
+    EXPECT_EQ(pool.seqTokens(1), 5u);
+}
+
+TEST(KvBlockPool, AppendFailureLeavesSequenceIntact)
+{
+    KvBlockPool pool(smallPool(2));
+    ASSERT_TRUE(pool.allocSequence(1, 8)); // both blocks
+    EXPECT_FALSE(pool.appendToken(1));     // preemption signal
+    EXPECT_EQ(pool.seqTokens(1), 8u);
+    EXPECT_EQ(pool.seqBlocks(1), 2u);
+}
+
+TEST(KvBlockPool, FreeReturnsBlocks)
+{
+    KvBlockPool pool(smallPool(4));
+    ASSERT_TRUE(pool.allocSequence(1, 8));
+    ASSERT_TRUE(pool.allocSequence(2, 8));
+    pool.freeSequence(1);
+    EXPECT_EQ(pool.freeBlocks(), 2u);
+    EXPECT_EQ(pool.seqBlocks(1), 0u);
+    // Freed blocks are reusable by a new sequence.
+    EXPECT_TRUE(pool.allocSequence(3, 8));
+    EXPECT_EQ(pool.stats().block_frees, 2u);
+}
+
+TEST(KvBlockPool, PeakTracksHighWaterMark)
+{
+    KvBlockPool pool(smallPool(8));
+    ASSERT_TRUE(pool.allocSequence(1, 16)); // 4 blocks
+    ASSERT_TRUE(pool.allocSequence(2, 8));  // 2 blocks -> peak 6
+    pool.freeSequence(1);
+    ASSERT_TRUE(pool.allocSequence(3, 4)); // used 3 < peak
+    EXPECT_EQ(pool.stats().peak_used_blocks, 6u);
+    EXPECT_EQ(pool.peakBytes(), 6u * pool.blockBytes());
+}
+
+TEST(KvBlockPool, InternalFragmentationIsTailSlack)
+{
+    KvBlockPool pool(smallPool(10));
+    EXPECT_DOUBLE_EQ(pool.internalFragmentation(), 0.0);
+    ASSERT_TRUE(pool.allocSequence(1, 5)); // 2 blocks, 8 slots, 5 used
+    EXPECT_NEAR(pool.internalFragmentation(), 3.0 / 8.0, 1e-12);
+    ASSERT_TRUE(pool.appendToken(1)); // 6 of 8
+    EXPECT_NEAR(pool.internalFragmentation(), 2.0 / 8.0, 1e-12);
+}
+
+TEST(KvBlockPool, CanEverFitAgainstTotalCapacity)
+{
+    KvBlockPool pool(smallPool(4));
+    EXPECT_TRUE(pool.canEverFit(16));
+    EXPECT_FALSE(pool.canEverFit(17));
+}
+
+// ---------------------------------------------------------------------
+
+TEST(CodebookResidency, HitsAfterAdmission)
+{
+    CodebookResidency cache(2);
+    auto r1 = cache.touchBatch({1, 2});
+    EXPECT_EQ(r1.misses, 2u);
+    EXPECT_EQ(r1.hits, 0u);
+    auto r2 = cache.touchBatch({1, 2});
+    EXPECT_EQ(r2.hits, 2u);
+    EXPECT_EQ(r2.misses, 0u);
+    EXPECT_TRUE(cache.resident(1));
+    EXPECT_TRUE(cache.resident(2));
+}
+
+TEST(CodebookResidency, DuplicatesInBatchCountOnce)
+{
+    CodebookResidency cache(2);
+    auto r = cache.touchBatch({7, 7, 7});
+    EXPECT_EQ(r.misses, 1u);
+    EXPECT_EQ(r.hits, 0u);
+}
+
+TEST(CodebookResidency, LfuEvictsColdestGroup)
+{
+    CodebookResidency cache(2);
+    cache.touchBatch({1});
+    cache.touchBatch({1}); // freq(1)=2
+    cache.touchBatch({2}); // freq(2)=1
+    auto r = cache.touchBatch({3});
+    EXPECT_EQ(r.evictions, 1u);
+    EXPECT_TRUE(cache.resident(1));  // hot survivor
+    EXPECT_FALSE(cache.resident(2)); // LFU victim
+    EXPECT_TRUE(cache.resident(3));
+}
+
+TEST(CodebookResidency, BatchMembersPinnedAgainstEachOther)
+{
+    CodebookResidency cache(2);
+    cache.touchBatch({1, 2});
+    // 1 and 2 are resident with freq 1.  A batch containing 1 and a new
+    // group must evict 2 (unpinned), never 1 (hit-aware masking).
+    auto r = cache.touchBatch({1, 3});
+    EXPECT_EQ(r.hits, 1u);
+    EXPECT_EQ(r.misses, 1u);
+    EXPECT_TRUE(cache.resident(1));
+    EXPECT_TRUE(cache.resident(3));
+    EXPECT_FALSE(cache.resident(2));
+}
+
+TEST(CodebookResidency, OverflowBatchKeepsMissingWithoutThrashing)
+{
+    CodebookResidency cache(2);
+    // 3 distinct groups, 2 slots: the overflow group stays non-resident
+    // and the resident pair must not evict each other.
+    auto r1 = cache.touchBatch({1, 2, 3});
+    EXPECT_EQ(r1.misses, 3u);
+    EXPECT_EQ(cache.size(), 2u);
+    auto r2 = cache.touchBatch({1, 2, 3});
+    EXPECT_EQ(r2.hits, 2u);
+    EXPECT_EQ(r2.misses, 1u);
+    EXPECT_EQ(r2.evictions, 0u);
+}
+
+TEST(CodebookResidency, StatsAccumulateAcrossBatches)
+{
+    CodebookResidency cache(4);
+    cache.touchBatch({1, 2});
+    cache.touchBatch({1, 3});
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_NEAR(cache.stats().hitRate(), 0.25, 1e-12);
+}
+
+} // namespace
+} // namespace vqllm::serving
