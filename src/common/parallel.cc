@@ -1,0 +1,221 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace vqllm::par {
+
+namespace {
+
+/** Set while the current thread executes chunks for a pool job. */
+thread_local bool tls_in_worker = false;
+
+std::atomic<int> g_thread_override{0};
+
+int
+envThreads()
+{
+    const char *env = std::getenv("VQLLM_THREADS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    int n = std::atoi(env);
+    return n > 0 ? n : 0;
+}
+
+/**
+ * Persistent worker pool.  One job runs at a time (top-level calls are
+ * serialized; nested calls run inline); participants grab chunk indices
+ * from a shared atomic cursor, so scheduling is dynamic while the chunk
+ * layout itself stays static.
+ *
+ * Workers register as drainers under the pool mutex in the same
+ * critical section that reads the job generation, so run() can wait for
+ * both "all chunks executed" and "no worker still holds the job
+ * function" before returning — the job function's lifetime ends with
+ * run().
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        // Intentionally leaked: a static destructor would join worker
+        // threads at exit, which deadlocks or crashes in processes
+        // that fork after the pool spun up (gtest death tests) and in
+        // exit-while-working paths (vqllm_fatal).  Process teardown
+        // reclaims the threads.
+        static ThreadPool *pool = new ThreadPool;
+        return *pool;
+    }
+
+    void
+    run(std::size_t tasks, int threads,
+        const std::function<void(std::size_t)> &fn)
+    {
+        if (tasks == 0)
+            return;
+        if (threads <= 1 || tasks == 1 || tls_in_worker) {
+            for (std::size_t i = 0; i < tasks; ++i)
+                fn(i);
+            return;
+        }
+
+        std::unique_lock<std::mutex> top(run_mutex_);
+        ensureWorkers(threads - 1);
+        {
+            std::lock_guard<std::mutex> g(m_);
+            job_fn_ = &fn;
+            job_tasks_ = tasks;
+            job_next_.store(0, std::memory_order_relaxed);
+            job_remaining_.store(tasks, std::memory_order_relaxed);
+            // Workers beyond the requested thread count sit this job
+            // out so measured scaling matches the requested count.
+            worker_slots_ = threads - 1;
+            ++generation_;
+        }
+        cv_.notify_all();
+
+        drain();
+
+        std::unique_lock<std::mutex> g(m_);
+        done_cv_.wait(g, [&] {
+            return job_remaining_.load(std::memory_order_acquire) == 0 &&
+                   active_drainers_ == 0;
+        });
+        // Retire the job's participation budget before releasing m_: a
+        // worker that was notified but never woke must not claim a
+        // leftover slot for this (finished) generation and then race
+        // the next run()'s job setup inside drain().
+        worker_slots_ = 0;
+        job_fn_ = nullptr;
+    }
+
+  private:
+    void
+    ensureWorkers(int wanted)
+    {
+        std::lock_guard<std::mutex> g(m_);
+        while (static_cast<int>(workers_.size()) < wanted &&
+               workers_.size() < 255)
+            workers_.emplace_back([this] { workerMain(); });
+    }
+
+    void
+    workerMain()
+    {
+        tls_in_worker = true;
+        std::uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> g(m_);
+                cv_.wait(g, [&] { return stop_ || generation_ != seen; });
+                if (stop_)
+                    return;
+                seen = generation_;
+                if (worker_slots_ <= 0)
+                    continue;
+                --worker_slots_;
+                ++active_drainers_;
+            }
+            drain();
+            {
+                std::lock_guard<std::mutex> g(m_);
+                if (--active_drainers_ == 0)
+                    done_cv_.notify_all();
+            }
+        }
+    }
+
+    /** Execute chunks until the cursor runs past the job. */
+    void
+    drain()
+    {
+        bool was_worker = tls_in_worker;
+        tls_in_worker = true;
+        for (;;) {
+            std::size_t i =
+                job_next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= job_tasks_)
+                break;
+            (*job_fn_)(i);
+            if (job_remaining_.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                std::lock_guard<std::mutex> g(m_);
+                done_cv_.notify_all();
+            }
+        }
+        tls_in_worker = was_worker;
+    }
+
+    std::mutex run_mutex_; ///< serializes top-level jobs
+    std::mutex m_;
+    std::condition_variable cv_, done_cv_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+    std::uint64_t generation_ = 0;
+    int worker_slots_ = 0;    ///< participation budget, under m_
+    int active_drainers_ = 0; ///< workers inside drain(), under m_
+
+    const std::function<void(std::size_t)> *job_fn_ = nullptr;
+    std::size_t job_tasks_ = 0;
+    std::atomic<std::size_t> job_next_{0};
+    std::atomic<std::size_t> job_remaining_{0};
+};
+
+} // namespace
+
+int
+maxThreads()
+{
+    int n = g_thread_override.load(std::memory_order_relaxed);
+    if (n > 0)
+        return n;
+    n = envThreads();
+    if (n > 0)
+        return n;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+setThreads(int n)
+{
+    g_thread_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+std::size_t
+chunkCount(std::size_t n, std::size_t grain)
+{
+    vqllm_assert(grain > 0, "chunk grain must be positive");
+    return (n + grain - 1) / grain;
+}
+
+ChunkRange
+chunkAt(std::size_t n, std::size_t grain, std::size_t index)
+{
+    ChunkRange c;
+    c.index = index;
+    c.begin = index * grain;
+    c.end = c.begin + grain < n ? c.begin + grain : n;
+    return c;
+}
+
+void
+parallelFor(std::size_t n, std::size_t grain,
+            const std::function<void(const ChunkRange &)> &body)
+{
+    std::size_t chunks = chunkCount(n, grain);
+    if (chunks == 0)
+        return;
+    ThreadPool::instance().run(chunks, maxThreads(), [&](std::size_t i) {
+        body(chunkAt(n, grain, i));
+    });
+}
+
+} // namespace vqllm::par

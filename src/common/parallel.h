@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic host parallel execution runtime.
+ *
+ * Every host hot path (functional kernels, k-means fitting, reference
+ * kernels, accuracy evaluation) runs through `parallelFor`, which splits
+ * an index range into *statically sized* chunks.  The chunk layout
+ * depends only on the problem size and the caller-chosen grain — never
+ * on the thread count — so callers that keep per-chunk state (counters,
+ * partial sums) and merge it in chunk-index order produce bit-identical
+ * results whether the chunks execute on 1 thread or N.
+ *
+ * Thread count resolution order:
+ *   1. `setThreads(n)` programmatic override (used by parity tests),
+ *   2. the `VQLLM_THREADS` environment variable,
+ *   3. `std::thread::hardware_concurrency()`.
+ *
+ * Nested `parallelFor` calls from inside a worker run inline (serially,
+ * in chunk order) — the deterministic-merge contract is unaffected
+ * because inline execution visits chunks in index order.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vqllm::par {
+
+/** One statically assigned chunk of an index range. */
+struct ChunkRange
+{
+    /** Chunk index in [0, chunkCount(n, grain)). */
+    std::size_t index = 0;
+    /** First element (inclusive). */
+    std::size_t begin = 0;
+    /** Last element (exclusive). */
+    std::size_t end = 0;
+
+    std::size_t
+    size() const
+    {
+        return end - begin;
+    }
+};
+
+/**
+ * @return the thread count the runtime will use: the setThreads
+ * override if set, else VQLLM_THREADS if set and positive, else the
+ * hardware concurrency (at least 1).
+ */
+int maxThreads();
+
+/**
+ * Override the thread count for subsequent parallelFor calls.
+ *
+ * @param n threads to use; 0 reverts to VQLLM_THREADS / hardware
+ */
+void setThreads(int n);
+
+/** @return number of chunks a range of n elements splits into. */
+std::size_t chunkCount(std::size_t n, std::size_t grain);
+
+/** @return the index-th chunk of [0, n) under the given grain. */
+ChunkRange chunkAt(std::size_t n, std::size_t grain, std::size_t index);
+
+/**
+ * Run `body` over every chunk of [0, n).
+ *
+ * Chunks may execute concurrently and in any order; each chunk executes
+ * exactly once.  Determinism contract: `body` must only write state
+ * owned by its chunk (slots indexed by ChunkRange::index, disjoint
+ * output ranges); cross-chunk reductions must happen after this call
+ * returns, in chunk-index order.
+ *
+ * `body` must not throw.
+ */
+void parallelFor(std::size_t n, std::size_t grain,
+                 const std::function<void(const ChunkRange &)> &body);
+
+/**
+ * Ordered parallel reduction: map every chunk to a partial value, then
+ * fold the partials in chunk-index order (deterministic for any thread
+ * count, including floating-point sums).
+ */
+template <typename T>
+T
+parallelSum(std::size_t n, std::size_t grain,
+            const std::function<T(const ChunkRange &)> &map)
+{
+    std::vector<T> parts(chunkCount(n, grain), T{});
+    parallelFor(n, grain, [&](const ChunkRange &c) {
+        parts[c.index] = map(c);
+    });
+    T total{};
+    for (const T &p : parts)
+        total += p;
+    return total;
+}
+
+} // namespace vqllm::par

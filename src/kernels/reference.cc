@@ -3,8 +3,31 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace vqllm::kernels {
+
+namespace {
+
+/** Output rows per reference-kernel chunk (static layout). */
+constexpr std::size_t kRefGrain = 16;
+
+/**
+ * Double-accumulated dot product.  The reference kernels are the test
+ * oracles for the functional kernels, so they keep an accumulation
+ * precision strictly better than the float paths they validate (the
+ * parallelism comes from row chunking, not from lane-width tricks).
+ */
+double
+dotDouble(const float *a, const float *b, std::size_t n)
+{
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(a[i]) * b[i];
+    return acc;
+}
+
+} // namespace
 
 Tensor<float>
 referenceGemm(const Tensor<float> &x, const Tensor<float> &w_nk)
@@ -13,14 +36,12 @@ referenceGemm(const Tensor<float> &x, const Tensor<float> &w_nk)
     vqllm_assert(x.dim(1) == w_nk.dim(1), "k mismatch");
     const std::size_t m = x.dim(0), n = w_nk.dim(0), k = x.dim(1);
     Tensor<float> y({m, n});
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-            double acc = 0;
-            for (std::size_t l = 0; l < k; ++l)
-                acc += static_cast<double>(x.at(i, l)) * w_nk.at(j, l);
-            y.at(i, j) = static_cast<float>(acc);
-        }
-    }
+    par::parallelFor(m, kRefGrain, [&](const par::ChunkRange &c) {
+        for (std::size_t i = c.begin; i < c.end; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                y.at(i, j) = static_cast<float>(dotDouble(
+                    x.data() + i * k, w_nk.data() + j * k, k));
+    });
     return y;
 }
 
@@ -31,12 +52,11 @@ referenceGemv(const Tensor<float> &w_nk, const Tensor<float> &x)
     vqllm_assert(w_nk.dim(1) == x.dim(0), "k mismatch");
     const std::size_t n = w_nk.dim(0), k = w_nk.dim(1);
     Tensor<float> y({n});
-    for (std::size_t j = 0; j < n; ++j) {
-        double acc = 0;
-        for (std::size_t l = 0; l < k; ++l)
-            acc += static_cast<double>(w_nk.at(j, l)) * x[l];
-        y[j] = static_cast<float>(acc);
-    }
+    par::parallelFor(n, kRefGrain * 4, [&](const par::ChunkRange &c) {
+        for (std::size_t j = c.begin; j < c.end; ++j)
+            y[j] = static_cast<float>(
+                dotDouble(w_nk.data() + j * k, x.data(), k));
+    });
     return y;
 }
 
@@ -71,12 +91,10 @@ referenceAttentionHead(const Tensor<float> &q, const Tensor<float> &k,
         static_cast<double>(channels));
 
     std::vector<float> logits(tokens);
-    for (std::size_t t = 0; t < tokens; ++t) {
-        double acc = 0;
-        for (std::size_t c = 0; c < channels; ++c)
-            acc += static_cast<double>(q[c]) * k.at(t, c);
-        logits[t] = static_cast<float>(acc * inv_sqrt_d);
-    }
+    for (std::size_t t = 0; t < tokens; ++t)
+        logits[t] = static_cast<float>(
+            dotDouble(q.data(), k.data() + t * channels, channels) *
+            inv_sqrt_d);
     softmaxInPlace(logits);
 
     Tensor<float> out({channels});
@@ -97,7 +115,8 @@ referenceAttention(const Tensor<float> &q, const Tensor<float> &k,
                  "rank mismatch");
     const std::size_t heads = q.dim(0), channels = q.dim(1);
     Tensor<float> out({heads, channels});
-    for (std::size_t h = 0; h < heads; ++h) {
+    par::parallelFor(heads, 1, [&](const par::ChunkRange &hc) {
+      for (std::size_t h = hc.begin; h < hc.end; ++h) {
         Tensor<float> qh({channels}), kh({k.dim(1), channels}),
             vh({v.dim(1), channels});
         for (std::size_t c = 0; c < channels; ++c)
@@ -111,7 +130,8 @@ referenceAttention(const Tensor<float> &q, const Tensor<float> &k,
         auto oh = referenceAttentionHead(qh, kh, vh);
         for (std::size_t c = 0; c < channels; ++c)
             out.at(h, c) = oh[c];
-    }
+      }
+    });
     return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/bitutils.h"
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/simd.h"
 #include "gpusim/bank_conflict.h"
 #include "kernels/reference.h"
 
@@ -324,24 +326,35 @@ class WarpAccessRecorder
     std::vector<std::uint32_t> pending_;
 };
 
-/** Per-codebook runtime state for a functional execution. */
+/**
+ * Per-chunk runtime state for a functional execution.
+ *
+ * Each statically assigned chunk of output rows/heads owns a private
+ * context: private CodebookCache instances, private KernelCounters and
+ * a private WarpAccessRecorder.  Chunk contexts are merged into the
+ * FunctionalResult in chunk-index order, so outputs and event counters
+ * are bit-identical for any thread count (the chunk layout depends only
+ * on the problem size — see common/parallel.h).
+ *
+ * Codebook Load traffic is counted once per kernel traversal
+ * (single-block-equivalent accounting): only the chunk-0 context passes
+ * a counter sink to CodebookCache::load.
+ */
 struct FunctionalContext
 {
-    const gpusim::GpuSpec &spec;
     const KernelPlan &plan;
-    gpusim::KernelCounters &counters;
-    cache::AccessStats &stats;
+    gpusim::KernelCounters counters;
+    cache::AccessStats stats;
     std::vector<cache::CodebookCache> caches;
     WarpAccessRecorder recorder;
 
     FunctionalContext(const gpusim::GpuSpec &s, const KernelPlan &p,
-                      const vq::QuantizedTensor &qt,
-                      gpusim::KernelCounters &c, cache::AccessStats &st)
-        : spec(s), plan(p), counters(c), stats(st),
-          recorder(s, c, static_cast<unsigned>(qt.config.entryBytes()))
+                      const vq::QuantizedTensor &qt, bool count_load)
+        : plan(p),
+          recorder(s, counters,
+                   static_cast<unsigned>(qt.config.entryBytes())),
+          dec_(qt.config.vector_size)
     {
-        // One cache per codebook; Load traffic counted per book once
-        // per traversal (single-block-equivalent accounting).
         cache::CachePlan book_plan = p.cache_plan;
         book_plan.total_entries = qt.config.storedEntries();
         book_plan.n_shared =
@@ -350,8 +363,12 @@ struct FunctionalContext
         caches.reserve(qt.codebooks.size());
         for (const auto &cb : qt.codebooks)
             caches.push_back(cache::CodebookCache::load(
-                cb, book_plan, p.warpsPerBlock(), &c));
+                cb, book_plan, p.warpsPerBlock(),
+                count_load ? &counters : nullptr));
     }
+
+    FunctionalContext(const FunctionalContext &) = delete;
+    FunctionalContext &operator=(const FunctionalContext &) = delete;
 
     /** Dequantize one sub-vector through the caches, recording events. */
     void
@@ -361,14 +378,14 @@ struct FunctionalContext
         const unsigned vec = qt.config.vector_size;
         for (unsigned d = 0; d < vec; ++d)
             out[d] = 0.0f;
-        std::vector<float> dec(vec);
+        float *dec = dec_.data();
         std::size_t unit = qt.codebookUnit(row, subspace);
         for (unsigned stage = 0; stage < qt.config.residuals; ++stage) {
             std::size_t cb_id = unit * qt.config.residuals + stage;
             auto &cache = caches[cb_id];
             std::uint32_t logical =
                 qt.indices.get(qt.indexPosition(row, subspace, stage));
-            cache::Tier tier = cache.access(logical, dec.data());
+            cache::Tier tier = cache.access(logical, dec);
             ++counters.dequant_lookups;
             std::uint32_t stored =
                 cache.codebook().storedIndexOf(logical);
@@ -394,7 +411,28 @@ struct FunctionalContext
             stats.global_hits += cache.stats().global_hits;
         }
     }
+
+  private:
+    /** Reusable decode scratch: dequant sits in every inner loop. */
+    std::vector<float> dec_;
 };
+
+/** Output rows per functional chunk (one warp of rows). */
+constexpr std::size_t kRowChunk = 32;
+
+/** Heads per functional attention chunk. */
+constexpr std::size_t kHeadChunk = 1;
+
+/** Merge one chunk context's counters and stats into the result. */
+void
+mergeContext(FunctionalResult &result, const gpusim::KernelCounters &c,
+             const cache::AccessStats &s)
+{
+    result.counters += c;
+    result.stats.reg_hits += s.reg_hits;
+    result.stats.shared_hits += s.shared_hits;
+    result.stats.global_hits += s.global_hits;
+}
 
 } // namespace
 
@@ -410,28 +448,37 @@ runVqGemv(const KernelPlan &plan, const vq::QuantizedTensor &qt,
 
     FunctionalResult result;
     result.output = Tensor<float>({qt.rows});
-    FunctionalContext ctx(spec, plan, qt, result.counters, result.stats);
 
-    const unsigned vec = qt.config.vector_size;
-    std::vector<float> sub(vec);
-    for (std::size_t r = 0; r < qt.rows; ++r) {
-        double acc = 0;
-        for (std::size_t s = 0; s < qt.subspaces(); ++s) {
-            ctx.dequant(qt, r, s, sub.data());
-            if (plan.fusion.level == FusionLevel::Shared) {
-                result.counters.reg_to_shared_bytes += vec * 2;
-                result.counters.shared_to_reg_bytes += vec * 2;
+    const std::size_t chunks = par::chunkCount(qt.rows, kRowChunk);
+    std::vector<gpusim::KernelCounters> part_counters(chunks);
+    std::vector<cache::AccessStats> part_stats(chunks);
+    par::parallelFor(qt.rows, kRowChunk, [&](const par::ChunkRange &c) {
+        FunctionalContext ctx(spec, plan, qt, c.index == 0);
+        const unsigned vec = qt.config.vector_size;
+        std::vector<float> sub(vec);
+        for (std::size_t r = c.begin; r < c.end; ++r) {
+            double acc = 0;
+            for (std::size_t s = 0; s < qt.subspaces(); ++s) {
+                ctx.dequant(qt, r, s, sub.data());
+                if (plan.fusion.level == FusionLevel::Shared) {
+                    ctx.counters.reg_to_shared_bytes += vec * 2;
+                    ctx.counters.shared_to_reg_bytes += vec * 2;
+                }
+                acc += static_cast<double>(
+                    simd::dot(sub.data(), x.data() + s * vec, vec));
             }
-            for (unsigned d = 0; d < vec; ++d)
-                acc += static_cast<double>(sub[d]) * x[s * vec + d];
+            result.output[r] = static_cast<float>(acc);
         }
-        result.output[r] = static_cast<float>(acc);
-    }
+        ctx.finish();
+        part_counters[c.index] = ctx.counters;
+        part_stats[c.index] = ctx.stats;
+    });
+    for (std::size_t i = 0; i < chunks; ++i)
+        mergeContext(result, part_counters[i], part_stats[i]);
     if (plan.fusion.level == FusionLevel::Register)
         result.counters.shuffle_ops +=
             qt.rows * qt.subspaces() / spec.warp_size *
             plan.fusion.num_shuffles;
-    ctx.finish();
     return result;
 }
 
@@ -448,39 +495,49 @@ runVqGemm(const KernelPlan &plan, const vq::QuantizedTensor &qt,
 
     FunctionalResult result;
     result.output = Tensor<float>({m, qt.rows});
-    FunctionalContext ctx(spec, plan, qt, result.counters, result.stats);
 
-    // Process the batch in row blocks; every block re-dequantizes its
-    // weight strip (the GeMM re-dequantization cost of Sec. VII-B).
+    // Chunks partition the *output feature* dimension (qt.rows); inside
+    // a chunk the batch is processed in row blocks, and every block
+    // re-dequantizes its weight strip (the GeMM re-dequantization cost
+    // of Sec. VII-B).
     engine::BaselineTiling tiling;
     const std::size_t block_rows = tiling.gemm_block_rows;
-    const unsigned vec = qt.config.vector_size;
-    std::vector<float> sub(vec);
-    for (std::size_t m0 = 0; m0 < m; m0 += block_rows) {
-        std::size_t m1 = std::min(m, m0 + block_rows);
-        for (std::size_t r = 0; r < qt.rows; ++r) {
-            for (std::size_t s = 0; s < qt.subspaces(); ++s) {
-                ctx.dequant(qt, r, s, sub.data());
-                if (plan.fusion.level == FusionLevel::Shared) {
-                    result.counters.reg_to_shared_bytes += vec * 2;
-                    result.counters.shared_to_reg_bytes += vec * 2;
-                }
-                for (std::size_t i = m0; i < m1; ++i) {
-                    double acc = 0;
-                    for (unsigned d = 0; d < vec; ++d)
-                        acc += static_cast<double>(sub[d]) *
-                               x.at(i, s * vec + d);
-                    result.output.at(i, r) += static_cast<float>(acc);
-                    result.counters.flops += 2 * vec;
+    const std::size_t k = qt.cols;
+    const std::size_t chunks = par::chunkCount(qt.rows, kRowChunk);
+    std::vector<gpusim::KernelCounters> part_counters(chunks);
+    std::vector<cache::AccessStats> part_stats(chunks);
+    par::parallelFor(qt.rows, kRowChunk, [&](const par::ChunkRange &c) {
+        FunctionalContext ctx(spec, plan, qt, c.index == 0);
+        const unsigned vec = qt.config.vector_size;
+        std::vector<float> sub(vec);
+        for (std::size_t m0 = 0; m0 < m; m0 += block_rows) {
+            std::size_t m1 = std::min(m, m0 + block_rows);
+            for (std::size_t r = c.begin; r < c.end; ++r) {
+                for (std::size_t s = 0; s < qt.subspaces(); ++s) {
+                    ctx.dequant(qt, r, s, sub.data());
+                    if (plan.fusion.level == FusionLevel::Shared) {
+                        ctx.counters.reg_to_shared_bytes += vec * 2;
+                        ctx.counters.shared_to_reg_bytes += vec * 2;
+                    }
+                    for (std::size_t i = m0; i < m1; ++i) {
+                        float acc = simd::dot(
+                            sub.data(), x.data() + i * k + s * vec, vec);
+                        result.output.at(i, r) += acc;
+                        ctx.counters.flops += 2 * vec;
+                    }
                 }
             }
         }
-    }
+        ctx.finish();
+        part_counters[c.index] = ctx.counters;
+        part_stats[c.index] = ctx.stats;
+    });
+    for (std::size_t i = 0; i < chunks; ++i)
+        mergeContext(result, part_counters[i], part_stats[i]);
     if (plan.fusion.level == FusionLevel::Register)
         result.counters.shuffle_ops +=
             ceilDiv(m, block_rows) * qt.rows * qt.subspaces() /
             spec.warp_size * plan.fusion.num_shuffles;
-    ctx.finish();
     return result;
 }
 
@@ -505,50 +562,65 @@ runVqAttention(const KernelPlan &plan, const vq::QuantizedTensor &qt_k,
 
     FunctionalResult result;
     result.output = Tensor<float>({heads, channels});
-    FunctionalContext ctx_k(spec, plan, qt_k, result.counters,
-                            result.stats);
-    FunctionalContext ctx_v(spec, plan, qt_v, result.counters,
-                            result.stats);
 
-    std::vector<float> sub(vec);
+    // Chunks partition the head dimension; each chunk owns private K
+    // and V contexts (Load traffic counted once via chunk 0).
     const std::size_t groups_per_head = channels / vec;
-    for (std::size_t h = 0; h < heads; ++h) {
-        // Phase 1: logits via dequantized K (row-wise, layout matches).
+    const std::size_t chunks = par::chunkCount(heads, kHeadChunk);
+    std::vector<gpusim::KernelCounters> part_counters(chunks);
+    std::vector<cache::AccessStats> part_stats(chunks);
+    par::parallelFor(heads, kHeadChunk, [&](const par::ChunkRange &c) {
+        FunctionalContext ctx_k(spec, plan, qt_k, c.index == 0);
+        FunctionalContext ctx_v(spec, plan, qt_v, c.index == 0);
+        std::vector<float> sub(vec);
         std::vector<float> logits(tokens, 0.0f);
-        for (std::size_t t = 0; t < tokens; ++t) {
-            double acc = 0;
-            for (std::size_t g = 0; g < groups_per_head; ++g) {
-                std::size_t s = h * groups_per_head + g;
-                ctx_k.dequant(qt_k, t, s, sub.data());
-                for (unsigned d = 0; d < vec; ++d)
-                    acc += static_cast<double>(sub[d]) *
-                           q.at(h, g * vec + d);
-            }
-            logits[t] = static_cast<float>(acc * inv_sqrt_d);
-        }
-        softmaxInPlace(logits);
-
-        // Phase 2: V accumulation (column-wise: the mismatched layout).
-        for (std::size_t t = 0; t < tokens; ++t) {
-            for (std::size_t g = 0; g < groups_per_head; ++g) {
-                std::size_t s = h * groups_per_head + g;
-                ctx_v.dequant(qt_v, t, s, sub.data());
-                if (plan.fusion.level == FusionLevel::Shared) {
-                    result.counters.reg_to_shared_bytes += vec * 2;
-                    result.counters.shared_to_reg_bytes += vec * 2;
+        for (std::size_t h = c.begin; h < c.end; ++h) {
+            // Phase 1: logits via dequantized K (row-wise, layout
+            // matches).
+            for (std::size_t t = 0; t < tokens; ++t) {
+                double acc = 0;
+                for (std::size_t g = 0; g < groups_per_head; ++g) {
+                    std::size_t s = h * groups_per_head + g;
+                    ctx_k.dequant(qt_k, t, s, sub.data());
+                    acc += static_cast<double>(simd::dot(
+                        sub.data(), q.data() + h * channels + g * vec,
+                        vec));
                 }
-                for (unsigned d = 0; d < vec; ++d)
-                    result.output.at(h, g * vec + d) +=
-                        logits[t] * sub[d];
+                logits[t] = static_cast<float>(acc * inv_sqrt_d);
+            }
+            softmaxInPlace(logits);
+
+            // Phase 2: V accumulation (column-wise: the mismatched
+            // layout).
+            for (std::size_t t = 0; t < tokens; ++t) {
+                for (std::size_t g = 0; g < groups_per_head; ++g) {
+                    std::size_t s = h * groups_per_head + g;
+                    ctx_v.dequant(qt_v, t, s, sub.data());
+                    if (plan.fusion.level == FusionLevel::Shared) {
+                        ctx_v.counters.reg_to_shared_bytes += vec * 2;
+                        ctx_v.counters.shared_to_reg_bytes += vec * 2;
+                    }
+                    simd::fmaInto(
+                        result.output.data() + h * channels + g * vec,
+                        sub.data(), logits[t], vec);
+                }
             }
         }
-    }
+        ctx_k.finish();
+        ctx_v.finish();
+        part_counters[c.index] = ctx_k.counters;
+        part_counters[c.index] += ctx_v.counters;
+        part_stats[c.index] = ctx_k.stats;
+        part_stats[c.index].reg_hits += ctx_v.stats.reg_hits;
+        part_stats[c.index].shared_hits += ctx_v.stats.shared_hits;
+        part_stats[c.index].global_hits += ctx_v.stats.global_hits;
+    });
+    for (std::size_t i = 0; i < chunks; ++i)
+        mergeContext(result, part_counters[i], part_stats[i]);
     if (plan.fusion.level == FusionLevel::Register)
         result.counters.shuffle_ops +=
             tokens * qt_v.subspaces() / spec.warp_size *
             plan.fusion.num_shuffles;
-    ctx_k.finish();
-    ctx_v.finish();
     return result;
 }
 

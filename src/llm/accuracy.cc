@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/simd.h"
 #include "kernels/reference.h"
 #include "tensor/datagen.h"
 #include "vq/profiler.h"
@@ -58,24 +60,20 @@ forward(const MlpModel &model, const Tensor<float> &w1,
     const std::size_t hidden = w1.dim(0);
     const std::size_t classes = model.w2.dim(0);
 
+    const float *x = features.data() + row * dim;
     std::vector<float> h(hidden);
     for (std::size_t j = 0; j < hidden; ++j) {
-        double acc = model.b1[j];
-        for (std::size_t d = 0; d < dim; ++d)
-            acc += static_cast<double>(w1.at(j, d)) *
-                   features.at(row, d);
-        h[j] = acc > 0 ? static_cast<float>(acc) : 0.0f; // ReLU
+        float acc = model.b1[j] + simd::dot(w1.data() + j * dim, x, dim);
+        h[j] = acc > 0 ? acc : 0.0f; // ReLU
     }
     if (hidden_out)
         *hidden_out = h;
 
     std::vector<float> logits(classes);
-    for (std::size_t c = 0; c < classes; ++c) {
-        double acc = model.b2[c];
-        for (std::size_t j = 0; j < hidden; ++j)
-            acc += static_cast<double>(model.w2.at(c, j)) * h[j];
-        logits[c] = static_cast<float>(acc);
-    }
+    for (std::size_t c = 0; c < classes; ++c)
+        logits[c] = model.b2[c] +
+                    simd::dot(model.w2.data() + c * hidden, h.data(),
+                              hidden);
     kernels::softmaxInPlace(logits);
     return logits;
 }
@@ -154,16 +152,23 @@ evaluateWithWeights(const MlpModel &model,
                     const Dataset &data)
 {
     const std::size_t n = data.features.dim(0);
-    std::size_t correct = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        auto probs = forward(model, w1_replacement, data.features, i);
-        std::size_t best = 0;
-        for (std::size_t c = 1; c < probs.size(); ++c)
-            if (probs[c] > probs[best])
-                best = c;
-        if (best == data.labels[i])
-            ++correct;
-    }
+    // Samples are independent; the correct count is an integer sum, so
+    // the reduction is exact for any thread count.
+    std::size_t correct = par::parallelSum<std::size_t>(
+        n, 64, [&](const par::ChunkRange &ch) {
+            std::size_t part = 0;
+            for (std::size_t i = ch.begin; i < ch.end; ++i) {
+                auto probs =
+                    forward(model, w1_replacement, data.features, i);
+                std::size_t best = 0;
+                for (std::size_t c = 1; c < probs.size(); ++c)
+                    if (probs[c] > probs[best])
+                        best = c;
+                if (best == data.labels[i])
+                    ++part;
+            }
+            return part;
+        });
     return static_cast<double>(correct) / static_cast<double>(n);
 }
 

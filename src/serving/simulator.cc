@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "gpusim/gpu_spec.h"
 
 namespace vqllm::serving {
@@ -28,6 +29,17 @@ ServingSimulator::run()
 {
     auto trace = generateWorkload(cfg_.workload);
     return run(trace);
+}
+
+std::vector<ServingReport>
+ServingSimulator::runMany(const std::vector<SimulatorConfig> &configs)
+{
+    std::vector<ServingReport> reports(configs.size());
+    par::parallelFor(configs.size(), 1, [&](const par::ChunkRange &c) {
+        for (std::size_t i = c.begin; i < c.end; ++i)
+            reports[i] = ServingSimulator(configs[i]).run();
+    });
+    return reports;
 }
 
 ServingReport

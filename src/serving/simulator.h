@@ -66,6 +66,16 @@ class ServingSimulator
     /** Run an explicit trace (must be arrival-sorted). */
     ServingReport run(std::vector<Request> &trace);
 
+    /**
+     * Run independent simulations concurrently on the host runtime
+     * (capacity sweeps, scheme comparisons).  Each simulation is
+     * sequential and deterministic internally, so the reports are
+     * bit-identical to serial back-to-back runs and returned in config
+     * order.
+     */
+    static std::vector<ServingReport>
+    runMany(const std::vector<SimulatorConfig> &configs);
+
     /** @return KV bytes available to the pool under this config. */
     std::uint64_t kvCapacityBytes() const { return kv_capacity_bytes_; }
 

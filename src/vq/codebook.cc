@@ -5,6 +5,7 @@
 
 #include "common/bitutils.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace vqllm::vq {
 
@@ -70,16 +71,25 @@ Codebook::encode(const float *sub, double *err) const
 
     if (!lattice_) {
         const std::size_t n = entries_.dim(0);
-        for (std::size_t e = 0; e < n; ++e) {
-            const float *cand = entries_.data() + e * vectorSize_;
-            double d = 0;
-            for (unsigned k = 0; k < vectorSize_; ++k) {
-                double diff = static_cast<double>(sub[k]) - cand[k];
-                d += diff * diff;
-            }
+        const float *cand = entries_.data();
+        for (std::size_t e = 0; e < n; ++e, cand += vectorSize_) {
+            double d = simd::squaredDistance(sub, cand, vectorSize_);
             if (d < best) {
                 best = d;
                 best_idx = static_cast<std::uint32_t>(e);
+            }
+        }
+        if (err) {
+            // Selection runs in float SIMD; report the chosen entry's
+            // error in double so error comparisons against the
+            // double-precision lattice search stay exact.
+            const float *chosen =
+                entries_.data() +
+                static_cast<std::size_t>(best_idx) * vectorSize_;
+            best = 0;
+            for (unsigned k = 0; k < vectorSize_; ++k) {
+                double diff = static_cast<double>(sub[k]) - chosen[k];
+                best += diff * diff;
             }
         }
     } else {

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/simd.h"
 
 namespace vqllm::vq {
 
@@ -14,17 +16,60 @@ rowDistanceSq(const Tensor<float> &A, std::size_t a, const Tensor<float> &B,
 {
     vqllm_assert(A.dim(1) == B.dim(1), "dim mismatch");
     const std::size_t dim = A.dim(1);
-    const float *pa = A.data() + a * dim;
-    const float *pb = B.data() + b * dim;
-    double acc = 0;
-    for (std::size_t d = 0; d < dim; ++d) {
-        double diff = static_cast<double>(pa[d]) - pb[d];
-        acc += diff * diff;
-    }
-    return acc;
+    return simd::squaredDistance(A.data() + a * dim, B.data() + b * dim,
+                                 dim);
 }
 
 namespace {
+
+/** Rows per assignment chunk (static layout — see common/parallel.h). */
+constexpr std::size_t kAssignGrain = 256;
+
+/** Nearest centroid of one row: (centroid index, squared distance). */
+std::pair<std::uint32_t, double>
+nearestCentroid(const float *row, const Tensor<float> &centroids)
+{
+    const std::size_t k = centroids.dim(0);
+    const std::size_t dim = centroids.dim(1);
+    float best = std::numeric_limits<float>::max();
+    std::uint32_t best_c = 0;
+    const float *cand = centroids.data();
+    for (std::size_t c = 0; c < k; ++c, cand += dim) {
+        float d = simd::squaredDistance(row, cand, dim);
+        if (d < best) {
+            best = d;
+            best_c = static_cast<std::uint32_t>(c);
+        }
+    }
+    return {best_c, static_cast<double>(best)};
+}
+
+/**
+ * Assign every row to its nearest centroid (the single nearest-centroid
+ * loop shared by assignToNearest and the Lloyd assignment step).
+ *
+ * @param assign receives the per-row centroid index (size n)
+ * @return total inertia, reduced in chunk order (deterministic for any
+ *         thread count)
+ */
+double
+assignRows(const Tensor<float> &data, const Tensor<float> &centroids,
+           std::vector<std::uint32_t> &assign)
+{
+    const std::size_t n = data.dim(0);
+    const std::size_t dim = data.dim(1);
+    return par::parallelSum<double>(
+        n, kAssignGrain, [&](const par::ChunkRange &c) {
+            double inertia = 0;
+            for (std::size_t i = c.begin; i < c.end; ++i) {
+                auto [best_c, d] =
+                    nearestCentroid(data.data() + i * dim, centroids);
+                assign[i] = best_c;
+                inertia += d;
+            }
+            return inertia;
+        });
+}
 
 /** Pick initial centroids with k-means++ (D^2 weighting). */
 Tensor<float>
@@ -40,13 +85,20 @@ kMeansPlusPlusInit(const Tensor<float> &data, std::size_t k, Rng &rng)
 
     std::vector<double> dist_sq(n, std::numeric_limits<double>::max());
     for (std::size_t c = 1; c < k; ++c) {
-        // Update distances against the last added centroid.
-        double total = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-            double d = rowDistanceSq(data, i, centroids, c - 1);
-            dist_sq[i] = std::min(dist_sq[i], d);
-            total += dist_sq[i];
-        }
+        // Update distances against the last added centroid; rows are
+        // independent and the total reduces in chunk order.
+        const float *last = centroids.data() + (c - 1) * dim;
+        double total = par::parallelSum<double>(
+            n, kAssignGrain, [&](const par::ChunkRange &ch) {
+                double part = 0;
+                for (std::size_t i = ch.begin; i < ch.end; ++i) {
+                    double d = simd::squaredDistance(
+                        data.data() + i * dim, last, dim);
+                    dist_sq[i] = std::min(dist_sq[i], d);
+                    part += dist_sq[i];
+                }
+                return part;
+            });
         std::size_t chosen;
         if (total <= 0) {
             chosen = rng.uniformInt(n); // all points identical
@@ -88,21 +140,8 @@ subsample(const Tensor<float> &data, std::size_t limit, Rng &rng)
 std::vector<std::uint32_t>
 assignToNearest(const Tensor<float> &data, const Tensor<float> &centroids)
 {
-    const std::size_t n = data.dim(0);
-    const std::size_t k = centroids.dim(0);
-    std::vector<std::uint32_t> assign(n, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-        double best = std::numeric_limits<double>::max();
-        std::uint32_t best_c = 0;
-        for (std::size_t c = 0; c < k; ++c) {
-            double d = rowDistanceSq(data, i, centroids, c);
-            if (d < best) {
-                best = d;
-                best_c = static_cast<std::uint32_t>(c);
-            }
-        }
-        assign[i] = best_c;
-    }
+    std::vector<std::uint32_t> assign(data.dim(0), 0);
+    assignRows(data, centroids, assign);
     return assign;
 }
 
@@ -133,23 +172,11 @@ kMeans(const Tensor<float> &data, std::size_t k, const KMeansOptions &opts)
 
     for (int iter = 0; iter < opts.max_iters; ++iter) {
         res.iterations = iter + 1;
-        // Assignment step.
-        double inertia = 0;
-        for (std::size_t i = 0; i < fn; ++i) {
-            double best = std::numeric_limits<double>::max();
-            std::uint32_t best_c = 0;
-            for (std::size_t c = 0; c < k; ++c) {
-                double d = rowDistanceSq(fit, i, res.centroids, c);
-                if (d < best) {
-                    best = d;
-                    best_c = static_cast<std::uint32_t>(c);
-                }
-            }
-            fit_assign[i] = best_c;
-            inertia += best;
-        }
+        // Assignment step (parallel; deterministic chunk-order reduce).
+        double inertia = assignRows(fit, res.centroids, fit_assign);
 
-        // Update step (double accumulation for stability).
+        // Update step (double accumulation for stability; serial — it
+        // is O(n*dim) against the assignment's O(n*k*dim)).
         std::vector<double> sums(k * dim, 0.0);
         std::vector<std::size_t> counts(k, 0);
         for (std::size_t i = 0; i < fn; ++i) {
@@ -185,10 +212,14 @@ kMeans(const Tensor<float> &data, std::size_t k, const KMeansOptions &opts)
     res.assignments = assignToNearest(data, res.centroids);
     if (sampled) {
         // Recompute inertia on the full data for a meaningful metric.
-        res.inertia = 0;
-        for (std::size_t i = 0; i < n; ++i)
-            res.inertia +=
-                rowDistanceSq(data, i, res.centroids, res.assignments[i]);
+        res.inertia = par::parallelSum<double>(
+            n, kAssignGrain, [&](const par::ChunkRange &c) {
+                double part = 0;
+                for (std::size_t i = c.begin; i < c.end; ++i)
+                    part += rowDistanceSq(data, i, res.centroids,
+                                          res.assignments[i]);
+                return part;
+            });
     }
     return res;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace vqllm::vq {
 
@@ -41,6 +42,12 @@ VectorQuantizer::VectorQuantizer(VQConfig config, KMeansOptions kmeans)
 }
 
 namespace {
+
+/** Encode-loop members per chunk (static layout). */
+constexpr std::size_t kEncodeGrain = 512;
+
+/** Rows per dequantize chunk. */
+constexpr std::size_t kDequantGrain = 64;
 
 /** Number of scope units for a tensor shape under a config. */
 std::size_t
@@ -95,7 +102,15 @@ VectorQuantizer::quantize(const Tensor<float> &data) const
     std::vector<std::uint32_t> staged(
         rows * subspaces * config_.residuals, 0);
 
-    for (std::size_t u = 0; u < qt.scope_units; ++u) {
+    // Scope units own disjoint (row, subspace) members, so their
+    // residual slices, staged indices and codebooks never alias: units
+    // fit in parallel.  Inside one unit (the only unit, for PerTensor
+    // scope) the encode loop parallelizes over members instead; the
+    // nested parallelFor runs inline when the unit level is already
+    // parallel.  Both levels use static chunking, so results are
+    // bit-identical for any thread count.
+    par::parallelFor(qt.scope_units, 1, [&](const par::ChunkRange &uc) {
+      for (std::size_t u = uc.begin; u < uc.end; ++u) {
         const auto &mem = members[u];
         if (mem.empty())
             continue;
@@ -126,21 +141,28 @@ VectorQuantizer::quantize(const Tensor<float> &data) const
             }
 
             // Encode members against the *raw* residual (not abs) and
-            // subtract the decoded value.
-            std::vector<float> sub(vec), dec(vec);
-            for (std::size_t m = 0; m < mem.size(); ++m) {
-                auto [r, s] = mem[m];
-                for (unsigned d = 0; d < vec; ++d)
-                    sub[d] = residual.at(r, s * vec + d);
-                std::uint32_t idx = cb.encode(sub.data());
-                staged[qt.indexPosition(r, s, stage)] = idx;
-                cb.decode(idx, dec.data());
-                for (unsigned d = 0; d < vec; ++d)
-                    residual.at(r, s * vec + d) -= dec[d];
-            }
+            // subtract the decoded value.  Members are independent:
+            // each touches only its own residual sub-vector and staged
+            // slot.
+            par::parallelFor(
+                mem.size(), kEncodeGrain,
+                [&](const par::ChunkRange &c) {
+                    std::vector<float> sub(vec), dec(vec);
+                    for (std::size_t m = c.begin; m < c.end; ++m) {
+                        auto [r, s] = mem[m];
+                        for (unsigned d = 0; d < vec; ++d)
+                            sub[d] = residual.at(r, s * vec + d);
+                        std::uint32_t idx = cb.encode(sub.data());
+                        staged[qt.indexPosition(r, s, stage)] = idx;
+                        cb.decode(idx, dec.data());
+                        for (unsigned d = 0; d < vec; ++d)
+                            residual.at(r, s * vec + d) -= dec[d];
+                    }
+                });
             qt.codebooks[u * config_.residuals + stage] = std::move(cb);
         }
-    }
+      }
+    });
 
     for (std::uint32_t idx : staged)
         qt.indices.push(idx);
@@ -171,14 +193,28 @@ VectorQuantizer::dequantize(const QuantizedTensor &qt)
 {
     Tensor<float> out({qt.rows, qt.cols});
     const unsigned vec = qt.config.vector_size;
-    std::vector<float> sub(vec);
-    for (std::size_t r = 0; r < qt.rows; ++r) {
-        for (std::size_t s = 0; s < qt.subspaces(); ++s) {
-            dequantizeSubvector(qt, r, s, sub.data());
-            for (unsigned d = 0; d < vec; ++d)
-                out.at(r, s * vec + d) = sub[d];
+    par::parallelFor(qt.rows, kDequantGrain, [&](const par::ChunkRange &c) {
+        // Per-chunk scratch keeps the per-lookup allocation out of the
+        // inner loop.
+        std::vector<float> sub(vec), dec(vec);
+        for (std::size_t r = c.begin; r < c.end; ++r) {
+            for (std::size_t s = 0; s < qt.subspaces(); ++s) {
+                for (unsigned d = 0; d < vec; ++d)
+                    sub[d] = 0.0f;
+                for (unsigned stage = 0; stage < qt.config.residuals;
+                     ++stage) {
+                    const Codebook &cb = qt.codebookFor(r, s, stage);
+                    std::uint32_t idx = qt.indices.get(
+                        qt.indexPosition(r, s, stage));
+                    cb.decode(idx, dec.data());
+                    for (unsigned d = 0; d < vec; ++d)
+                        sub[d] += dec[d];
+                }
+                for (unsigned d = 0; d < vec; ++d)
+                    out.at(r, s * vec + d) = sub[d];
+            }
         }
-    }
+    });
     return out;
 }
 

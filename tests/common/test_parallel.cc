@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the deterministic parallel runtime: chunk layout, exact
+ * coverage, ordered reductions, thread-count overrides and nesting.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/simd.h"
+
+namespace vqllm::par {
+namespace {
+
+/** Restores the programmatic thread override on scope exit. */
+struct ThreadGuard
+{
+    ~ThreadGuard() { setThreads(0); }
+};
+
+TEST(Parallel, ChunkLayout)
+{
+    EXPECT_EQ(chunkCount(0, 8), 0u);
+    EXPECT_EQ(chunkCount(1, 8), 1u);
+    EXPECT_EQ(chunkCount(8, 8), 1u);
+    EXPECT_EQ(chunkCount(9, 8), 2u);
+    EXPECT_EQ(chunkCount(64, 8), 8u);
+
+    auto c0 = chunkAt(10, 4, 0);
+    EXPECT_EQ(c0.begin, 0u);
+    EXPECT_EQ(c0.end, 4u);
+    auto c2 = chunkAt(10, 4, 2);
+    EXPECT_EQ(c2.begin, 8u);
+    EXPECT_EQ(c2.end, 10u);
+    EXPECT_EQ(c2.size(), 2u);
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce)
+{
+    ThreadGuard guard;
+    setThreads(8);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto &h : hits)
+        h.store(0);
+    parallelFor(n, 7, [&](const ChunkRange &c) {
+        for (std::size_t i = c.begin; i < c.end; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, OrderedSumBitIdenticalAcrossThreadCounts)
+{
+    ThreadGuard guard;
+    // Values chosen so naive reassociation changes the float result.
+    const std::size_t n = 4096;
+    std::vector<double> vals(n);
+    for (std::size_t i = 0; i < n; ++i)
+        vals[i] = 1.0 / (1.0 + static_cast<double>(i) * 0.37) *
+                  (i % 3 == 0 ? 1e-8 : 1e8);
+
+    auto sum_at = [&](int threads) {
+        setThreads(threads);
+        return parallelSum<double>(n, 64, [&](const ChunkRange &c) {
+            double s = 0;
+            for (std::size_t i = c.begin; i < c.end; ++i)
+                s += vals[i];
+            return s;
+        });
+    };
+    double s1 = sum_at(1);
+    double s8 = sum_at(8);
+    double s3 = sum_at(3);
+    EXPECT_EQ(s1, s8); // bit-identical, not NEAR
+    EXPECT_EQ(s1, s3);
+}
+
+TEST(Parallel, NestedCallsRunInlineWithoutDeadlock)
+{
+    ThreadGuard guard;
+    setThreads(4);
+    std::atomic<int> total{0};
+    parallelFor(8, 1, [&](const ChunkRange &) {
+        parallelFor(8, 1, [&](const ChunkRange &) {
+            total.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Parallel, SetThreadsOverridesEnvironment)
+{
+    ThreadGuard guard;
+    setenv("VQLLM_THREADS", "3", 1);
+    EXPECT_EQ(maxThreads(), 3);
+    setThreads(5);
+    EXPECT_EQ(maxThreads(), 5);
+    setThreads(0);
+    EXPECT_EQ(maxThreads(), 3);
+    unsetenv("VQLLM_THREADS");
+    EXPECT_GE(maxThreads(), 1);
+}
+
+TEST(Parallel, EmptyAndSingleChunkRanges)
+{
+    ThreadGuard guard;
+    setThreads(8);
+    int calls = 0;
+    parallelFor(0, 16, [&](const ChunkRange &) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    // Single chunk runs inline on the caller.
+    parallelFor(5, 16, [&](const ChunkRange &c) {
+        ++calls;
+        EXPECT_EQ(c.begin, 0u);
+        EXPECT_EQ(c.end, 5u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Simd, PrimitivesMatchScalarReference)
+{
+    std::vector<float> a(37), b(37), acc(37, 0.5f), acc_ref(37, 0.5f);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = 0.25f * static_cast<float>(i) - 3.0f;
+        b[i] = 1.5f - 0.125f * static_cast<float>(i);
+    }
+    double dot_ref = 0, dist_ref = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        dot_ref += static_cast<double>(a[i]) * b[i];
+        double d = static_cast<double>(a[i]) - b[i];
+        dist_ref += d * d;
+        acc_ref[i] += 2.5f * a[i];
+    }
+    EXPECT_NEAR(simd::dot(a.data(), b.data(), a.size()), dot_ref, 1e-2);
+    EXPECT_NEAR(simd::squaredDistance(a.data(), b.data(), a.size()),
+                dist_ref, 1e-2);
+    simd::fmaInto(acc.data(), a.data(), 2.5f, a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(acc[i], acc_ref[i], 1e-4) << i;
+    EXPECT_NE(simd::activeIsa(), nullptr);
+}
+
+} // namespace
+} // namespace vqllm::par
