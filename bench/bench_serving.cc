@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/parallel.h"
 #include "serving/simulator.h"
 
 using namespace vqllm;
@@ -25,7 +26,7 @@ namespace {
 constexpr double kTtftP95SloUs = 1500e3; // 1.5 s to first token
 constexpr double kTbtP95SloUs = 200e3;   // 200 ms between tokens
 
-/** The one workload parameterization every run in this bench uses. */
+/** The one workload parameterization the scheme comparison uses. */
 serving::SimulatorConfig
 makeConfig(llm::QuantScheme scheme, double qps)
 {
@@ -37,10 +38,20 @@ makeConfig(llm::QuantScheme scheme, double qps)
     return cfg;
 }
 
-serving::ServingReport
-runAt(llm::QuantScheme scheme, double qps)
+/** Prefill-heavy load of the chunked-prefill sweep: long prompts with
+ *  short answers (summarization/extraction shape), so whole-prompt
+ *  prefill iterations are long enough to stall every running decode
+ *  and the stalls land inside the TBT p99. */
+serving::SimulatorConfig
+makePrefillHeavyConfig(llm::QuantScheme scheme, double qps,
+                       std::size_t chunk_tokens)
 {
-    return serving::ServingSimulator(makeConfig(scheme, qps)).run();
+    serving::SimulatorConfig cfg = makeConfig(scheme, qps);
+    cfg.workload.prompt_len_median = 3072;
+    cfg.workload.prompt_len_max = 8192;
+    cfg.workload.gen_tokens_median = 32;
+    cfg.scheduler.chunk_tokens = chunk_tokens;
+    return cfg;
 }
 
 bool
@@ -51,15 +62,19 @@ meetsSlo(const serving::ServingReport &r)
 }
 
 /** Largest sustainable QPS via bisection on [lo, hi). */
+template <typename MakeConfig>
 double
-maxQpsUnderSlo(llm::QuantScheme scheme)
+maxQpsUnderSlo(MakeConfig &&make)
 {
     double lo = 0.25, hi = 64.0;
-    if (!meetsSlo(runAt(scheme, lo)))
+    auto runAt = [&](double qps) {
+        return serving::ServingSimulator(make(qps)).run();
+    };
+    if (!meetsSlo(runAt(lo)))
         return 0.0;
     while (hi - lo > 0.25) {
         double mid = 0.5 * (lo + hi);
-        if (meetsSlo(runAt(scheme, mid)))
+        if (meetsSlo(runAt(mid)))
             lo = mid;
         else
             hi = mid;
@@ -108,7 +123,8 @@ main()
     TextTable capacity({"scheme", "max QPS", "vs FP16"});
     double fp16_qps = 0;
     for (auto scheme : llm::kAllQuantSchemes) {
-        double qps = maxQpsUnderSlo(scheme);
+        double qps = maxQpsUnderSlo(
+            [&](double q) { return makeConfig(scheme, q); });
         if (scheme == llm::QuantScheme::FP16)
             fp16_qps = qps;
         capacity.addRow({llm::quantSchemeName(scheme),
@@ -121,6 +137,54 @@ main()
     std::printf("quantized KV caches turn kernel-level speedups into "
                 "capacity: more HBM left for\nthe block pool and fewer "
                 "bytes per cached token raise the sustainable arrival "
-                "rate.\n");
+                "rate.\n\n");
+
+    // ---- Chunked-prefill sweep under a prefill-heavy workload.
+    const double heavy_qps = 1.6;
+    const std::size_t chunk = 768;
+    std::printf("Chunked prefill under prefill bursts (prompt median "
+                "3072 tokens, gen median 32, %.1f QPS):\n\n",
+                heavy_qps);
+    TextTable chunked({"scheme", "chunk", "TBT p99 (ms)", "TBT p95 (ms)",
+                       "TTFT p95 (ms)", "max QPS"});
+    struct SweepCell
+    {
+        llm::QuantScheme scheme;
+        std::size_t chunk;
+    };
+    std::vector<SweepCell> cells;
+    for (auto scheme : {llm::QuantScheme::FP16, llm::QuantScheme::VQ4})
+        for (std::size_t c : {std::size_t{0}, chunk})
+            cells.push_back({scheme, c});
+    // The reference-load runs fan out via runMany; the per-cell SLO
+    // bisections are equally independent (each internally sequential
+    // and deterministic), so fan them out too.
+    std::vector<serving::SimulatorConfig> cfgs;
+    for (const auto &cell : cells)
+        cfgs.push_back(
+            makePrefillHeavyConfig(cell.scheme, heavy_qps, cell.chunk));
+    auto reports = serving::ServingSimulator::runMany(cfgs);
+    std::vector<double> max_qps(cells.size());
+    par::parallelFor(cells.size(), 1, [&](const par::ChunkRange &r) {
+        for (std::size_t i = r.begin; i < r.end; ++i)
+            max_qps[i] = maxQpsUnderSlo([&](double q) {
+                return makePrefillHeavyConfig(cells[i].scheme, q,
+                                              cells[i].chunk);
+            });
+    });
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        chunked.addRow(
+            {llm::quantSchemeName(cells[i].scheme),
+             cells[i].chunk == 0 ? "off" : std::to_string(cells[i].chunk),
+             formatDouble(reports[i].tbt.p99_us / 1e3, 1),
+             formatDouble(reports[i].tbt.p95_us / 1e3, 1),
+             formatDouble(reports[i].ttft.p95_us / 1e3, 1),
+             formatDouble(max_qps[i], 2)});
+    std::printf("%s\n", chunked.render().c_str());
+    std::printf("slicing prompts into %zu-token chunks mixed with "
+                "decode steps bounds the stall a\nlong prefill inflicts "
+                "on running sequences: TBT tails drop without giving "
+                "up\nsustainable arrival rate.\n",
+                chunk);
     return 0;
 }

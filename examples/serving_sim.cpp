@@ -7,9 +7,12 @@
  *               [--gpu 4090|a40] [--qps N] [--duration S] [--seed N]
  *               [--max-batch N] [--block-tokens N] [--hbm-gb G]
  *               [--codebook-slots N] [--codebook-groups N]
+ *               [--policy fcfs|priority|edf] [--chunk-tokens N]
+ *               [--priority-levels N] [--prompt-median N]
  *
  * Generates a Poisson request trace, serves it with the
- * continuous-batching scheduler over a paged VQ KV cache, and reports
+ * policy-driven continuous-batching scheduler over a paged VQ KV
+ * cache (chunked prefill when --chunk-tokens > 0), and reports
  * TTFT/TBT/E2E percentiles, sustained tokens/sec, the KV high-water
  * mark and codebook residency statistics.  Deterministic in --seed.
  */
@@ -89,6 +92,15 @@ main(int argc, char **argv)
             cfg.codebook_slots = std::stoul(value());
         } else if (flag == "--codebook-groups") {
             cfg.workload.num_codebook_groups = std::stoul(value());
+        } else if (flag == "--policy") {
+            if (!serving::parsePolicyKind(value(), &cfg.scheduler.policy))
+                vqllm_fatal("unknown policy (fcfs|priority|edf)");
+        } else if (flag == "--chunk-tokens") {
+            cfg.scheduler.chunk_tokens = std::stoul(value());
+        } else if (flag == "--priority-levels") {
+            cfg.workload.priority_levels = std::stoul(value());
+        } else if (flag == "--prompt-median") {
+            cfg.workload.prompt_len_median = std::stoul(value());
         } else {
             vqllm_fatal("unknown flag '", flag, "'");
         }
@@ -97,12 +109,19 @@ main(int argc, char **argv)
         cfg.hbm_gb = 48.0; // A40 ships 48 GB
 
     serving::ServingSimulator sim(cfg);
+    std::string chunk_note =
+        cfg.scheduler.chunk_tokens > 0
+            ? ", chunked prefill @" +
+                  std::to_string(cfg.scheduler.chunk_tokens)
+            : "";
     std::printf("serving %s on %s / %s: %.1f QPS for %.0f s (seed "
-                "%llu)\n",
+                "%llu, policy %s%s)\n",
                 cfg.model->name.c_str(), cfg.spec->name.c_str(),
                 llm::quantSchemeName(cfg.scheme), cfg.workload.qps,
                 cfg.workload.duration_s,
-                static_cast<unsigned long long>(cfg.workload.seed));
+                static_cast<unsigned long long>(cfg.workload.seed),
+                serving::policyKindName(cfg.scheduler.policy),
+                chunk_note.c_str());
     std::printf("KV pool: %.2f GB under the scheme's weight footprint\n",
                 static_cast<double>(sim.kvCapacityBytes()) / 1e9);
     auto report = sim.run();

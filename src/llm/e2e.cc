@@ -73,22 +73,54 @@ bestVqAttnUs(const gpusim::GpuSpec &spec, const engine::AttnShape &shape,
 
 } // namespace
 
+namespace {
+
+/**
+ * Shared full-stack prefill pricing: FP16 GeMMs over `rows` tokens per
+ * layer plus causal attention over `attn_positions` key positions
+ * (2 ops x 2 MACs x H x head_dim each), scaled to all layers.  Both
+ * prefill entry points price through here so whole-prompt and chunked
+ * estimates cannot drift apart.
+ */
 double
-estimatePrefillUs(const gpusim::GpuSpec &spec, const LlamaConfig &model,
-                  std::size_t batch, std::size_t prompt_len)
+prefillLayersUs(const gpusim::GpuSpec &spec, const LlamaConfig &model,
+                std::size_t rows, double attn_positions)
 {
-    std::size_t rows = batch * prompt_len;
     double layer_us = 0;
     for (auto [n, k] : model.layerLinearShapes()) {
         GemmShape shape{rows, n, k};
         layer_us += kernels::fp16GemmEstimate(spec, shape).us();
     }
-    // Causal attention: ~2 ops x B*H*(T^2/2)*C MACs per layer.
-    double attn_flops = 2.0 * 2.0 * batch * model.heads * 0.5 *
-                        static_cast<double>(prompt_len) * prompt_len *
-                        model.head_dim;
+    double attn_flops =
+        2.0 * 2.0 * model.heads * attn_positions * model.head_dim;
     layer_us += attn_flops / (spec.fp16_tensor_tflops * 1e12 * 0.5) * 1e6;
     return layer_us * static_cast<double>(model.layers);
+}
+
+} // namespace
+
+double
+estimatePrefillUs(const gpusim::GpuSpec &spec, const LlamaConfig &model,
+                  std::size_t batch, std::size_t prompt_len)
+{
+    // Causal attention: ~B*H*(T^2/2)*C MACs per layer.
+    double positions = static_cast<double>(batch) * 0.5 *
+                       static_cast<double>(prompt_len) * prompt_len;
+    return prefillLayersUs(spec, model, batch * prompt_len, positions);
+}
+
+double
+estimateChunkedPrefillUs(const gpusim::GpuSpec &spec,
+                         const LlamaConfig &model,
+                         std::size_t slice_tokens,
+                         std::size_t context_tokens)
+{
+    // Each of the T slice tokens attends over the C cached tokens plus
+    // the slice prefix: ~C*T + T^2/2 key positions.
+    double positions =
+        static_cast<double>(slice_tokens) * context_tokens +
+        0.5 * static_cast<double>(slice_tokens) * slice_tokens;
+    return prefillLayersUs(spec, model, slice_tokens, positions);
 }
 
 double

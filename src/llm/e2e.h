@@ -78,6 +78,19 @@ double estimatePrefillUs(const gpusim::GpuSpec &spec,
                          const LlamaConfig &model, std::size_t batch,
                          std::size_t prompt_len);
 
+/**
+ * Prefill latency of one chunk of a single sequence: `slice_tokens`
+ * prompt tokens run against `context_tokens` already-cached tokens
+ * (chunked prefill).  The slice's GeMMs see slice_tokens rows; its
+ * causal attention spans the cached context plus the slice prefix.
+ * With context 0 and the whole prompt as the slice this equals
+ * estimatePrefillUs(spec, model, 1, prompt_len).
+ */
+double estimateChunkedPrefillUs(const gpusim::GpuSpec &spec,
+                                const LlamaConfig &model,
+                                std::size_t slice_tokens,
+                                std::size_t context_tokens);
+
 /** Latency of one decode-phase linear layer under a scheme (best
  *  adaptive VQ version for the VQ schemes). */
 double schemeLinearUs(const gpusim::GpuSpec &spec, QuantScheme scheme,

@@ -34,26 +34,38 @@ KvBlockPool::allocSequence(std::uint64_t seq_id, std::size_t tokens)
 }
 
 bool
-KvBlockPool::appendToken(std::uint64_t seq_id)
+KvBlockPool::extendSequence(std::uint64_t seq_id, std::size_t tokens)
 {
     auto it = seqs_.find(seq_id);
     vqllm_assert(it != seqs_.end(), "sequence not resident");
     SeqEntry &e = it->second;
-    std::uint64_t need = blocksForTokens(e.tokens + 1);
+    std::uint64_t need = blocksForTokens(e.tokens + tokens);
     if (need > e.blocks) {
-        if (freeBlocks() == 0) {
+        std::uint64_t fresh = need - e.blocks;
+        if (fresh > freeBlocks()) {
             ++stats_.failed_allocs;
             return false;
         }
-        ++e.blocks;
-        ++used_blocks_;
-        ++stats_.block_allocs;
+        e.blocks = need;
+        used_blocks_ += fresh;
+        stats_.block_allocs += fresh;
         stats_.peak_used_blocks =
             std::max(stats_.peak_used_blocks, used_blocks_);
     }
-    ++e.tokens;
-    ++stored_tokens_;
+    e.tokens += tokens;
+    stored_tokens_ += tokens;
     return true;
+}
+
+std::size_t
+KvBlockPool::extendableTokens(std::uint64_t seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    vqllm_assert(it != seqs_.end(), "sequence not resident");
+    const SeqEntry &e = it->second;
+    std::size_t slack =
+        static_cast<std::size_t>(e.blocks) * cfg_.block_tokens - e.tokens;
+    return slack + freeTokens();
 }
 
 void
@@ -147,8 +159,12 @@ CodebookResidency::touchBatch(const std::vector<std::uint64_t> &groups)
                      cand->first < victim->first))
                     victim = cand;
             }
-            if (victim == resident_.end())
-                continue; // whole cache pinned by this batch: overflow
+            if (victim == resident_.end()) {
+                // Whole cache pinned by this batch: the group cannot be
+                // admitted and streams from HBM (capacity thrash).
+                ++out.overflow;
+                continue;
+            }
             resident_.erase(victim);
             ++out.evictions;
         }
@@ -161,6 +177,7 @@ CodebookResidency::touchBatch(const std::vector<std::uint64_t> &groups)
     stats_.hits += out.hits;
     stats_.misses += out.misses;
     stats_.evictions += out.evictions;
+    stats_.overflow += out.overflow;
     return out;
 }
 

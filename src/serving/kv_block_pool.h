@@ -97,13 +97,36 @@ class KvBlockPool
     bool allocSequence(std::uint64_t seq_id, std::size_t tokens);
 
     /**
-     * Extend a resident sequence by one token, taking a fresh block when
-     * the token crosses a block boundary.
+     * Extend a resident sequence by n tokens, taking fresh blocks as
+     * tokens cross block boundaries.
      *
-     * @return false if a block was needed and none was free (the
+     * @return false if blocks were needed and too few were free (the
      *         scheduler's preemption signal); the sequence is unchanged
      */
-    bool appendToken(std::uint64_t seq_id);
+    bool extendSequence(std::uint64_t seq_id, std::size_t tokens);
+
+    /**
+     * Extend a resident sequence by one token (decode step).
+     *
+     * @return false if a block was needed and none was free; the
+     *         sequence is unchanged
+     */
+    bool
+    appendToken(std::uint64_t seq_id)
+    {
+        return extendSequence(seq_id, 1);
+    }
+
+    /** @return tokens a resident sequence could gain right now without
+     *  failing: tail-block slack plus every free block. */
+    std::size_t extendableTokens(std::uint64_t seq_id) const;
+
+    /** @return tokens a fresh sequence could take right now. */
+    std::size_t
+    freeTokens() const
+    {
+        return static_cast<std::size_t>(freeBlocks()) * cfg_.block_tokens;
+    }
 
     /** Release all blocks of a sequence (completion or preemption). */
     void freeSequence(std::uint64_t seq_id);
@@ -165,6 +188,12 @@ struct CodebookResidencyStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /** Capacity misses: groups that could not be admitted because the
+     *  current batch pinned every slot (the batch holds more distinct
+     *  groups than the cache has slots).  A subset of misses — an
+     *  overflowing group streams from HBM every iteration, which is
+     *  thrash, not a cold start. */
+    std::uint64_t overflow = 0;
 
     double
     hitRate() const
@@ -196,6 +225,8 @@ class CodebookResidency
         std::size_t hits = 0;
         std::size_t misses = 0;
         std::size_t evictions = 0;
+        /** Misses that could not be admitted (batch pinned all slots). */
+        std::size_t overflow = 0;
     };
 
     /**

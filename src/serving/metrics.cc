@@ -57,12 +57,14 @@ ServingReport::summary() const
     out += line("TBT", tbt);
     out += line("E2E", e2e);
     std::snprintf(buf, sizeof(buf),
-                  "  throughput %.1f tok/s over %.1f s simulated\n"
+                  "  throughput %.1f tok/s busy, %.1f s busy of %.1f s "
+                  "simulated (util %.1f%%)\n"
                   "  completed %llu, rejected %llu, preemptions %llu, "
                   "iterations %llu\n"
                   "  KV high-water %.2f GB of %.2f GB, codebook hit rate "
                   "%.1f%%\n",
-                  tokens_per_sec, sim_time_us / 1e6,
+                  tokens_per_sec, busy_time_us / 1e6, sim_time_us / 1e6,
+                  utilization * 100.0,
                   static_cast<unsigned long long>(completed_requests),
                   static_cast<unsigned long long>(rejected_requests),
                   static_cast<unsigned long long>(preemptions),

@@ -105,7 +105,13 @@ struct ServingReport
 
     /** Simulated makespan (last event timestamp), microseconds. */
     double sim_time_us = 0;
-    /** Decode tokens emitted per simulated second. */
+    /** Time the GPU spent executing iterations, microseconds — the
+     *  makespan minus idle fast-forward gaps between arrivals. */
+    double busy_time_us = 0;
+    /** busy_time_us / sim_time_us ([0,1]). */
+    double utilization = 0;
+    /** Decode tokens emitted per *busy* second (idle gaps at low QPS
+     *  would otherwise underreport the served throughput). */
     double tokens_per_sec = 0;
     std::uint64_t completed_requests = 0;
     std::uint64_t rejected_requests = 0;

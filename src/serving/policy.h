@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Scheduling policies for the continuous-batching scheduler.
+ *
+ * A SchedulingPolicy supplies the two orderings batch formation needs:
+ * *admission* (which waiting request enters the running set first) and
+ * *eviction* (which running request loses its KV blocks first when a
+ * decode step cannot take a block).  The scheduler owns the queues and
+ * the KV accounting; policies only compare requests, so every policy
+ * inherits the same preemption/recompute machinery.
+ *
+ * Three policies ship:
+ *  - FCFS      — strict arrival order; evict the latest arrival
+ *                (vLLM's default recompute preemption).
+ *  - Priority  — higher Request::priority first; evict the lowest
+ *                priority (then the latest arrival).
+ *  - EDF       — SLO-aware earliest-deadline-first on the per-request
+ *                TTFT deadline (before the first token) or TBT deadline
+ *                (after it); evict the request with the most slack.
+ *
+ * Every comparator is a strict weak order with a request-id tiebreak,
+ * so batch formation is deterministic for any policy.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serving/request.h"
+
+namespace vqllm::serving {
+
+/** Selectable scheduling policies. */
+enum class PolicyKind {
+    FCFS,
+    Priority,
+    EDF,
+};
+
+/** Admission and eviction orderings over requests. */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    /** Policy name for reports ("fcfs", "priority", "edf"). */
+    virtual const char *name() const = 0;
+
+    /** @return true when a should be admitted before b. */
+    virtual bool admitBefore(const Request &a, const Request &b) const = 0;
+
+    /** @return true when a is the better preemption victim than b. */
+    virtual bool evictBefore(const Request &a, const Request &b) const = 0;
+};
+
+/** @return the next deadline EDF schedules r against: TTFT deadline
+ *  until the first token, then the TBT deadline of the next token. */
+double edfDeadlineUs(const Request &r);
+
+/** Construct a policy instance. */
+std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind);
+
+/** @return lower-case policy name ("fcfs", "priority", "edf"). */
+const char *policyKindName(PolicyKind kind);
+
+/** Parse a policy name; @return false on unknown token. */
+bool parsePolicyKind(const std::string &token, PolicyKind *out);
+
+} // namespace vqllm::serving

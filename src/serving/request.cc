@@ -32,8 +32,12 @@ generateWorkload(const WorkloadConfig &cfg)
     const double horizon_us = cfg.duration_s * 1e6;
     const double mean_gap_us = 1e6 / cfg.qps;
     while (true) {
-        // Exponential inter-arrival gap (Poisson process).
-        now_us += -std::log(1.0 - rng.uniform()) * mean_gap_us;
+        // Exponential inter-arrival gap (Poisson process).  uniform()
+        // contracts [0, 1) but clamp anyway: a sample that rounds to
+        // 1.0 would make the gap -log(0) = inf and silently truncate
+        // the rest of the trace.
+        double u = std::min(rng.uniform(), std::nextafter(1.0, 0.0));
+        now_us += -std::log(1.0 - u) * mean_gap_us;
         if (now_us >= horizon_us)
             break;
         Request r;
@@ -46,6 +50,11 @@ generateWorkload(const WorkloadConfig &cfg)
             sampleLength(rng, cfg.gen_tokens_median, cfg.gen_tokens_sigma,
                          cfg.gen_tokens_min, cfg.gen_tokens_max);
         r.codebook_group = rng.weightedIndex(group_weights);
+        if (cfg.priority_levels > 1)
+            r.priority = static_cast<int>(
+                rng.uniformInt(cfg.priority_levels));
+        r.ttft_deadline_us = cfg.ttft_deadline_us;
+        r.tbt_deadline_us = cfg.tbt_deadline_us;
         trace.push_back(r);
     }
     return trace;

@@ -22,6 +22,11 @@
 
 namespace vqllm::serving {
 
+/** Default SLO deadlines shared by Request and WorkloadConfig, so
+ *  hand-constructed requests and generated traces agree. */
+inline constexpr double kDefaultTtftDeadlineUs = 1.5e6;
+inline constexpr double kDefaultTbtDeadlineUs = 200e3;
+
 /** Lifecycle of a request inside the simulator. */
 enum class RequestState {
     Waiting,   ///< arrived, not yet scheduled
@@ -41,11 +46,24 @@ struct Request
     std::size_t max_new_tokens = 0;
     /** Codebook group the request's KV codebooks belong to. */
     std::uint64_t codebook_group = 0;
+    /** Scheduling priority (higher = more urgent; PriorityPolicy). */
+    int priority = 0;
+    /** SLO deadline for the first token, us after arrival (EDF). */
+    double ttft_deadline_us = kDefaultTtftDeadlineUs;
+    /** SLO deadline between consecutive tokens, us (EDF). */
+    double tbt_deadline_us = kDefaultTbtDeadlineUs;
 
     // ---- mutable simulation state ----
     RequestState state = RequestState::Waiting;
     /** Decode tokens produced so far. */
     std::size_t generated = 0;
+    /** KV tokens materialized for the current residency (mirrors
+     *  KvBlockPool::seqTokens; 0 while not resident).  During chunked
+     *  prefill this advances one chunk at a time. */
+    std::size_t prefilled_tokens = 0;
+    /** True once the current (re)prefill ran to completion and the
+     *  request is decode-eligible.  Cleared on preemption. */
+    bool prefill_complete = false;
     /** Timestamp of the first output token (-1 until prefilled). */
     double first_token_us = -1;
     /** Timestamp of the most recent output token. */
@@ -95,6 +113,15 @@ struct WorkloadConfig
     std::size_t num_codebook_groups = 64;
     /** Zipf skew of group popularity (0 = uniform). */
     double group_zipf_alpha = 1.0;
+
+    /** Distinct priority levels, sampled uniformly per request (1 =
+     *  every request at priority 0; draws no RNG so existing traces
+     *  are unchanged). */
+    std::size_t priority_levels = 1;
+    /** TTFT SLO deadline stamped on every request, us (EDF policy). */
+    double ttft_deadline_us = kDefaultTtftDeadlineUs;
+    /** TBT SLO deadline stamped on every request, us (EDF policy). */
+    double tbt_deadline_us = kDefaultTbtDeadlineUs;
 
     /** Trace seed; one seed fully determines one trace. */
     std::uint64_t seed = 42;

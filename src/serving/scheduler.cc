@@ -8,8 +8,33 @@
 
 namespace vqllm::serving {
 
+namespace {
+
+/**
+ * Largest prompt slice processable given the chunk budget and `avail`
+ * free KV token slots.  A slice that completes the prefill needs one
+ * extra slot for the token it emits; when that slot cannot be afforded
+ * the slice shrinks and the prefill completes in a later iteration.
+ */
+std::size_t
+sliceTokens(std::size_t remaining, std::size_t budget, std::size_t avail)
+{
+    std::size_t take = std::min(budget, remaining);
+    std::size_t need = take + (take == remaining ? 1 : 0);
+    if (need <= avail)
+        return take;
+    if (avail == 0)
+        return 0;
+    take = std::min(take, avail);
+    if (take == remaining)
+        --take;
+    return take;
+}
+
+} // namespace
+
 Scheduler::Scheduler(const SchedulerConfig &cfg, KvBlockPool &pool)
-    : cfg_(cfg), pool_(pool)
+    : cfg_(cfg), pool_(pool), policy_(makePolicy(cfg.policy))
 {
     vqllm_assert(cfg_.max_batch > 0, "max_batch must be positive");
 }
@@ -17,23 +42,35 @@ Scheduler::Scheduler(const SchedulerConfig &cfg, KvBlockPool &pool)
 void
 Scheduler::submit(Request *r)
 {
-    if (!pool_.canEverFit(r->prompt_len + r->max_new_tokens)) {
+    // Peak residency is the full context plus, for a request with no
+    // decode budget, the slot of the token its prefill emits.
+    std::size_t peak =
+        r->prompt_len + std::max<std::size_t>(r->max_new_tokens, 1);
+    if (!pool_.canEverFit(peak)) {
         r->state = RequestState::Rejected;
         ++rejected_;
         return;
     }
     r->state = RequestState::Waiting;
+    r->prefilled_tokens = 0;
+    r->prefill_complete = false;
     requeue(r);
 }
 
 void
 Scheduler::requeue(Request *r)
 {
-    // Keep the waiting queue arrival-ordered so preempted requests
-    // (older arrivals) are re-admitted ahead of younger ones.
+    // Keep the waiting queue in policy admission order by insertion.
+    // Admission keys are static while a request waits — arrival,
+    // priority, and the EDF deadline (arrival + TTFT deadline before
+    // the first token, last_token + TBT deadline after) only change
+    // while a request runs — so the order never goes stale between
+    // insertions.  admitBefore is total (id tiebreak), making the
+    // position, and thus batch formation, deterministic.
     auto pos = std::lower_bound(waiting_.begin(), waiting_.end(), r,
-                                [](const Request *a, const Request *b) {
-                                    return a->arrival_us < b->arrival_us;
+                                [this](const Request *a,
+                                       const Request *b) {
+                                    return policy_->admitBefore(*a, *b);
                                 });
     waiting_.insert(pos, r);
 }
@@ -43,56 +80,60 @@ Scheduler::preempt(Request *r)
 {
     pool_.freeSequence(r->id);
     r->state = RequestState::Preempted;
+    r->prefilled_tokens = 0;
+    r->prefill_complete = false;
     ++r->preemptions;
     requeue(r);
 }
 
-Scheduler::Iteration
-Scheduler::next()
+std::size_t
+Scheduler::victimIndex(const Iteration &it) const
 {
-    Iteration it;
-
-    // ---- Prefill-prioritized admission, strict arrival order.  Stop
-    // at the first request that does not fit (no hole-skipping: FCFS).
-    std::size_t prefill_tokens = 0;
-    while (!waiting_.empty() &&
-           running_.size() + it.prefill.size() < cfg_.max_batch) {
-        Request *r = waiting_.front();
-        std::size_t ctx = r->contextTokens();
-        if (!it.prefill.empty() &&
-            prefill_tokens + ctx > cfg_.max_prefill_tokens)
-            break;
-        if (!pool_.allocSequence(r->id, ctx))
-            break;
-        waiting_.pop_front();
-        prefill_tokens += ctx;
-        it.prefill.push_back(r);
+    // Policy-worst running request among those that have not decoded
+    // this iteration — a sequence whose token was already scheduled
+    // must keep its blocks until the iteration lands.
+    std::size_t v = running_.size();
+    for (std::size_t j = 0; j < running_.size(); ++j) {
+        Request *c = running_[j];
+        if (std::find(it.decode.begin(), it.decode.end(), c) !=
+            it.decode.end())
+            continue;
+        if (v == running_.size() ||
+            policy_->evictBefore(*c, *running_[v]))
+            v = j;
     }
-    if (!it.prefill.empty()) {
-        for (Request *r : it.prefill) {
-            r->state = RequestState::Running;
-            running_.push_back(r);
-        }
-        // Running set stays arrival-ordered: re-admitted preempted
-        // requests may be older than current members.
-        std::sort(running_.begin(), running_.end(),
-                  [](const Request *a, const Request *b) {
-                      return a->arrival_us < b->arrival_us;
-                  });
-        return it;
-    }
+    vqllm_assert(v < running_.size(), "no preemption victim available");
+    return v;
+}
 
-    // ---- Decode: one token for every running sequence.  A sequence
-    // that cannot take a block preempts from the back of the running
-    // set (latest arrival) until its append succeeds or it preempts
-    // itself.
-    std::size_t i = 0;
-    while (i < running_.size()) {
-        Request *r = running_[i];
+void
+Scheduler::decodeStep(Iteration &it)
+{
+    // One token for every fully-prefilled running sequence.  A sequence
+    // that cannot take a block evicts the policy victim until its
+    // append succeeds or it preempts itself.  Decoded sequences are
+    // eviction-protected for the rest of the iteration, so visit them
+    // most-protected-first (reverse eviction order): when pressure
+    // hits, the not-yet-decoded tail still holds the policy's
+    // preferred victims — a high-priority sequence must never
+    // self-preempt because a protected low-priority one decoded ahead
+    // of it.
+    std::vector<Request *> order;
+    for (Request *r : running_)
+        if (r->prefill_complete)
+            order.push_back(r);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](const Request *a, const Request *b) {
+                         return policy_->evictBefore(*b, *a);
+                     });
+    for (Request *r : order) {
+        if (r->state != RequestState::Running)
+            continue; // fell victim to an earlier sequence's pressure
         bool ok = pool_.appendToken(r->id);
         while (!ok) {
-            Request *victim = running_.back();
-            running_.pop_back();
+            std::size_t v = victimIndex(it);
+            Request *victim = running_[v];
+            running_.erase(running_.begin() + v);
             preempt(victim);
             ++it.preempted;
             if (victim == r)
@@ -100,11 +141,125 @@ Scheduler::next()
             ok = pool_.appendToken(r->id);
         }
         if (!ok)
-            continue; // r preempted itself; it was the tail, loop ends
+            continue; // r preempted itself
+        ++r->prefilled_tokens;
         it.decode.push_back(r);
-        ++i;
     }
+}
+
+void
+Scheduler::prefillChunks(Iteration &it)
+{
+    std::size_t budget = cfg_.chunk_tokens;
+
+    // ---- Continue in-flight (partially prefilled) sequences in
+    // policy admission order.
+    std::vector<Request *> inflight;
+    for (Request *r : running_)
+        if (!r->prefill_complete)
+            inflight.push_back(r);
+    std::stable_sort(inflight.begin(), inflight.end(),
+                     [this](const Request *a, const Request *b) {
+                         return policy_->admitBefore(*a, *b);
+                     });
+    for (Request *r : inflight) {
+        if (budget == 0)
+            break;
+        std::size_t remaining = r->contextTokens() - r->prefilled_tokens;
+        std::size_t take = sliceTokens(remaining, budget,
+                                       pool_.extendableTokens(r->id));
+        if (take == 0)
+            continue; // blocked on KV; nextChunked may evict for it
+        bool last = take == remaining;
+        bool ok = pool_.extendSequence(r->id, take + (last ? 1 : 0));
+        vqllm_assert(ok, "sized prefill slice must extend");
+        it.prefill.push_back({r, take, r->prefilled_tokens, last});
+        r->prefilled_tokens += take + (last ? 1 : 0);
+        r->prefill_complete = last;
+        budget -= take;
+    }
+
+    // ---- Admit new requests in policy order.  Stop at the first that
+    // cannot take a slice (no hole-skipping).
+    while (budget > 0 && !waiting_.empty() &&
+           running_.size() < cfg_.max_batch) {
+        Request *r = waiting_.front();
+        std::size_t target = r->contextTokens();
+        std::size_t take =
+            sliceTokens(target, budget, pool_.freeTokens());
+        if (take == 0)
+            break;
+        bool last = take == target;
+        bool ok = pool_.allocSequence(r->id, take + (last ? 1 : 0));
+        vqllm_assert(ok, "sized prefill slice must allocate");
+        waiting_.erase(waiting_.begin());
+        r->state = RequestState::Running;
+        r->prefilled_tokens = take + (last ? 1 : 0);
+        r->prefill_complete = last;
+        running_.push_back(r);
+        it.prefill.push_back({r, take, 0, last});
+        budget -= take;
+    }
+}
+
+Scheduler::Iteration
+Scheduler::nextUnchunked()
+{
+    Iteration it;
+
+    // ---- Prefill-prioritized admission in policy order.  Stop at the
+    // first request that does not fit (no hole-skipping).
+    std::size_t prefill_tokens = 0;
+    while (!waiting_.empty() && running_.size() < cfg_.max_batch) {
+        Request *r = waiting_.front();
+        std::size_t ctx = r->contextTokens();
+        if (!it.prefill.empty() &&
+            prefill_tokens + ctx > cfg_.max_prefill_tokens)
+            break;
+        // Whole-prompt slice plus the slot of the token it emits.
+        if (!pool_.allocSequence(r->id, ctx + 1))
+            break;
+        waiting_.erase(waiting_.begin());
+        r->state = RequestState::Running;
+        r->prefilled_tokens = ctx + 1;
+        r->prefill_complete = true;
+        running_.push_back(r);
+        it.prefill.push_back({r, ctx, 0, true});
+        prefill_tokens += ctx;
+    }
+    if (!it.prefill.empty())
+        return it;
+
+    decodeStep(it);
     return it;
+}
+
+Scheduler::Iteration
+Scheduler::nextChunked()
+{
+    Iteration it;
+    decodeStep(it);
+    for (;;) {
+        prefillChunks(it);
+        if (!it.empty() || running_.empty())
+            return it;
+        // Every running sequence is mid-prefill and blocked on KV
+        // capacity: evict the policy victim and retry, so the oldest
+        // prefill can make progress.
+        std::size_t v = victimIndex(it);
+        Request *victim = running_[v];
+        running_.erase(running_.begin() + v);
+        preempt(victim);
+        ++it.preempted;
+    }
+}
+
+Scheduler::Iteration
+Scheduler::next()
+{
+    if (cfg_.chunk_tokens == 0)
+        return nextUnchunked();
+    return nextChunked();
 }
 
 void
@@ -112,6 +267,7 @@ Scheduler::retire(Request *r)
 {
     pool_.freeSequence(r->id);
     r->state = RequestState::Finished;
+    r->prefilled_tokens = 0;
     auto pos = std::find(running_.begin(), running_.end(), r);
     if (pos != running_.end())
         running_.erase(pos);
@@ -130,18 +286,32 @@ IterationPricer::IterationPricer(const gpusim::GpuSpec &spec,
 }
 
 double
-IterationPricer::prefillUs(std::size_t prompt_tokens)
+IterationPricer::prefillChunkUs(std::size_t tokens, std::size_t context)
 {
-    // Bucket prompts for memoization; prefill cost is smooth in length.
-    std::size_t bucket =
-        ((prompt_tokens + cfg_.seq_bucket - 1) / cfg_.seq_bucket) *
-        cfg_.seq_bucket;
-    auto memo = prefill_memo_.find(bucket);
+    // Bucket both dimensions for memoization; chunk cost is smooth in
+    // slice length and context.  Slices below one seq_bucket get a
+    // finer granularity — budget sharing routinely produces small
+    // leftover slices, and charging each a whole bucket of phantom
+    // tokens would systematically overprice the chunked regime.
+    auto bucketTo = [](std::size_t n, std::size_t b) {
+        return ((n + b - 1) / b) * b;
+    };
+    std::size_t fine =
+        std::min<std::size_t>(32, std::max<std::size_t>(cfg_.seq_bucket / 8, 1));
+    tokens = std::max<std::size_t>(tokens, 1);
+    auto key = std::make_pair(tokens < cfg_.seq_bucket
+                                  ? bucketTo(tokens, fine)
+                                  : bucketTo(tokens, cfg_.seq_bucket),
+                              context == 0
+                                  ? 0
+                                  : bucketTo(context, cfg_.seq_bucket));
+    auto memo = prefill_memo_.find(key);
     if (memo != prefill_memo_.end())
         return memo->second;
 
-    double us = llm::estimatePrefillUs(spec_, model_, 1, bucket);
-    prefill_memo_[bucket] = us;
+    double us = llm::estimateChunkedPrefillUs(spec_, model_, key.first,
+                                              key.second);
+    prefill_memo_[key] = us;
     return us;
 }
 
@@ -206,6 +376,19 @@ IterationPricer::decodeUs(const std::vector<Request *> &batch)
 
     double layers = static_cast<double>(model_.layers);
     return (decodeLinearUs(n) + elem_us + attn_us) * layers;
+}
+
+double
+IterationPricer::iterationUs(const Scheduler::Iteration &it)
+{
+    // One serialized launch set: every prefill slice's GEMMs plus the
+    // decode batch's bucketed attention sub-launches.
+    double us = 0;
+    for (const auto &chunk : it.prefill)
+        us += prefillChunkUs(chunk.tokens, chunk.context);
+    if (!it.decode.empty())
+        us += decodeUs(it.decode);
+    return us;
 }
 
 std::uint64_t

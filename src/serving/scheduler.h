@@ -1,14 +1,31 @@
 /**
  * @file
- * Continuous-batching scheduler and iteration pricer.
+ * Policy-driven continuous-batching scheduler and iteration pricer.
  *
  * The scheduler owns the waiting/running queues and forms one
- * *iteration* at a time, vLLM-style: prefill-prioritized admission in
- * strict arrival order (an iteration is either a prefill batch or one
- * decode step for every running sequence), KV block accounting through
- * KvBlockPool, and recompute-style preemption — when a decode step
- * cannot take a fresh block, the latest-arrived running sequence loses
- * its blocks and re-queues for a future re-prefill.
+ * *iteration* at a time.  Queue order and preemption-victim selection
+ * are delegated to a SchedulingPolicy (FCFS, priority, SLO-aware EDF),
+ * so every policy shares the same KV block accounting through
+ * KvBlockPool and the same recompute-style preemption: a sequence that
+ * loses its blocks re-queues and re-prefills its full context later.
+ *
+ * Two batch-formation regimes:
+ *  - **Unchunked** (chunk_tokens == 0): vLLM-style prefill-prioritized
+ *    admission — an iteration is either a prefill batch under
+ *    max_prefill_tokens or one decode step for every running sequence.
+ *  - **Chunked prefill** (chunk_tokens > 0): every iteration decodes
+ *    all fully-prefilled sequences AND processes up to chunk_tokens
+ *    prompt tokens, sliced across partially-prefilled and newly
+ *    admitted requests, so long prompts no longer stall running
+ *    decodes for a whole prompt's worth of GEMMs.
+ *
+ * KV accounting convention (shared by both regimes): every scheduled
+ * forward pass that emits a token also materializes that token's KV
+ * slot, so after any iteration a fully-prefilled running sequence
+ * satisfies pool.seqTokens(id) == contextTokens().  A (re)prefill
+ * therefore allocates contextTokens()+1 slots — its final slice emits
+ * one token (the first token of a fresh prefill, the next token of a
+ * recompute) — and a decode step extends by exactly one.
  *
  * IterationPricer turns a formed iteration into simulated microseconds
  * by calling the same machinery the end-to-end model uses
@@ -16,21 +33,23 @@
  * kernels via engine::planWeightKernel / planAttentionKernel and price
  * them with gpusim::CostModel).  Decode attention is priced per
  * context-length bucket — mirroring flash-decoding's homogeneous
- * sub-launches over a ragged batch — and every price is memoized on the
- * bucketed shape, which keeps a multi-minute simulation to a few
- * thousand planner invocations.
+ * sub-launches over a ragged batch — prefill slices via
+ * llm::estimateChunkedPrefillUs on the (slice, context) shape, and
+ * every price is memoized on the bucketed shape, which keeps a
+ * multi-minute simulation to a few thousand planner invocations.
  */
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "gpusim/gpu_spec.h"
 #include "llm/model_config.h"
 #include "serving/kv_block_pool.h"
+#include "serving/policy.h"
 #include "serving/request.h"
 
 namespace vqllm::serving {
@@ -38,30 +57,52 @@ namespace vqllm::serving {
 /** Batch-formation limits. */
 struct SchedulerConfig
 {
-    /** Maximum concurrently running (decoding) sequences. */
+    /** Maximum concurrently running (decoding or prefilling) sequences. */
     std::size_t max_batch = 64;
-    /** Prompt-token budget of one prefill iteration.  A single prompt
-     *  longer than the budget is still admitted alone. */
+    /** Prompt-token budget of one unchunked prefill iteration.  A
+     *  single prompt longer than the budget is still admitted alone. */
     std::size_t max_prefill_tokens = 4096;
+    /** Chunked prefill: prompt-token budget mixed into *every*
+     *  iteration alongside decode steps.  0 disables chunking and
+     *  selects the unchunked either/or regime above. */
+    std::size_t chunk_tokens = 0;
+    /** Admission / eviction ordering. */
+    PolicyKind policy = PolicyKind::FCFS;
 };
 
 /**
  * Forms per-iteration batches over the request queues.
  *
- * All queue order is by arrival time (FCFS); preempted sequences
- * re-enter the waiting queue at their original arrival position, so
- * they are re-admitted ahead of younger requests.
+ * The waiting queue is kept in policy admission order (for FCFS that
+ * is arrival order, so preempted sequences re-admit ahead of younger
+ * requests); preemption victims are the policy's evictBefore minimum
+ * among requests that have not decoded in the current iteration.
  */
 class Scheduler
 {
   public:
     Scheduler(const SchedulerConfig &cfg, KvBlockPool &pool);
 
-    /** One scheduled iteration (either prefill or decode, never both). */
+    /** One prefill slice scheduled in an iteration. */
+    struct PrefillChunk
+    {
+        Request *req = nullptr;
+        /** Prompt/context tokens processed by this slice. */
+        std::size_t tokens = 0;
+        /** KV tokens already resident before the slice (the history
+         *  its attention spans). */
+        std::size_t context = 0;
+        /** True when the slice completes the (re)prefill; the request
+         *  emits a token and becomes decode-eligible. */
+        bool last = false;
+    };
+
+    /** One scheduled iteration.  Unchunked iterations hold prefill
+     *  chunks or decode steps, never both; chunked iterations mix. */
     struct Iteration
     {
-        /** Requests (re)prefilled this iteration. */
-        std::vector<Request *> prefill;
+        /** Prefill slices processed this iteration. */
+        std::vector<PrefillChunk> prefill;
         /** Requests decoding one token this iteration. */
         std::vector<Request *> decode;
         /** Preemptions triggered while forming the iteration. */
@@ -99,16 +140,25 @@ class Scheduler
     std::size_t runningCount() const { return running_.size(); }
     std::uint64_t rejectedCount() const { return rejected_; }
     const std::vector<Request *> &running() const { return running_; }
+    const SchedulingPolicy &policy() const { return *policy_; }
 
   private:
+    Iteration nextUnchunked();
+    Iteration nextChunked();
+    void decodeStep(Iteration &it);
+    void prefillChunks(Iteration &it);
+    std::size_t victimIndex(const Iteration &it) const;
     void preempt(Request *r);
     void requeue(Request *r);
 
     SchedulerConfig cfg_;
     KvBlockPool &pool_;
-    /** Arrival-ordered arrival queue (front = oldest). */
-    std::deque<Request *> waiting_;
-    /** Arrival-ordered running set. */
+    std::unique_ptr<SchedulingPolicy> policy_;
+    /** Waiting queue, kept in policy admission order (requeue()). */
+    std::vector<Request *> waiting_;
+    /** Running set (admission order; batch formation orders its own
+     *  views with total policy comparators, so this order is not
+     *  load-bearing). */
     std::vector<Request *> running_;
     std::uint64_t rejected_ = 0;
 };
@@ -137,8 +187,14 @@ class IterationPricer
                     llm::QuantScheme scheme,
                     const PricerConfig &cfg = PricerConfig{});
 
-    /** Full-stack prefill latency of one request's context. */
-    double prefillUs(std::size_t prompt_tokens);
+    /** Full mixed iteration: chunked-prefill GEMM slices plus decode
+     *  attention buckets, priced as one serialized launch set. */
+    double iterationUs(const Scheduler::Iteration &it);
+
+    /** One prefill slice of `tokens` against `context` resident KV
+     *  tokens (chunked-prefill GEMM + attention over the history; a
+     *  whole-prompt prefill is the context == 0 case). */
+    double prefillChunkUs(std::size_t tokens, std::size_t context);
 
     /** One decode iteration over the batch's current contexts. */
     double decodeUs(const std::vector<Request *> &batch);
@@ -161,7 +217,7 @@ class IterationPricer
     llm::QuantScheme scheme_;
     PricerConfig cfg_;
 
-    std::map<std::size_t, double> prefill_memo_;
+    std::map<std::pair<std::size_t, std::size_t>, double> prefill_memo_;
     std::map<std::size_t, double> linear_memo_;
     std::map<std::pair<std::size_t, std::size_t>, double> attn_memo_;
     std::map<std::size_t, double> elem_memo_;

@@ -59,6 +59,7 @@ ServingSimulator::run(std::vector<Request> &trace)
     MetricsCollector metrics;
 
     double now_us = 0;
+    double busy_us = 0;
     std::size_t next_arrival = 0;
     std::uint64_t completed = 0;
     std::uint64_t iterations = 0;
@@ -96,42 +97,44 @@ ServingSimulator::run(std::vector<Request> &trace)
         for (std::size_t k = 0; k < iter.preempted; ++k)
             metrics.recordPreemption();
 
-        // ---- Price the iteration.
-        double iter_us = 0;
-        if (!iter.prefill.empty()) {
-            for (const Request *r : iter.prefill) {
-                iter_us += pricer.prefillUs(r->contextTokens());
-                metrics.recordPrefillTokens(r->contextTokens());
-            }
-        } else {
-            iter_us += pricer.decodeUs(iter.decode);
-        }
+        // ---- Price the iteration (mixed prefill slices + decode in
+        // one launch set).
+        double iter_us = pricer.iterationUs(iter);
         if (has_codebooks) {
             groups.clear();
-            for (const Request *r : iter.prefill)
-                groups.push_back(r->codebook_group);
+            for (const auto &chunk : iter.prefill)
+                groups.push_back(chunk.req->codebook_group);
             for (const Request *r : iter.decode)
                 groups.push_back(r->codebook_group);
             auto touch = residency.touchBatch(groups);
             iter_us += pricer.codebookMissUs(touch.misses);
         }
         now_us += iter_us;
+        busy_us += iter_us;
 
         // ---- Emit tokens and retire finished requests.
         std::vector<Request *> finished;
-        for (Request *r : iter.prefill) {
+        for (const auto &chunk : iter.prefill) {
+            metrics.recordPrefillTokens(chunk.tokens);
+            if (!chunk.last)
+                continue; // partial slice: no token emitted yet
+            Request *r = chunk.req;
             if (r->generated == 0) {
-                // Fresh prefill emits the first output token.
+                // The slice completing a fresh prefill emits the
+                // request's first output token.
                 r->first_token_us = now_us;
-                r->last_token_us = now_us;
-                r->generated = 1;
                 metrics.recordTtft(now_us - r->arrival_us);
-                metrics.recordDecodeTokens(1);
-                if (r->done())
-                    finished.push_back(r);
+            } else {
+                // Recompute after preemption re-runs the forward pass
+                // over the full context and emits the next token; the
+                // stall since the last token lands in this TBT sample.
+                metrics.recordTbt(now_us - r->last_token_us);
             }
-            // Re-prefill (recompute after preemption) emits nothing;
-            // the stall shows up in the next TBT sample.
+            ++r->generated;
+            r->last_token_us = now_us;
+            metrics.recordDecodeTokens(1);
+            if (r->done())
+                finished.push_back(r);
         }
         for (Request *r : iter.decode) {
             ++r->generated;
@@ -147,6 +150,20 @@ ServingSimulator::run(std::vector<Request> &trace)
             scheduler.retire(r);
             ++completed;
         }
+
+        // ---- KV accounting invariant: every resident sequence's pool
+        // occupancy matches its bookkeeping, and a fully-prefilled
+        // sequence holds exactly its context — the prefill and
+        // re-prefill paths must never drift apart by a token.
+        for (const Request *r : scheduler.running()) {
+            vqllm_assert(pool.seqTokens(r->id) == r->prefilled_tokens,
+                         "KV pool tokens diverged from request "
+                         "bookkeeping for request ", r->id);
+            if (r->prefill_complete)
+                vqllm_assert(r->prefilled_tokens == r->contextTokens(),
+                             "prefilled sequence does not hold its "
+                             "context for request ", r->id);
+        }
     }
 
     // ---- Assemble the report.
@@ -155,10 +172,12 @@ ServingSimulator::run(std::vector<Request> &trace)
     report.tbt = summarize(metrics.tbtSamples());
     report.e2e = summarize(metrics.e2eSamples());
     report.sim_time_us = now_us;
+    report.busy_time_us = busy_us;
+    report.utilization = now_us > 0 ? busy_us / now_us : 0;
     report.tokens_per_sec =
-        now_us > 0 ? static_cast<double>(metrics.decodeTokens()) /
-                         (now_us / 1e6)
-                   : 0;
+        busy_us > 0 ? static_cast<double>(metrics.decodeTokens()) /
+                          (busy_us / 1e6)
+                    : 0;
     report.completed_requests = completed;
     report.rejected_requests = scheduler.rejectedCount();
     report.preemptions = metrics.preemptions();

@@ -4,11 +4,14 @@
  * pool, codebook residency and the iteration pricer together.
  *
  * The clock is iteration-driven: the simulator delivers arrivals, asks
- * the scheduler for the next iteration, prices it (kernel latencies plus
+ * the scheduler for the next iteration (mixed prefill slices + decode
+ * steps under chunked prefill), prices it (kernel latencies plus
  * codebook-upload penalties for residency misses), advances simulated
- * time by that latency, and records metrics.  A fresh prefill emits the
- * request's first token (TTFT); every decode iteration emits one token
- * per running sequence (TBT).  The run ends when every request of the
+ * time by that latency, and records metrics.  The slice completing a
+ * (re)prefill emits one token — the first token of a fresh prefill
+ * (TTFT) or, after a preemption recompute, the next token (the stall
+ * lands in that TBT sample); every decode step emits one token per
+ * running sequence (TBT).  The run ends when every request of the
  * finite trace has finished or been rejected — reports therefore cover
  * complete traces, never a truncated tail.
  *

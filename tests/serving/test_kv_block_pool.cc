@@ -71,6 +71,21 @@ TEST(KvBlockPool, AppendFailureLeavesSequenceIntact)
     EXPECT_EQ(pool.seqBlocks(1), 2u);
 }
 
+TEST(KvBlockPool, ExtendTakesMultipleBlocksAtomically)
+{
+    KvBlockPool pool(smallPool(4));
+    ASSERT_TRUE(pool.allocSequence(1, 3)); // 1 block, 1 slot slack
+    EXPECT_EQ(pool.extendableTokens(1), 13u);
+    ASSERT_TRUE(pool.extendSequence(1, 7)); // 10 tokens -> 3 blocks
+    EXPECT_EQ(pool.seqBlocks(1), 3u);
+    EXPECT_EQ(pool.seqTokens(1), 10u);
+    // An extension that cannot be fully served changes nothing.
+    EXPECT_FALSE(pool.extendSequence(1, 7)); // needs 2 blocks, 1 free
+    EXPECT_EQ(pool.seqTokens(1), 10u);
+    EXPECT_EQ(pool.usedBlocks(), 3u);
+    EXPECT_EQ(pool.extendableTokens(1), 6u); // 2 slack + 1 free block
+}
+
 TEST(KvBlockPool, FreeReturnsBlocks)
 {
     KvBlockPool pool(smallPool(4));
@@ -174,6 +189,32 @@ TEST(CodebookResidency, OverflowBatchKeepsMissingWithoutThrashing)
     EXPECT_EQ(r2.hits, 2u);
     EXPECT_EQ(r2.misses, 1u);
     EXPECT_EQ(r2.evictions, 0u);
+}
+
+TEST(CodebookResidency, OverflowCounterSeparatesCapacityFromColdMisses)
+{
+    CodebookResidency cache(2);
+    // 4 distinct groups, 2 slots: two admissions are cold misses, the
+    // other two are capacity overflow (every slot pinned by the batch).
+    auto r1 = cache.touchBatch({1, 2, 3, 4});
+    EXPECT_EQ(r1.misses, 4u);
+    EXPECT_EQ(r1.overflow, 2u);
+    EXPECT_EQ(r1.evictions, 0u);
+
+    // The same batch again: the resident pair hits, the overflow pair
+    // is charged a miss *and* flagged as overflow every iteration —
+    // capacity thrash, not cold starts.
+    auto r2 = cache.touchBatch({1, 2, 3, 4});
+    EXPECT_EQ(r2.hits, 2u);
+    EXPECT_EQ(r2.misses, 2u);
+    EXPECT_EQ(r2.overflow, 2u);
+    EXPECT_EQ(cache.stats().overflow, 4u);
+
+    // A batch that fits evicts normally: no overflow recorded.
+    auto r3 = cache.touchBatch({5, 6});
+    EXPECT_EQ(r3.overflow, 0u);
+    EXPECT_EQ(r3.evictions, 2u);
+    EXPECT_EQ(cache.stats().overflow, 4u);
 }
 
 TEST(CodebookResidency, StatsAccumulateAcrossBatches)

@@ -44,13 +44,16 @@ TEST(Scheduler, PrefillBeforeDecode)
     auto it1 = sched.next();
     ASSERT_EQ(it1.prefill.size(), 1u);
     EXPECT_TRUE(it1.decode.empty());
+    EXPECT_EQ(it1.prefill[0].tokens, 8u); // prompt tokens processed
+    EXPECT_TRUE(it1.prefill[0].last);
     EXPECT_EQ(a.state, RequestState::Running);
-    EXPECT_EQ(pool.seqTokens(0), 8u);
+    // Prompt plus the slot of the first token the prefill emits.
+    EXPECT_EQ(pool.seqTokens(0), 9u);
 
     auto it2 = sched.next();
     EXPECT_TRUE(it2.prefill.empty());
     ASSERT_EQ(it2.decode.size(), 1u);
-    EXPECT_EQ(pool.seqTokens(0), 9u); // decode appended one token
+    EXPECT_EQ(pool.seqTokens(0), 10u); // decode appended one token
 }
 
 TEST(Scheduler, PrefillBatchRespectsTokenBudget)
@@ -69,8 +72,8 @@ TEST(Scheduler, PrefillBatchRespectsTokenBudget)
     auto it = sched.next();
     // a (6) + b (4) hit the 10-token budget; c waits.
     ASSERT_EQ(it.prefill.size(), 2u);
-    EXPECT_EQ(it.prefill[0], &a);
-    EXPECT_EQ(it.prefill[1], &b);
+    EXPECT_EQ(it.prefill[0].req, &a);
+    EXPECT_EQ(it.prefill[1].req, &b);
     EXPECT_EQ(sched.waitingCount(), 1u);
 }
 
@@ -99,7 +102,7 @@ TEST(Scheduler, AdmissionIsFcfsNoHoleSkipping)
 
     auto it = sched.next();
     ASSERT_EQ(it.prefill.size(), 1u);
-    EXPECT_EQ(it.prefill[0], &a);
+    EXPECT_EQ(it.prefill[0].req, &a);
     // b blocks the queue head; c must not jump it.
     auto it2 = sched.next();
     EXPECT_TRUE(it2.prefill.empty());
@@ -122,8 +125,8 @@ TEST(Scheduler, DecodePreemptsLatestArrivalUnderPressure)
 {
     KvBlockPool pool(poolCfg(4, 4)); // 4 blocks of 4 tokens
     Scheduler sched(SchedulerConfig{}, pool);
-    auto a = makeRequest(0, 0, 8, 8); // 2 blocks, full
-    auto b = makeRequest(1, 1, 8, 8); // 2 blocks, full
+    auto a = makeRequest(0, 0, 7, 8); // 7+1 tokens = 2 blocks, full
+    auto b = makeRequest(1, 1, 7, 8); // 7+1 tokens = 2 blocks, full
     sched.submit(&a);
     sched.submit(&b);
     ASSERT_EQ(sched.next().prefill.size(), 2u);
@@ -145,21 +148,70 @@ TEST(Scheduler, PreemptedRequestReadmittedWithContext)
 {
     KvBlockPool pool(poolCfg(4, 4));
     Scheduler sched(SchedulerConfig{}, pool);
-    auto a = makeRequest(0, 0, 8, 8);
-    auto b = makeRequest(1, 1, 8, 8);
+    auto a = makeRequest(0, 0, 7, 8);
+    auto b = makeRequest(1, 1, 7, 8);
     sched.submit(&a);
     sched.submit(&b);
     sched.next(); // prefill both
     sched.next(); // decode: preempts b
     sched.retire(&a);
 
-    // With a gone, b re-prefills its full context (8 prompt tokens; it
+    // With a gone, b re-prefills its full context (7 prompt tokens; it
     // had not decoded yet) ahead of any younger request.
     auto it = sched.next();
     ASSERT_EQ(it.prefill.size(), 1u);
-    EXPECT_EQ(it.prefill[0], &b);
+    EXPECT_EQ(it.prefill[0].req, &b);
     EXPECT_EQ(b.state, RequestState::Running);
-    EXPECT_EQ(pool.seqTokens(1), 8u);
+    EXPECT_EQ(pool.seqTokens(1), 8u); // context + first-token slot
+}
+
+TEST(Scheduler, SelfPreemptionWhenDecodingHeadIsNewestArrival)
+{
+    KvBlockPool pool(poolCfg(8, 4)); // 32 token slots
+    Scheduler sched(SchedulerConfig{}, pool);
+    // Half the pool is held by a sequence the scheduler does not
+    // manage, so the lone running request eventually runs out of
+    // blocks and — being the newest (only) arrival — must pick itself
+    // as the preemption victim without crashing or livelocking.
+    ASSERT_TRUE(pool.allocSequence(999, 16));
+    auto a = makeRequest(0, 0, 8, 16);
+    sched.submit(&a);
+    ASSERT_EQ(sched.next().prefill.size(), 1u);
+
+    Scheduler::Iteration it;
+    for (int i = 0; i < 20 && it.preempted == 0; ++i)
+        it = sched.next();
+    ASSERT_EQ(it.preempted, 1u);
+    EXPECT_TRUE(it.decode.empty()); // the self-preempted step emits nothing
+    EXPECT_EQ(a.state, RequestState::Preempted);
+    EXPECT_EQ(a.preemptions, 1u);
+    EXPECT_EQ(pool.seqTokens(0), 0u);
+    EXPECT_EQ(sched.waitingCount(), 1u);
+    EXPECT_EQ(sched.runningCount(), 0u);
+}
+
+TEST(Scheduler, PreemptedOlderThanAllRunningReadmitsFirst)
+{
+    KvBlockPool pool(poolCfg(4, 4));
+    Scheduler sched(SchedulerConfig{}, pool);
+    auto a = makeRequest(0, 0, 7, 8);
+    auto b = makeRequest(1, 1, 7, 8);
+    auto c = makeRequest(2, 2, 8, 4); // younger, still waiting
+    sched.submit(&a);
+    sched.submit(&b);
+    sched.submit(&c);
+    ASSERT_EQ(sched.next().prefill.size(), 2u); // a + b fill the pool
+    auto it = sched.next();                     // decode preempts b
+    ASSERT_EQ(it.preempted, 1u);
+    EXPECT_EQ(b.state, RequestState::Preempted);
+    sched.retire(&a);
+
+    // b (arrival 1) is now older than everything running (nothing) and
+    // waiting (c, arrival 2): it must re-admit ahead of c.
+    auto it2 = sched.next();
+    ASSERT_EQ(it2.prefill.size(), 1u);
+    EXPECT_EQ(it2.prefill[0].req, &b);
+    EXPECT_EQ(c.state, RequestState::Waiting);
 }
 
 TEST(Scheduler, RetireReleasesBlocksAndRunningSlot)
@@ -256,10 +308,33 @@ TEST(ServingSimulator, TokensPerSecondConsistentWithCounters)
     cfg.workload.duration_s = 5;
     auto report = ServingSimulator(cfg).run();
     ASSERT_GT(report.sim_time_us, 0.0);
+    ASSERT_GT(report.busy_time_us, 0.0);
+    // Throughput is over busy time — idle fast-forward gaps between
+    // arrivals must not dilute it.
     EXPECT_NEAR(report.tokens_per_sec,
                 static_cast<double>(report.decode_tokens) /
-                    (report.sim_time_us / 1e6),
+                    (report.busy_time_us / 1e6),
                 1e-9);
+    EXPECT_LE(report.busy_time_us, report.sim_time_us);
+    EXPECT_NEAR(report.utilization,
+                report.busy_time_us / report.sim_time_us, 1e-12);
+}
+
+TEST(ServingSimulator, IdleGapsDoNotDiluteThroughput)
+{
+    // A sparse trace (well under saturation) fast-forwards between
+    // requests: busy time must be well below the makespan and the
+    // throughput counter must still reflect the busy rate.
+    SimulatorConfig cfg;
+    cfg.scheme = llm::QuantScheme::EWQ4;
+    cfg.workload.qps = 0.5;
+    cfg.workload.duration_s = 20;
+    auto report = ServingSimulator(cfg).run();
+    ASSERT_GT(report.completed_requests, 0u);
+    EXPECT_LT(report.busy_time_us, 0.9 * report.sim_time_us);
+    EXPECT_GT(report.tokens_per_sec,
+              static_cast<double>(report.decode_tokens) /
+                  (report.sim_time_us / 1e6));
 }
 
 // Workload generator sanity.
