@@ -25,16 +25,16 @@ main()
     const auto &spec = gpusim::rtx4090();
     auto shapes = llama7b();
     const auto &hist = sampleHistogram(vq::cq2(), /*kv=*/true);
-    engine::PlanInputs in;
-    in.spec = &spec;
-    in.histogram = &hist;
+    auto &eng = engineFor(spec);
 
     // ---- 1. split-factor sweep --------------------------------------
     std::printf("Ablation 1: dataflow split factor (CQ-2 attention, "
                 "4k BS8)\n\n");
     auto shape = shapes.attention(8, 4096);
-    auto heuristic = engine::planAttentionKernel(
-        shape, vq::cq2(), engine::OptLevel::O3, in);
+    auto heuristic = eng.compile(compiler::KernelRequest::attentionOp(
+                                     shape, vq::cq2(),
+                                     engine::OptLevel::O3, &hist))
+                         ->plan();
     TextTable t1({"split", "codebook MB", "reduce MB", "latency (us)",
                   "note"});
     std::vector<std::uint64_t> splits = {1, 2, 4, 8, 16, 32,
@@ -88,8 +88,10 @@ main()
     // ---- 3. cache-boundary sweep ---------------------------------------
     std::printf("Ablation 3: shared-cache boundary (CQ-2 attention 1k "
                 "BS1; slack-derived plan vs forced)\n\n");
-    auto base = engine::planAttentionKernel(
-        shapes.attention(1, 1024), vq::cq2(), engine::OptLevel::O2, in);
+    auto base = eng.compile(compiler::KernelRequest::attentionOp(
+                                shapes.attention(1, 1024), vq::cq2(),
+                                engine::OptLevel::O2, &hist))
+                    ->plan();
     TextTable t3({"n_shared", "smem/block", "blocks/SM", "latency (us)",
                   "note"});
     for (std::size_t n_shared :

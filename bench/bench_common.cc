@@ -61,11 +61,10 @@ attnAtLevel(const gpusim::GpuSpec &spec, const engine::AttnShape &shape,
             const vq::VQConfig &cfg, engine::OptLevel level)
 {
     const auto &hist = sampleHistogram(cfg, /*kv=*/true);
-    engine::PlanInputs in;
-    in.spec = &spec;
-    in.histogram = &hist;
-    auto plan = engine::planAttentionKernel(shape, cfg, level, in);
-    return kernels::estimateVqAttentionKernel(spec, plan, &hist);
+    return engineFor(spec)
+        .compile(compiler::KernelRequest::attentionOp(shape, cfg, level,
+                                                      &hist))
+        ->estimate();
 }
 
 kernels::KernelResult
@@ -74,45 +73,41 @@ weightAtLevel(const gpusim::GpuSpec &spec, engine::OpKind kind,
               engine::OptLevel level)
 {
     const auto &hist = sampleHistogram(cfg, /*kv=*/false);
-    engine::PlanInputs in;
-    in.spec = &spec;
-    in.histogram = &hist;
-    auto plan = engine::planWeightKernel(kind, shape, cfg, level, in);
-    return kernels::estimateVqWeightKernel(spec, plan, &hist);
+    auto request =
+        kind == engine::OpKind::GeMM
+            ? compiler::KernelRequest::gemmOp(shape, cfg, level, &hist)
+            : compiler::KernelRequest::gemvOp(shape, cfg, level, &hist);
+    return engineFor(spec).compile(request)->estimate();
 }
+
+/** Levels the adaptive selection searches (O1..O4). */
+static const std::vector<engine::OptLevel> kBestLevels = {
+    engine::OptLevel::O1, engine::OptLevel::O2, engine::OptLevel::O3,
+    engine::OptLevel::O4};
 
 kernels::KernelResult
 bestAttn(const gpusim::GpuSpec &spec, const engine::AttnShape &shape,
          const vq::VQConfig &cfg)
 {
-    kernels::KernelResult best;
-    bool first = true;
-    for (auto level : {engine::OptLevel::O1, engine::OptLevel::O2,
-                       engine::OptLevel::O3, engine::OptLevel::O4}) {
-        auto r = attnAtLevel(spec, shape, cfg, level);
-        if (first || r.us() < best.us()) {
-            best = r;
-            first = false;
-        }
-    }
-    return best;
+    const auto &hist = sampleHistogram(cfg, /*kv=*/true);
+    return engineFor(spec)
+        .compileBest(compiler::KernelRequest::attentionOp(
+                         shape, cfg, engine::OptLevel::O4, &hist),
+                     kBestLevels)
+        ->estimate();
 }
 
 kernels::KernelResult
 bestWeight(const gpusim::GpuSpec &spec, engine::OpKind kind,
            const engine::GemmShape &shape, const vq::VQConfig &cfg)
 {
-    kernels::KernelResult best;
-    bool first = true;
-    for (auto level : {engine::OptLevel::O1, engine::OptLevel::O2,
-                       engine::OptLevel::O3, engine::OptLevel::O4}) {
-        auto r = weightAtLevel(spec, kind, shape, cfg, level);
-        if (first || r.us() < best.us()) {
-            best = r;
-            first = false;
-        }
-    }
-    return best;
+    const auto &hist = sampleHistogram(cfg, /*kv=*/false);
+    auto request = kind == engine::OpKind::GeMM
+                       ? compiler::KernelRequest::gemmOp(
+                             shape, cfg, engine::OptLevel::O4, &hist)
+                       : compiler::KernelRequest::gemvOp(
+                             shape, cfg, engine::OptLevel::O4, &hist);
+    return engineFor(spec).compileBest(request, kBestLevels)->estimate();
 }
 
 } // namespace vqllm::bench

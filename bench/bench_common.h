@@ -9,7 +9,7 @@
 #include <string>
 
 #include "common/table.h"
-#include "engine/template_engine.h"
+#include "compiler/engine.h"
 #include "kernels/ewq_kernels.h"
 #include "kernels/fp16_kernels.h"
 #include "kernels/vq_kernels.h"
@@ -17,6 +17,17 @@
 #include "vq/profiler.h"
 
 namespace vqllm::bench {
+
+/**
+ * Process-wide compile engine for a GPU spec: all bench harness
+ * helpers plan/cost through this facade, so a figure sweeping many
+ * levels against one shape pays each compile once.
+ */
+inline compiler::Engine &
+engineFor(const gpusim::GpuSpec &spec)
+{
+    return compiler::Engine::shared(spec);
+}
 
 /**
  * Build a realistic access histogram for a VQ config by quantizing a

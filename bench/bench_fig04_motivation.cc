@@ -28,15 +28,14 @@ main()
     auto fp16 = kernels::fp16AttentionEstimate(
         spec, shape, kernels::AttnVariant::FlashDecoding);
 
-    engine::PlanInputs in;
-    in.spec = &spec;
-    in.histogram = &hist;
-    auto plan_gc = engine::planAttentionKernel(shape, cfg,
-                                               engine::OptLevel::GC, in);
-    auto plan_sc = engine::planAttentionKernel(shape, cfg,
-                                               engine::OptLevel::SC, in);
-    auto gc = kernels::estimateVqAttentionKernel(spec, plan_gc, &hist);
-    auto sc = kernels::estimateVqAttentionKernel(spec, plan_sc, &hist);
+    auto &eng = engineFor(spec);
+    auto kernel_gc = eng.compile(compiler::KernelRequest::attentionOp(
+        shape, cfg, engine::OptLevel::GC, &hist));
+    auto kernel_sc = eng.compile(compiler::KernelRequest::attentionOp(
+        shape, cfg, engine::OptLevel::SC, &hist));
+    const auto &plan_sc = kernel_sc->plan();
+    const auto &gc = kernel_gc->estimate();
+    const auto &sc = kernel_sc->estimate();
 
     std::printf("Fig. 4 (left): latency relative to FP16-attn "
                 "(Llama-7B, CQ-2 VQ<4,8,1>, seq 1024, BS1, %s)\n\n",

@@ -9,7 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "codegen/cuda_emitter.h"
-#include "engine/template_engine.h"
+#include "compiler/engine.h"
 #include "gpusim/bank_conflict.h"
 #include "kernels/vq_kernels.h"
 #include "tensor/datagen.h"
@@ -21,21 +21,40 @@ using namespace vqllm;
 namespace {
 
 void
-BM_PlanAttentionKernel(benchmark::State &state)
+BM_CompileAttentionKernel(benchmark::State &state)
 {
-    engine::PlanInputs in;
-    in.spec = &gpusim::rtx4090();
+    // Capacity 0 retains nothing: each iteration pays the full
+    // plan + cost pipeline (the cold-compile cost a deployment pays
+    // per distinct kernel).
+    compiler::EngineOptions opts;
+    opts.cache_capacity = 0;
+    compiler::Engine eng(gpusim::rtx4090(), opts);
     auto hist = vq::syntheticZipfHistogram(256);
-    in.histogram = &hist;
+    auto request = compiler::KernelRequest::attentionOp(
+        {8, 32, 4096, 128}, vq::cq2(),
+        static_cast<engine::OptLevel>(state.range(0)), &hist);
     for (auto _ : state) {
-        auto plan = engine::planAttentionKernel(
-            {8, 32, 4096, 128}, vq::cq2(),
-            static_cast<engine::OptLevel>(state.range(0)), in);
-        benchmark::DoNotOptimize(plan);
+        auto kernel = eng.compile(request);
+        benchmark::DoNotOptimize(kernel);
     }
 }
-BENCHMARK(BM_PlanAttentionKernel)->Arg(5)->Arg(2)->Name(
-    "plan_attention_kernel(level)");
+BENCHMARK(BM_CompileAttentionKernel)->Arg(5)->Arg(2)->Name(
+    "compile_attention_kernel(level)");
+
+void
+BM_CompileCacheHit(benchmark::State &state)
+{
+    compiler::Engine eng(gpusim::rtx4090());
+    auto hist = vq::syntheticZipfHistogram(256);
+    auto request = compiler::KernelRequest::attentionOp(
+        {8, 32, 4096, 128}, vq::cq2(), engine::OptLevel::O4, &hist);
+    eng.compile(request); // warm
+    for (auto _ : state) {
+        auto kernel = eng.compile(request);
+        benchmark::DoNotOptimize(kernel);
+    }
+}
+BENCHMARK(BM_CompileCacheHit)->Name("compile_cache_hit");
 
 void
 BM_ThreadMapping(benchmark::State &state)
@@ -52,13 +71,11 @@ BENCHMARK(BM_ThreadMapping)->Arg(4)->Arg(8)->Name(
 void
 BM_EmitCudaKernel(benchmark::State &state)
 {
-    engine::PlanInputs in;
-    in.spec = &gpusim::rtx4090();
-    auto plan = engine::planAttentionKernel({1, 32, 1024, 128},
-                                            vq::cq2(),
-                                            engine::OptLevel::O4, in);
+    compiler::Engine eng(gpusim::rtx4090());
+    auto kernel = eng.compile(compiler::KernelRequest::attentionOp(
+        {1, 32, 1024, 128}, vq::cq2(), engine::OptLevel::O4));
     for (auto _ : state) {
-        auto src = codegen::emitCudaKernel(plan);
+        auto src = codegen::emitCudaKernel(kernel->plan());
         benchmark::DoNotOptimize(src);
     }
 }
@@ -119,16 +136,13 @@ BENCHMARK(BM_ConflictEstimator)->Arg(64)->Arg(512)->Name(
 void
 BM_EstimateVqAttention(benchmark::State &state)
 {
-    engine::PlanInputs in;
-    in.spec = &gpusim::rtx4090();
+    compiler::Engine eng(gpusim::rtx4090());
     auto hist = vq::syntheticZipfHistogram(256);
-    in.histogram = &hist;
-    auto plan = engine::planAttentionKernel({8, 32, 4096, 128},
-                                            vq::cq2(),
-                                            engine::OptLevel::O4, in);
+    auto kernel = eng.compile(compiler::KernelRequest::attentionOp(
+        {8, 32, 4096, 128}, vq::cq2(), engine::OptLevel::O4, &hist));
     for (auto _ : state) {
         auto r = kernels::estimateVqAttentionKernel(
-            gpusim::rtx4090(), plan, &hist);
+            gpusim::rtx4090(), kernel->plan(), &hist);
         benchmark::DoNotOptimize(r.latency.total_us);
     }
 }

@@ -125,17 +125,14 @@ main()
         Rng rng(13);
         Tensor<float> x({m, k});
         fillNormal(x, rng);
-        auto plan = engine::planWeightKernel(
-            engine::OpKind::GeMM, {m, n, k}, qt.config,
-            engine::OptLevel::O2, [] {
-                engine::PlanInputs in;
-                in.spec = &gpusim::rtx4090();
-                return in;
-            }());
+        auto kernel = bench::engineFor(gpusim::rtx4090())
+                          .compile(compiler::KernelRequest::gemmOp(
+                              {m, n, k}, qt.config,
+                              engine::OptLevel::O2));
         results.push_back(measure(
             "vq_gemm_n" + std::to_string(n) + "_k512_m16",
             static_cast<double>(n), "rows/s", 3,
-            [&] { kernels::runVqGemm(plan, qt, x); }));
+            [&] { kernel->runGemm(qt, x); }));
     }
 
     // --------------------------------------------- functional attention
@@ -154,14 +151,14 @@ main()
         vq::reorderByFrequency(qt_v);
         Tensor<float> q({heads, channels});
         fillNormal(q, rng);
-        engine::PlanInputs in;
-        in.spec = &gpusim::rtx4090();
-        auto plan = engine::planAttentionKernel(
-            {1, heads, tokens, channels}, cfg, engine::OptLevel::O2, in);
+        auto kernel = bench::engineFor(gpusim::rtx4090())
+                          .compile(compiler::KernelRequest::attentionOp(
+                              {1, heads, tokens, channels}, cfg,
+                              engine::OptLevel::O2));
         results.push_back(measure(
             "vq_attention_t512_h8_c64", static_cast<double>(tokens),
             "tokens/s", 3,
-            [&] { kernels::runVqAttention(plan, qt_k, qt_v, q); }));
+            [&] { kernel->runAttention(qt_k, qt_v, q); }));
     }
 
     // ------------------------------------------------- k-means fitting
@@ -190,6 +187,43 @@ main()
             [&] { vq::VectorQuantizer(cfg, opts).quantize(w); }));
     }
 
+    // ------------------------------------------- plan-cache pricing
+    // The compile facade's memoizing cache: wall-clock of pricing the
+    // same decode shapes cold (capacity 0 retains nothing, every
+    // compile re-plans) vs through the cache (steady-state serving).
+    double plan_cold_ms = 0, plan_cached_ms = 0, plan_hit_rate = 0;
+    {
+        auto pricingSweep = [](compiler::Engine &eng) {
+            const auto &hist = bench::sampleHistogram(vq::gptvq2());
+            for (int iter = 0; iter < 32; ++iter)
+                for (std::size_t batch : {1, 8, 16})
+                    for (auto level :
+                         {engine::OptLevel::O2, engine::OptLevel::O3,
+                          engine::OptLevel::O4})
+                        eng.compile(compiler::KernelRequest::gemvOp(
+                            {batch, 4096, 4096}, vq::gptvq2(), level,
+                            &hist));
+        };
+        compiler::EngineOptions cold_opts;
+        cold_opts.cache_capacity = 0;
+        compiler::Engine cold(gpusim::rtx4090(), cold_opts);
+        compiler::Engine cached(gpusim::rtx4090());
+        // Hit rate of ONE cold-to-steady sweep (the timing reps below
+        // would inflate it by re-hitting the already-warm cache).
+        pricingSweep(cached);
+        plan_hit_rate = cached.stats().hitRate();
+        plan_cold_ms = bestMs(3, [&] { pricingSweep(cold); });
+        plan_cached_ms = bestMs(3, [&] { pricingSweep(cached); });
+        std::printf("plan cache: cold pricing %.1f ms, cached %.2f ms "
+                    "(%.1fx), hit rate %.1f%% (%llu evictions cold)\n\n",
+                    plan_cold_ms, plan_cached_ms,
+                    plan_cached_ms > 0 ? plan_cold_ms / plan_cached_ms
+                                       : 0.0,
+                    plan_hit_rate * 100,
+                    static_cast<unsigned long long>(
+                        cold.stats().evictions));
+    }
+
     TextTable table({"workload", "serial ms", "parallel ms", "speedup",
                      "rate"});
     for (const auto &w : results)
@@ -215,7 +249,14 @@ main()
                 w.rate, w.rate_unit.c_str(),
                 i + 1 < results.size() ? "," : "");
         }
-        std::fprintf(f, "  ]\n}\n");
+        std::fprintf(f,
+                     "  ],\n  \"plan_cache\": {\"cold_ms\": %.3f, "
+                     "\"cached_ms\": %.3f, \"speedup\": %.2f, "
+                     "\"hit_rate\": %.4f}\n}\n",
+                     plan_cold_ms, plan_cached_ms,
+                     plan_cached_ms > 0 ? plan_cold_ms / plan_cached_ms
+                                        : 0.0,
+                     plan_hit_rate);
         std::fclose(f);
         std::printf("wrote BENCH_host.json\n");
     }

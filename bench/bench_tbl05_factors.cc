@@ -20,8 +20,7 @@ main()
                 "optimizations (Llama-7B shapes)\n\n");
 
     TextTable t({"item", "QuiP#-4", "AQLM-3", "GPTVQ-2", "CQ-2"});
-    engine::PlanInputs in;
-    in.spec = &spec;
+    auto &eng = engineFor(spec);
 
     std::vector<vq::VQConfig> cfgs = {vq::quip4(), vq::aqlm3(),
                                       vq::gptvq2(), vq::cq2()};
@@ -30,14 +29,14 @@ main()
     std::vector<std::string> row = {"codebook/block"};
     for (const auto &cfg : cfgs) {
         bool kv = cfg.scope == vq::CodebookScope::PerChannelGroup;
-        engine::KernelPlan plan =
-            kv ? engine::planAttentionKernel({1, 32, 1024, 128}, cfg,
-                                             engine::OptLevel::SC, in)
-               : engine::planWeightKernel(engine::OpKind::GeMV,
-                                          {1, 4096, 4096}, cfg,
-                                          engine::OptLevel::SC, in);
+        auto request =
+            kv ? compiler::KernelRequest::attentionOp(
+                     {1, 32, 1024, 128}, cfg, engine::OptLevel::SC)
+               : compiler::KernelRequest::gemvOp(
+                     {1, 4096, 4096}, cfg, engine::OptLevel::SC);
+        auto kernel = eng.compile(request);
         row.push_back(formatBytes(static_cast<double>(
-            plan.resident_books * cfg.codebookBytes())));
+            kernel->plan().resident_books * cfg.codebookBytes())));
     }
     t.addRow(row);
 

@@ -1,69 +1,100 @@
 /**
  * @file
- * CUDA code-generation dump: emits the fused kernel source for every
- * paper configuration and computation at the full optimization level,
- * writing each translation unit to ./generated/ (or stdout with -).
+ * CUDA code-generation dump: compiles the fused kernel for every paper
+ * configuration and computation through compiler::Engine and writes
+ * each translation unit to ./generated/ (or stdout with -).
  *
- * Usage: codegen_dump [output_dir | -]
+ * Usage: codegen_dump [--emit-all-levels] [output_dir | -]
+ *
+ * By default kernels are emitted at the full optimization level (O4);
+ * --emit-all-levels dumps one translation unit per rung of the
+ * Tbl. IV ladder (GC..O4) instead.
  */
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "codegen/cuda_emitter.h"
-#include "engine/template_engine.h"
+#include "compiler/engine.h"
 
 using namespace vqllm;
 
 int
 main(int argc, char **argv)
 {
-    std::string out_dir = argc > 1 ? argv[1] : "generated";
+    bool all_levels = false;
+    std::string out_dir = "generated";
+    bool have_dir = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--emit-all-levels") == 0) {
+            all_levels = true;
+        } else if (std::strncmp(argv[i], "--", 2) == 0 ||
+                   have_dir) {
+            std::fprintf(stderr,
+                         "unknown argument '%s'\nusage: codegen_dump "
+                         "[--emit-all-levels] [output_dir | -]\n",
+                         argv[i]);
+            return 1;
+        } else {
+            out_dir = argv[i];
+            have_dir = true;
+        }
+    }
     bool to_stdout = out_dir == "-";
     if (!to_stdout)
         std::filesystem::create_directories(out_dir);
 
-    engine::PlanInputs in;
-    in.spec = &gpusim::rtx4090();
+    std::vector<engine::OptLevel> levels;
+    if (all_levels)
+        levels.assign(std::begin(engine::kAllOptLevels),
+                      std::end(engine::kAllOptLevels));
+    else
+        levels.push_back(engine::OptLevel::O4);
+
+    compiler::Engine compile_engine(gpusim::rtx4090());
 
     int emitted = 0;
     for (const auto &cfg : vq::paperConfigs()) {
         bool kv = cfg.scope == vq::CodebookScope::PerChannelGroup;
-        std::vector<engine::KernelPlan> plans;
-        if (kv) {
-            plans.push_back(engine::planAttentionKernel(
-                {1, 32, 1024, 128}, cfg, engine::OptLevel::O4, in));
-        } else {
-            plans.push_back(engine::planWeightKernel(
-                engine::OpKind::GeMM, {4096, 4096, 4096}, cfg,
-                engine::OptLevel::O4, in));
-            plans.push_back(engine::planWeightKernel(
-                engine::OpKind::GeMV, {1, 4096, 4096}, cfg,
-                engine::OptLevel::O4, in));
-        }
-        for (const auto &plan : plans) {
-            std::string name = codegen::kernelSymbolName(plan);
-            std::string src = codegen::emitCudaKernel(plan);
-            std::string problem = codegen::validateCudaSource(src);
-            if (!problem.empty()) {
-                std::fprintf(stderr, "INVALID %s: %s\n", name.c_str(),
-                             problem.c_str());
-                return 1;
-            }
-            if (to_stdout) {
-                std::printf("// ===== %s.cu =====\n%s\n", name.c_str(),
-                            src.c_str());
+        for (auto level : levels) {
+            std::vector<compiler::KernelRequest> requests;
+            if (kv) {
+                requests.push_back(compiler::KernelRequest::attentionOp(
+                    {1, 32, 1024, 128}, cfg, level));
             } else {
-                std::ofstream file(out_dir + "/" + name + ".cu");
-                file << src;
-                std::printf("wrote %s/%s.cu (%zu bytes, %llu blocks x "
-                            "%d threads)\n",
-                            out_dir.c_str(), name.c_str(), src.size(),
-                            static_cast<unsigned long long>(
-                                plan.grid_blocks),
-                            plan.block.threads);
+                requests.push_back(compiler::KernelRequest::gemmOp(
+                    {4096, 4096, 4096}, cfg, level));
+                requests.push_back(compiler::KernelRequest::gemvOp(
+                    {1, 4096, 4096}, cfg, level));
             }
-            ++emitted;
+            for (const auto &request : requests) {
+                auto kernel = compile_engine.compile(request);
+                const std::string &name = kernel->symbolName();
+                const std::string &src = kernel->source();
+                std::string problem = codegen::validateCudaSource(src);
+                if (!problem.empty()) {
+                    std::fprintf(stderr, "INVALID %s: %s\n",
+                                 name.c_str(), problem.c_str());
+                    return 1;
+                }
+                if (to_stdout) {
+                    std::printf("// ===== %s.cu =====\n%s\n",
+                                name.c_str(), src.c_str());
+                } else {
+                    std::ofstream file(out_dir + "/" + name + ".cu");
+                    file << src;
+                    std::printf(
+                        "wrote %s/%s.cu (%zu bytes, %llu blocks x "
+                        "%d threads)\n",
+                        out_dir.c_str(), name.c_str(), src.size(),
+                        static_cast<unsigned long long>(
+                            kernel->plan().grid_blocks),
+                        kernel->plan().block.threads);
+                }
+                ++emitted;
+            }
         }
     }
     std::printf("%d kernels emitted and validated.\n", emitted);

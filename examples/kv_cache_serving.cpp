@@ -11,10 +11,9 @@
  */
 #include <cstdio>
 
-#include "engine/template_engine.h"
+#include "compiler/engine.h"
 #include "kernels/fp16_kernels.h"
 #include "kernels/reference.h"
-#include "kernels/vq_kernels.h"
 #include "tensor/datagen.h"
 #include "vq/profiler.h"
 
@@ -59,11 +58,11 @@ main()
                 cfg.name.c_str(), cfg.notation().c_str(),
                 k3.size() * 2 * 2, qt_k.sizeBytes() + qt_v.sizeBytes());
 
-    engine::PlanInputs in;
-    in.spec = &gpusim::rtx4090();
-    auto plan = engine::planAttentionKernel(
-        {1, heads, tokens, channels}, cfg, engine::OptLevel::O4, in);
-    auto result = kernels::runVqAttention(plan, qt_k, qt_v, q);
+    compiler::Engine compile_engine(gpusim::rtx4090());
+    auto kernel = compile_engine.compile(
+        compiler::KernelRequest::attentionOp(
+            {1, heads, tokens, channels}, cfg, engine::OptLevel::O4));
+    auto result = kernel->runAttention(qt_k, qt_v, q);
 
     // Verify against the FP16 reference over the dequantized caches.
     auto dk = vq::VectorQuantizer::dequantize(qt_k);
@@ -90,22 +89,20 @@ main()
     std::printf("  %8s %12s %12s %12s %9s\n", "seq", "FP16 (us)",
                 "CQ-2 (us)", "CQ-4 (us)", "best gain");
     auto hist = vq::syntheticZipfHistogram(256);
-    in.histogram = &hist;
     for (std::size_t seq : {1024u, 2048u, 4096u, 8192u}) {
         engine::AttnShape shape{8, 32, seq, 128};
         auto fp16 = kernels::fp16AttentionEstimate(gpusim::rtx4090(),
                                                    shape);
-        auto p2 = engine::planAttentionKernel(shape, vq::cq2(),
-                                              engine::OptLevel::O4, in);
-        auto p4 = engine::planAttentionKernel(shape, vq::cq4(),
-                                              engine::OptLevel::O4, in);
-        auto r2 = kernels::estimateVqAttentionKernel(gpusim::rtx4090(),
-                                                     p2, &hist);
-        auto r4 = kernels::estimateVqAttentionKernel(gpusim::rtx4090(),
-                                                     p4, &hist);
+        auto k2 = compile_engine.compile(
+            compiler::KernelRequest::attentionOp(
+                shape, vq::cq2(), engine::OptLevel::O4, &hist));
+        auto k4 = compile_engine.compile(
+            compiler::KernelRequest::attentionOp(
+                shape, vq::cq4(), engine::OptLevel::O4, &hist));
         std::printf("  %8zu %12.1f %12.1f %12.1f %8.2fx\n", seq,
-                    fp16.us(), r2.us(), r4.us(),
-                    fp16.us() / std::min(r2.us(), r4.us()));
+                    fp16.us(), k2->latencyUs(), k4->latencyUs(),
+                    fp16.us() /
+                        std::min(k2->latencyUs(), k4->latencyUs()));
     }
     std::printf("\nthe VQ advantage grows with context length as the "
                 "KV cache dominates traffic.\n");

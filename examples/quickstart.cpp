@@ -4,7 +4,8 @@
  *
  *  1. quantize a weight matrix with a VQ configuration,
  *  2. profile codebook access frequencies and reorder (offline phase),
- *  3. plan a fused kernel with the template engine (Alg. 2),
+ *  3. compile a fused kernel through compiler::Engine (plan -> cost ->
+ *     emit -> execute behind one call),
  *  4. run it functionally and check the numerics,
  *  5. estimate its GPU latency and print the generated CUDA source.
  *
@@ -12,10 +13,8 @@
  */
 #include <cstdio>
 
-#include "codegen/cuda_emitter.h"
-#include "engine/template_engine.h"
+#include "compiler/engine.h"
 #include "kernels/reference.h"
-#include "kernels/vq_kernels.h"
 #include "tensor/datagen.h"
 #include "vq/profiler.h"
 
@@ -47,19 +46,19 @@ main()
                 profile.histograms[0].counts.size(),
                 profile.histograms[0].fractionBelowMean() * 100);
 
-    // 3. Plan the fused GeMV kernel at the full optimization level.
-    engine::PlanInputs inputs;
-    inputs.spec = &gpusim::rtx4090();
-    inputs.histogram = &profile.histograms[0];
-    auto plan = engine::planWeightKernel(
-        engine::OpKind::GeMV, {1, qt.rows, qt.cols}, cfg,
-        engine::OptLevel::O4, inputs);
-    std::printf("\n%s\n", plan.summary().c_str());
+    // 3. Compile the fused GeMV kernel at the full optimization level:
+    //    one call resolves the plan (Alg. 2), prices it, and hands
+    //    back a shared immutable artifact.
+    compiler::Engine compile_engine(gpusim::rtx4090());
+    auto kernel = compile_engine.compile(compiler::KernelRequest::gemvOp(
+        {1, qt.rows, qt.cols}, cfg, engine::OptLevel::O4,
+        &profile.histograms[0]));
+    std::printf("\n%s\n", kernel->plan().summary().c_str());
 
     // 4. Functional execution vs the dense reference.
     Tensor<float> x({qt.cols});
     fillNormal(x, rng);
-    auto result = kernels::runVqGemv(plan, qt, x);
+    auto result = kernel->runGemv(qt, x);
     auto reference = kernels::referenceGemv(
         vq::VectorQuantizer::dequantize(qt), x);
     std::printf("functional check: max |vq - reference| = %.2e\n",
@@ -72,20 +71,22 @@ main()
                 static_cast<unsigned long long>(
                     result.stats.global_hits));
 
-    // 5. Latency estimate at paper scale, plus the CUDA source.
-    auto big_plan = engine::planWeightKernel(
-        engine::OpKind::GeMV, {1, 4096, 4096}, vq::gptvq2(),
-        engine::OptLevel::O4, inputs);
-    auto estimate = kernels::estimateVqWeightKernel(
-        gpusim::rtx4090(), big_plan, inputs.histogram);
+    // 5. Latency estimate at paper scale, plus the CUDA source — both
+    //    come off the same compiled artifact (the estimate was priced
+    //    at compile time; the source is emitted lazily and memoized).
+    auto big = compile_engine.compile(compiler::KernelRequest::gemvOp(
+        {1, 4096, 4096}, vq::gptvq2(), engine::OptLevel::O4,
+        &profile.histograms[0]));
     std::printf("\nLlama-7B GeMV estimate on %s: %.1f us (DRAM %.1f, "
                 "compute %.1f)\n",
-                gpusim::rtx4090().name.c_str(), estimate.us(),
-                estimate.latency.dram_us, estimate.latency.compute_us);
+                gpusim::rtx4090().name.c_str(), big->latencyUs(),
+                big->estimate().latency.dram_us,
+                big->estimate().latency.compute_us);
 
-    std::string cuda = codegen::emitCudaKernel(big_plan);
-    std::printf("\ngenerated CUDA kernel (%zu bytes); first lines:\n",
-                cuda.size());
+    const std::string &cuda = big->source();
+    std::printf("\ngenerated CUDA kernel %s (%zu bytes); first "
+                "lines:\n",
+                big->symbolName().c_str(), cuda.size());
     std::size_t pos = 0;
     for (int line = 0; line < 12 && pos != std::string::npos; ++line) {
         std::size_t next = cuda.find('\n', pos);

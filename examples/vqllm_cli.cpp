@@ -21,8 +21,7 @@
 #include <string>
 
 #include "codegen/cuda_emitter.h"
-#include "engine/template_engine.h"
-#include "kernels/vq_kernels.h"
+#include "compiler/engine.h"
 #include "tensor/datagen.h"
 #include "vq/profiler.h"
 #include "vq/serialize.h"
@@ -110,25 +109,25 @@ cmdInfo(int argc, char **argv)
     return 0;
 }
 
-engine::KernelPlan
-planFor(const vq::QuantizedTensor &qt, const std::string &op,
-        engine::OptLevel level, const vq::AccessHistogram &hist)
+/** Kernel request for an artifact and an op name. */
+compiler::KernelRequest
+requestFor(const vq::QuantizedTensor &qt, const std::string &op,
+           engine::OptLevel level, const vq::AccessHistogram &hist)
 {
-    engine::PlanInputs in;
-    in.spec = &gpusim::rtx4090();
-    in.histogram = &hist;
     if (op == "attn") {
         // Interpret cols as heads*head_dim with 128-wide heads.
         std::size_t head_dim = 128;
         std::size_t heads = std::max<std::size_t>(qt.cols / head_dim, 1);
-        return engine::planAttentionKernel(
-            {1, heads, qt.rows, head_dim}, qt.config, level, in);
+        return compiler::KernelRequest::attentionOp(
+            {1, heads, qt.rows, head_dim}, qt.config, level, &hist);
     }
-    auto kind = op == "gemm" ? engine::OpKind::GeMM
-                             : engine::OpKind::GeMV;
-    std::size_t m = op == "gemm" ? 4096 : 1;
-    return engine::planWeightKernel(kind, {m, qt.rows, qt.cols},
-                                    qt.config, level, in);
+    engine::GemmShape shape{op == "gemm" ? std::size_t{4096}
+                                         : std::size_t{1},
+                            qt.rows, qt.cols};
+    return op == "gemm" ? compiler::KernelRequest::gemmOp(
+                              shape, qt.config, level, &hist)
+                        : compiler::KernelRequest::gemvOp(
+                              shape, qt.config, level, &hist);
 }
 
 int
@@ -139,14 +138,11 @@ cmdPlan(int argc, char **argv)
     auto qt = vq::loadQuantizedTensorFile(argv[1]);
     auto level = argc > 3 ? levelByName(argv[3]) : engine::OptLevel::O4;
     auto profile = vq::profileAccesses(qt);
-    auto plan = planFor(qt, argv[2], level, profile.histograms[0]);
-    std::printf("%s\n", plan.summary().c_str());
-    auto result =
-        plan.kind == engine::OpKind::AttentionDecode
-            ? kernels::estimateVqAttentionKernel(
-                  gpusim::rtx4090(), plan, &profile.histograms[0])
-            : kernels::estimateVqWeightKernel(
-                  gpusim::rtx4090(), plan, &profile.histograms[0]);
+    compiler::Engine compile_engine(gpusim::rtx4090());
+    auto kernel = compile_engine.compile(
+        requestFor(qt, argv[2], level, profile.histograms[0]));
+    std::printf("%s\n", kernel->plan().summary().c_str());
+    const auto &result = kernel->estimate();
     std::printf("estimated latency on %s: %.1f us (DRAM %.1f, smem "
                 "%.1f, compute %.1f, reduce %.1f)\n",
                 gpusim::rtx4090().name.c_str(), result.us(),
@@ -162,9 +158,10 @@ cmdEmit(int argc, char **argv)
         vqllm_fatal("usage: emit <in.vqt> <gemm|gemv|attn> <out.cu>");
     auto qt = vq::loadQuantizedTensorFile(argv[1]);
     auto profile = vq::profileAccesses(qt);
-    auto plan = planFor(qt, argv[2], engine::OptLevel::O4,
-                        profile.histograms[0]);
-    std::string src = codegen::emitCudaKernel(plan);
+    compiler::Engine compile_engine(gpusim::rtx4090());
+    auto kernel = compile_engine.compile(requestFor(
+        qt, argv[2], engine::OptLevel::O4, profile.histograms[0]));
+    const std::string &src = kernel->source();
     std::string problem = codegen::validateCudaSource(src);
     if (!problem.empty())
         vqllm_fatal("emitted source failed validation: ", problem);
@@ -173,7 +170,7 @@ cmdEmit(int argc, char **argv)
         vqllm_fatal("cannot open ", argv[3]);
     out << src;
     std::printf("wrote %s (%zu bytes, kernel %s)\n", argv[3],
-                src.size(), codegen::kernelSymbolName(plan).c_str());
+                src.size(), kernel->symbolName().c_str());
     return 0;
 }
 

@@ -7,9 +7,8 @@
  */
 #include <cstdio>
 
-#include "engine/template_engine.h"
+#include "compiler/engine.h"
 #include "kernels/reference.h"
-#include "kernels/vq_kernels.h"
 #include "tensor/datagen.h"
 #include "vq/profiler.h"
 
@@ -49,22 +48,19 @@ main()
                     mse(y_ref, y));
     }
 
-    // Kernel plans at every optimization rung for one config.
+    // Compiled kernels at every optimization rung for one config.
     std::printf("\nLlama-7B GeMV kernel plans for GPTVQ-2 across the "
                 "Tbl. IV ladder:\n\n");
-    engine::PlanInputs in;
-    in.spec = &gpusim::rtx4090();
+    compiler::Engine compile_engine(gpusim::rtx4090());
     auto hist = vq::syntheticZipfHistogram(256);
-    in.histogram = &hist;
     std::printf("  %-5s %10s %10s %8s %10s %12s\n", "level",
                 "cache smem", "cache regs", "split", "fusion",
                 "est. us");
     for (auto level : engine::kAllOptLevels) {
-        auto plan = engine::planWeightKernel(engine::OpKind::GeMV,
-                                             {1, 4096, 4096},
-                                             vq::gptvq2(), level, in);
-        auto est = kernels::estimateVqWeightKernel(gpusim::rtx4090(),
-                                                   plan, &hist);
+        auto kernel =
+            compile_engine.compile(compiler::KernelRequest::gemvOp(
+                {1, 4096, 4096}, vq::gptvq2(), level, &hist));
+        const auto &plan = kernel->plan();
         std::printf("  %-5s %9zuB %10d %8llu %10s %12.1f\n",
                     engine::optLevelName(level),
                     plan.cache_plan.smemBytes(),
@@ -72,7 +68,7 @@ main()
                     static_cast<unsigned long long>(
                         plan.dataflow.split),
                     engine::fusionLevelName(plan.fusion.level),
-                    est.us());
+                    kernel->latencyUs());
     }
     std::printf("\nthe adaptive (O4) plan caches the hot set in the "
                 "occupancy slack, owns one codebook\nper block, and "

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# API-boundary guard: every consumer must go through the
+# compiler::Engine facade.
+#
+#  1. No direct planner calls (engine::planWeightKernel /
+#     planAttentionKernel) outside the engine itself, the compiler
+#     facade, and the tests that verify them.
+#  2. No example includes engine/template_engine.h directly — the
+#     public surface for examples is compiler/engine.h.
+#
+# Run from anywhere; exits non-zero with a diagnostic when a boundary
+# is violated.  Wired into ctest (label: compiler) and CI.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+
+planner_hits=$(grep -rn "planWeightKernel\|planAttentionKernel" \
+    bench/ examples/ src/llm/ src/serving/ 2>/dev/null)
+if [ -n "${planner_hits}" ]; then
+    echo "ERROR: direct planner calls bypass compiler::Engine:"
+    echo "${planner_hits}"
+    status=1
+fi
+
+include_hits=$(grep -rn '#include "engine/template_engine.h"' \
+    examples/ 2>/dev/null)
+if [ -n "${include_hits}" ]; then
+    echo "ERROR: examples must include compiler/engine.h, not the" \
+         "template engine directly:"
+    echo "${include_hits}"
+    status=1
+fi
+
+if [ "${status}" -eq 0 ]; then
+    echo "API boundaries clean: all consumers go through" \
+         "compiler::Engine."
+fi
+exit "${status}"

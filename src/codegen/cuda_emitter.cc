@@ -371,10 +371,33 @@ emitLauncher(std::ostringstream &out, const KernelPlan &plan,
 std::string
 kernelSymbolName(const KernelPlan &plan)
 {
+    // The symbol encodes every input that changes the emitted body:
+    // op, config, shape, ladder rung, the fusion decision (plans at
+    // one rung can still differ in fusion via the shuffle threshold)
+    // and the cache boundaries (which follow the profiled access
+    // histogram, not just the shape).  Two distinct plans must never
+    // share a symbol — the dump example writes one file per symbol,
+    // and a deployment links the translation units together.
     std::ostringstream oss;
     oss << "vqllm_" << sanitize(engine::opKindName(plan.kind)) << "_"
-        << sanitize(plan.config.name) << "_"
-        << sanitize(engine::optLevelName(plan.level));
+        << sanitize(plan.config.name) << "_";
+    if (plan.kind == engine::OpKind::AttentionDecode) {
+        oss << "b" << plan.attn.batch << "h" << plan.attn.heads << "t"
+            << plan.attn.seq_len << "c" << plan.attn.head_dim;
+        if (plan.attn.kvHeads() != plan.attn.heads)
+            oss << "g" << plan.attn.kvHeads();
+    } else {
+        oss << "m" << plan.gemm.m << "n" << plan.gemm.n << "k"
+            << plan.gemm.k;
+    }
+    oss << "_" << sanitize(engine::optLevelName(plan.level)) << "_f"
+        << (plan.fusion.level == engine::FusionLevel::Register ? "r"
+                                                               : "s");
+    if (plan.dataflow.split > 1)
+        oss << "_s" << plan.dataflow.split;
+    if (plan.cache_plan.n_reg > 0 || plan.cache_plan.n_shared > 0)
+        oss << "_c" << plan.cache_plan.n_reg << "x"
+            << plan.cache_plan.n_shared;
     return oss.str();
 }
 

@@ -1,0 +1,310 @@
+#include "compiler/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "codegen/cuda_emitter.h"
+#include "common/logging.h"
+
+namespace vqllm::compiler {
+
+namespace {
+
+/** FNV-1a over a byte range (content hash for histograms). */
+std::uint64_t
+fnv1a(const void *data, std::size_t bytes, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Histogram key component: presence plus a content digest (the
+ *  request's precomputed digest when supplied). */
+std::string
+histogramKey(const vq::AccessHistogram *hist, std::uint64_t digest)
+{
+    if (hist == nullptr)
+        return "none";
+    if (digest == 0)
+        digest = histogramDigest(*hist);
+    std::ostringstream oss;
+    oss << hist->counts.size() << ":" << std::hex << digest;
+    return oss.str();
+}
+
+/**
+ * Every GpuSpec field, serialized.  The whole struct feeds occupancy
+ * and the cost model, so the fingerprint must cover all of it — a
+ * sensitivity sweep mutating any single field (dram_efficiency,
+ * launch overhead, latencies...) must never alias onto another
+ * spec's engine or cache entry.
+ */
+std::string
+specFingerprint(const gpusim::GpuSpec &spec)
+{
+    std::ostringstream fp;
+    fp << spec.name << "/" << spec.num_sms << "/" << spec.smem_per_sm
+       << "/" << spec.max_smem_per_block << "/" << spec.regs_per_sm
+       << "/" << spec.max_threads_per_sm << "/"
+       << spec.max_blocks_per_sm << "/" << spec.max_regs_per_thread
+       << "/" << spec.warp_size << "/" << spec.smem_banks << "/"
+       << spec.smem_alloc_granularity << "/"
+       << spec.reg_alloc_granularity << "/" << spec.dram_bw_gbps << "/"
+       << spec.dram_efficiency << "/" << spec.clock_ghz << "/"
+       << spec.fp16_tensor_tflops << "/" << spec.fp32_tflops << "/"
+       << spec.smem_bytes_per_cycle << "/" << spec.issue_per_cycle
+       << "/" << spec.dram_latency_cycles << "/"
+       << spec.smem_latency_cycles << "/" << spec.shfl_latency_cycles
+       << "/" << spec.dram_sector_bytes << "/"
+       << spec.launch_overhead_us;
+    return fp.str();
+}
+
+} // namespace
+
+std::uint64_t
+histogramDigest(const vq::AccessHistogram &hist)
+{
+    std::uint64_t h =
+        fnv1a(hist.counts.data(),
+              hist.counts.size() * sizeof(std::uint64_t),
+              14695981039346656037ull);
+    // 0 is the "not precomputed" sentinel of KernelRequest.
+    return h == 0 ? 1 : h;
+}
+
+// ---------------------------------------------------------------------
+// KernelRequest factories
+
+KernelRequest
+KernelRequest::gemmOp(const engine::GemmShape &shape,
+                      const vq::VQConfig &config, engine::OptLevel level,
+                      const vq::AccessHistogram *histogram)
+{
+    KernelRequest r;
+    r.kind = engine::OpKind::GeMM;
+    r.gemm = shape;
+    r.config = config;
+    r.level = level;
+    r.histogram = histogram;
+    return r;
+}
+
+KernelRequest
+KernelRequest::gemvOp(const engine::GemmShape &shape,
+                      const vq::VQConfig &config, engine::OptLevel level,
+                      const vq::AccessHistogram *histogram)
+{
+    KernelRequest r = gemmOp(shape, config, level, histogram);
+    r.kind = engine::OpKind::GeMV;
+    return r;
+}
+
+KernelRequest
+KernelRequest::attentionOp(const engine::AttnShape &shape,
+                           const vq::VQConfig &config,
+                           engine::OptLevel level,
+                           const vq::AccessHistogram *histogram)
+{
+    KernelRequest r;
+    r.kind = engine::OpKind::AttentionDecode;
+    r.attn = shape;
+    r.config = config;
+    r.level = level;
+    r.histogram = histogram;
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// CompiledKernel
+
+const std::string &
+CompiledKernel::source() const
+{
+    std::call_once(source_once_, [this] {
+        source_ = codegen::emitCudaKernel(plan_);
+    });
+    return source_;
+}
+
+kernels::FunctionalResult
+CompiledKernel::runGemv(const vq::QuantizedTensor &qt,
+                        const Tensor<float> &x) const
+{
+    vqllm_assert(plan_.kind == engine::OpKind::GeMV,
+                 "runGemv on a ", engine::opKindName(plan_.kind),
+                 " artifact");
+    return kernels::runVqGemv(plan_, qt, x);
+}
+
+kernels::FunctionalResult
+CompiledKernel::runGemm(const vq::QuantizedTensor &qt,
+                        const Tensor<float> &x) const
+{
+    vqllm_assert(plan_.kind == engine::OpKind::GeMM,
+                 "runGemm on a ", engine::opKindName(plan_.kind),
+                 " artifact");
+    return kernels::runVqGemm(plan_, qt, x);
+}
+
+kernels::FunctionalResult
+CompiledKernel::runAttention(const vq::QuantizedTensor &qt_k,
+                             const vq::QuantizedTensor &qt_v,
+                             const Tensor<float> &q) const
+{
+    vqllm_assert(plan_.kind == engine::OpKind::AttentionDecode,
+                 "runAttention on a ", engine::opKindName(plan_.kind),
+                 " artifact");
+    return kernels::runVqAttention(plan_, qt_k, qt_v, q);
+}
+
+// ---------------------------------------------------------------------
+// Engine
+
+Engine::Engine(const gpusim::GpuSpec &spec, const EngineOptions &options)
+    : spec_(spec), options_(options)
+{
+    // The policy/spec part of the cache key is engine-constant;
+    // serialize it once so hot-path lookups only format the request.
+    std::ostringstream suffix;
+    suffix << "|thr=" << options_.shuffle_threshold;
+    const auto &t = options_.tiling;
+    suffix << "|tile=" << t.weight_block_cols << ","
+           << t.gemm_block_rows << "," << t.gemv_split_k << ","
+           << t.attn_block_tokens;
+    suffix << "|spec=" << specFingerprint(spec_);
+    key_suffix_ = suffix.str();
+}
+
+std::string
+Engine::cacheKey(const KernelRequest &request) const
+{
+    std::ostringstream key;
+    key << "op=" << engine::opKindName(request.kind) << "|shape=";
+    if (request.kind == engine::OpKind::AttentionDecode) {
+        // kvHeads() folds the kv_heads==0 MHA default onto its
+        // explicit spelling so the two cannot produce distinct keys.
+        key << request.attn.batch << "," << request.attn.heads << ","
+            << request.attn.seq_len << "," << request.attn.head_dim
+            << "," << request.attn.kvHeads();
+    } else {
+        key << request.gemm.m << "," << request.gemm.n << ","
+            << request.gemm.k;
+    }
+    const auto &cfg = request.config;
+    key << "|cfg=" << cfg.name << "/" << cfg.vector_size << "/"
+        << cfg.num_entries << "/" << cfg.residuals << "/"
+        << static_cast<int>(cfg.scope) << "/" << (cfg.lattice ? 1 : 0)
+        << "/" << cfg.lattice_base_entries;
+    key << "|lvl=" << engine::optLevelName(request.level);
+    key << key_suffix_;
+    key << "|hist=" << histogramKey(request.histogram,
+                                    request.histogram_digest);
+    return key.str();
+}
+
+std::shared_ptr<const CompiledKernel>
+Engine::compileUncached(const KernelRequest &request) const
+{
+    engine::PlanInputs in;
+    in.spec = &spec_;
+    in.histogram = request.histogram;
+    in.shuffle_threshold = options_.shuffle_threshold;
+    in.tiling = options_.tiling;
+
+    auto artifact = std::shared_ptr<CompiledKernel>(new CompiledKernel);
+    if (request.kind == engine::OpKind::AttentionDecode) {
+        artifact->plan_ = engine::planAttentionKernel(
+            request.attn, request.config, request.level, in);
+        artifact->estimate_ = kernels::estimateVqAttentionKernel(
+            spec_, artifact->plan_, request.histogram);
+    } else {
+        artifact->plan_ = engine::planWeightKernel(
+            request.kind, request.gemm, request.config, request.level,
+            in);
+        artifact->estimate_ = kernels::estimateVqWeightKernel(
+            spec_, artifact->plan_, request.histogram);
+    }
+    artifact->symbol_ = codegen::kernelSymbolName(artifact->plan_);
+    return artifact;
+}
+
+std::shared_ptr<const CompiledKernel>
+Engine::compile(const KernelRequest &request)
+{
+    std::string key = cacheKey(request);
+
+    // Planning runs under the cache lock: it is host-side microsecond
+    // work, and serializing it guarantees concurrent compiles of one
+    // request observe a single artifact (single-flight without a
+    // per-key future).
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    ++stats_.misses;
+    auto artifact = compileUncached(request);
+    cache_.emplace(key, artifact);
+    insertion_order_.push_back(key);
+    while (cache_.size() > options_.cache_capacity) {
+        // FIFO eviction in insertion order: deterministic regardless
+        // of thread interleavings the lock already serializes.
+        cache_.erase(insertion_order_.front());
+        insertion_order_.erase(insertion_order_.begin());
+        ++stats_.evictions;
+    }
+    stats_.size = cache_.size();
+    return artifact;
+}
+
+std::shared_ptr<const CompiledKernel>
+Engine::compileBest(const KernelRequest &request,
+                    const std::vector<engine::OptLevel> &levels)
+{
+    vqllm_assert(!levels.empty(), "compileBest needs at least one level");
+    std::shared_ptr<const CompiledKernel> best;
+    for (engine::OptLevel level : levels) {
+        auto k = compile(request.atLevel(level));
+        if (!best || k->latencyUs() < best->latencyUs())
+            best = std::move(k);
+    }
+    return best;
+}
+
+CacheStats
+Engine::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+Engine::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+    insertion_order_.clear();
+    stats_.size = 0;
+}
+
+Engine &
+Engine::shared(const gpusim::GpuSpec &spec)
+{
+    static std::mutex registry_mutex;
+    static std::map<std::string, std::unique_ptr<Engine>> registry;
+
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    auto &slot = registry[specFingerprint(spec)];
+    if (!slot)
+        slot = std::make_unique<Engine>(spec);
+    return *slot;
+}
+
+} // namespace vqllm::compiler

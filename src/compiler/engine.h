@@ -1,0 +1,303 @@
+/**
+ * @file
+ * compiler::Engine — the unified entry point of the code-generation
+ * framework (paper Sec. IV): one call turns a kernel request into a
+ * ready artifact.
+ *
+ * The paper's framework is "supply the configuration of the algorithm
+ * and target GPU to the corresponding compute kernel template" and get
+ * a kernel back.  Every stage of that pipeline exists in this repo —
+ * planning (engine::planWeightKernel / planAttentionKernel, Alg. 2),
+ * costing (gpusim::CostModel via kernels::estimateVq*Kernel), emission
+ * (codegen::emitCudaKernel) and host execution (kernels::runVq*) — and
+ * this module is the facade that stitches them together:
+ *
+ *   compiler::Engine engine(gpusim::rtx4090());
+ *   auto kernel = engine.compile(
+ *       compiler::KernelRequest::gemv({1, 4096, 4096}, vq::gptvq2(),
+ *                                     engine::OptLevel::O4));
+ *   kernel->latencyUs();   // cost-model estimate, computed once
+ *   kernel->source();      // CUDA source, emitted lazily and memoized
+ *   kernel->runGemv(...);  // functional host execution
+ *
+ * ## Artifact lifetime and ownership
+ *
+ * compile() returns `std::shared_ptr<const CompiledKernel>`: artifacts
+ * are immutable and shared.  The cache holds one reference; callers may
+ * keep theirs for as long as they like — eviction never invalidates a
+ * handle, it only drops the cache's reference.  A CompiledKernel never
+ * references the Engine (or the caller's GpuSpec/histogram) after
+ * construction, so it outlives both safely.
+ *
+ * ## Memoization
+ *
+ * Behind compile() sits a thread-safe memoizing cache keyed by the
+ * canonical request key (see cacheKey()).  Planning and costing run at
+ * most once per distinct request; concurrent compiles of the same
+ * request return the *same* artifact pointer.  Hit/miss/eviction
+ * counters are exposed via stats() for the benches, and the cache
+ * iterates in deterministic (sorted-key) order so cached and uncached
+ * runs stay bit-identical at any VQLLM_THREADS setting.  Capacity 0
+ * disables retention: every compile is a cold miss followed by an
+ * immediate eviction — the reference configuration for cache-parity
+ * tests.
+ *
+ * See DESIGN.md §7 for the pipeline and cache-key canonicalization
+ * contract.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/kernel_plan.h"
+#include "engine/template_engine.h"
+#include "gpusim/gpu_spec.h"
+#include "kernels/vq_kernels.h"
+
+namespace vqllm::compiler {
+
+/** Engine-wide planning policy (fixed per Engine, part of the key). */
+struct EngineOptions
+{
+    /** Fusion threshold: max shuffles for register fusion. */
+    int shuffle_threshold = 5;
+    /** Baseline tiling constants of the planner. */
+    engine::BaselineTiling tiling;
+    /**
+     * Maximum retained artifacts.  0 disables retention (every compile
+     * is a miss and an immediate eviction) — results are bit-identical
+     * either way, only the work is repeated.
+     */
+    std::size_t cache_capacity = 4096;
+};
+
+/**
+ * One kernel compilation request: the computation (tagged by
+ * engine::OpKind with the matching shape member), the VQ algorithm,
+ * the optimization-ladder rung, and an optional offline access
+ * histogram steering the cache boundaries and tier hit fractions.
+ *
+ * The histogram pointer must stay valid for the duration of the
+ * compile() call only; the artifact does not retain it.
+ */
+struct KernelRequest
+{
+    engine::OpKind kind = engine::OpKind::GeMV;
+    /** Problem shape; gemm is read for GeMM/GeMV, attn for attention. */
+    engine::GemmShape gemm;
+    engine::AttnShape attn;
+    vq::VQConfig config;
+    engine::OptLevel level = engine::OptLevel::O4;
+    const vq::AccessHistogram *histogram = nullptr;
+    /**
+     * Optional precomputed histogramDigest() of `histogram`.  0 (the
+     * default) makes the engine hash the counts on every cache
+     * lookup; hot-loop callers that reuse one histogram across many
+     * compiles (the serving pricer) pass the digest to skip the
+     * per-lookup rehash.  Must match the histogram's contents.
+     */
+    std::uint64_t histogram_digest = 0;
+
+    /** @return a weight-quantized GeMM request. */
+    static KernelRequest gemmOp(const engine::GemmShape &shape,
+                                const vq::VQConfig &config,
+                                engine::OptLevel level,
+                                const vq::AccessHistogram *histogram =
+                                    nullptr);
+
+    /** @return a weight-quantized GeMV request. */
+    static KernelRequest gemvOp(const engine::GemmShape &shape,
+                                const vq::VQConfig &config,
+                                engine::OptLevel level,
+                                const vq::AccessHistogram *histogram =
+                                    nullptr);
+
+    /** @return a KV-cache-quantized decode-attention request. */
+    static KernelRequest attentionOp(const engine::AttnShape &shape,
+                                     const vq::VQConfig &config,
+                                     engine::OptLevel level,
+                                     const vq::AccessHistogram *histogram =
+                                         nullptr);
+
+    /** @return the same request at a different ladder rung. */
+    KernelRequest
+    atLevel(engine::OptLevel l) const
+    {
+        KernelRequest r = *this;
+        r.level = l;
+        return r;
+    }
+};
+
+/**
+ * Immutable compiled-kernel artifact: the resolved plan, its cost
+ * estimate (computed once at compile time), the emitted CUDA source
+ * (lazy, memoized) and host execution hooks.
+ */
+class CompiledKernel
+{
+  public:
+    /** @return the fully-resolved kernel plan (Alg. 2 output). */
+    const engine::KernelPlan &plan() const { return plan_; }
+
+    /** @return the cost-model estimate computed at compile time. */
+    const kernels::KernelResult &estimate() const { return estimate_; }
+
+    /** @return modeled latency, microseconds. */
+    double latencyUs() const { return estimate_.latency.total_us; }
+
+    /** @return the emitted kernel symbol name (unique per plan). */
+    const std::string &symbolName() const { return symbol_; }
+
+    /**
+     * @return the complete CUDA translation unit for the plan.
+     * Emission runs on first call and is memoized; concurrent callers
+     * block on the same one-time emission.
+     */
+    const std::string &source() const;
+
+    /** Functionally execute the kernel as a GeMV (kind must match). */
+    kernels::FunctionalResult runGemv(const vq::QuantizedTensor &qt,
+                                      const Tensor<float> &x) const;
+
+    /** Functionally execute the kernel as a GeMM (kind must match). */
+    kernels::FunctionalResult runGemm(const vq::QuantizedTensor &qt,
+                                      const Tensor<float> &x) const;
+
+    /** Functionally execute decode attention (kind must match). */
+    kernels::FunctionalResult
+    runAttention(const vq::QuantizedTensor &qt_k,
+                 const vq::QuantizedTensor &qt_v,
+                 const Tensor<float> &q) const;
+
+  private:
+    friend class Engine;
+    CompiledKernel() = default;
+
+    engine::KernelPlan plan_;
+    kernels::KernelResult estimate_;
+    std::string symbol_;
+
+    mutable std::once_flag source_once_;
+    mutable std::string source_;
+};
+
+/** Content digest of a histogram for KernelRequest::histogram_digest
+ *  (FNV-1a over the counts; never returns the 0 sentinel). */
+std::uint64_t histogramDigest(const vq::AccessHistogram &hist);
+
+/** Cache observability counters (monotonic over an Engine's life). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /** Artifacts currently retained. */
+    std::size_t size = 0;
+
+    std::uint64_t
+    lookups() const
+    {
+        return hits + misses;
+    }
+
+    /** @return hits / lookups ([0,1]; 1 when no lookup happened). */
+    double
+    hitRate() const
+    {
+        return lookups() > 0
+                   ? static_cast<double>(hits) /
+                         static_cast<double>(lookups())
+                   : 1.0;
+    }
+};
+
+/**
+ * The compile facade: plan → cost → emit → execute behind one entry
+ * point with a memoizing kernel cache.
+ *
+ * An Engine is constructed from a target GPU and a planning policy and
+ * owns a private copy of both, so it may outlive the caller's GpuSpec.
+ * All methods are thread-safe.
+ */
+class Engine
+{
+  public:
+    explicit Engine(const gpusim::GpuSpec &spec,
+                    const EngineOptions &options = EngineOptions{});
+
+    /**
+     * Compile a kernel request into a shared immutable artifact.
+     *
+     * Identical requests (same canonical key) return the same pointer
+     * while the artifact is retained; a re-compile after eviction
+     * produces an equal but distinct artifact.
+     */
+    std::shared_ptr<const CompiledKernel>
+    compile(const KernelRequest &request);
+
+    /**
+     * Compile `request` at each of `levels` and return the artifact
+     * with the lowest modeled latency (ties break toward the earlier
+     * level in `levels`).  The adaptive best-of-ladder selection the
+     * end-to-end model and the benches use.
+     */
+    std::shared_ptr<const CompiledKernel>
+    compileBest(const KernelRequest &request,
+                const std::vector<engine::OptLevel> &levels);
+
+    /**
+     * Canonical cache key of a request under this engine's spec and
+     * policy.
+     *
+     * The key normalizes the shape (only the members of the request's
+     * kind contribute; attention kv_heads resolves the MHA default),
+     * serializes every VQConfig field, the level, the planning policy
+     * (shuffle threshold + tiling), a GPU-spec fingerprint, and a
+     * content hash of the histogram (presence included) — so requests
+     * differing in any plan-affecting input never collide.
+     */
+    std::string cacheKey(const KernelRequest &request) const;
+
+    /** @return a snapshot of the cache counters. */
+    CacheStats stats() const;
+
+    /** Drop all retained artifacts (counters keep accumulating). */
+    void clearCache();
+
+    /** @return the engine's private copy of the target GPU. */
+    const gpusim::GpuSpec &spec() const { return spec_; }
+
+    const EngineOptions &options() const { return options_; }
+
+    /**
+     * Process-wide shared engine for a GPU spec (keyed by the spec
+     * fingerprint, created on first use, never destroyed).  The
+     * convenience registry behind the spec-level llm:: helpers;
+     * components wanting isolated caches construct their own Engine.
+     */
+    static Engine &shared(const gpusim::GpuSpec &spec);
+
+  private:
+    std::shared_ptr<const CompiledKernel>
+    compileUncached(const KernelRequest &request) const;
+
+    gpusim::GpuSpec spec_;
+    EngineOptions options_;
+    /** Engine-constant key part (policy + spec), serialized once. */
+    std::string key_suffix_;
+
+    mutable std::mutex mutex_;
+    /** Keyed artifacts; std::map for deterministic iteration order. */
+    std::map<std::string, std::shared_ptr<const CompiledKernel>> cache_;
+    /** Insertion order driving FIFO eviction (deterministic). */
+    std::vector<std::string> insertion_order_;
+    CacheStats stats_;
+};
+
+} // namespace vqllm::compiler

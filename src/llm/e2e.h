@@ -13,6 +13,10 @@
 #include "gpusim/gpu_spec.h"
 #include "llm/model_config.h"
 
+namespace vqllm::compiler {
+class Engine;
+}
+
 namespace vqllm::llm {
 
 // QuantScheme and its scheme -> bytes mappings live in
@@ -91,12 +95,26 @@ double estimateChunkedPrefillUs(const gpusim::GpuSpec &spec,
                                 std::size_t slice_tokens,
                                 std::size_t context_tokens);
 
-/** Latency of one decode-phase linear layer under a scheme (best
- *  adaptive VQ version for the VQ schemes). */
-double schemeLinearUs(const gpusim::GpuSpec &spec, QuantScheme scheme,
+/**
+ * Latency of one decode-phase linear layer under a scheme (best
+ * adaptive VQ version for the VQ schemes).
+ *
+ * VQ schemes compile through `eng` — the O2..O4 ladder rungs resolve
+ * via Engine::compileBest, so repeated shapes (the serving steady
+ * state) are plan-cache hits.  FP16/EWQ baselines price closed-form.
+ */
+double schemeLinearUs(compiler::Engine &eng, QuantScheme scheme,
                       const engine::GemmShape &shape);
 
-/** Latency of one decode-attention kernel under a scheme. */
+/** Latency of one decode-attention kernel under a scheme (compiled
+ *  through `eng` for the VQ schemes, like schemeLinearUs). */
+double schemeAttentionUs(compiler::Engine &eng, QuantScheme scheme,
+                         const engine::AttnShape &shape);
+
+/** Convenience overloads pricing through the process-wide shared
+ *  engine of `spec` (compiler::Engine::shared). */
+double schemeLinearUs(const gpusim::GpuSpec &spec, QuantScheme scheme,
+                      const engine::GemmShape &shape);
 double schemeAttentionUs(const gpusim::GpuSpec &spec, QuantScheme scheme,
                          const engine::AttnShape &shape);
 

@@ -73,6 +73,15 @@ ServingReport::summary() const
                   static_cast<double>(kv_capacity_bytes) / 1e9,
                   codebook_hit_rate * 100.0);
     out += buf;
+    if (plan_cache_hits + plan_cache_misses > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  plan cache %.1f%% hits (%llu of %llu lookups)\n",
+                      planCacheHitRate() * 100.0,
+                      static_cast<unsigned long long>(plan_cache_hits),
+                      static_cast<unsigned long long>(plan_cache_hits +
+                                                      plan_cache_misses));
+        out += buf;
+    }
     return out;
 }
 

@@ -128,6 +128,24 @@ struct ServingReport
      *  scheme has no codebooks). */
     double codebook_hit_rate = 1.0;
 
+    /** compiler::Engine plan-cache lookups observed by this run (the
+     *  delta across the run; see SimulatorConfig::engine for sharing
+     *  caveats).  Zero lookups for schemes that never compile VQ
+     *  kernels (FP16/EWQ price closed-form). */
+    std::uint64_t plan_cache_hits = 0;
+    std::uint64_t plan_cache_misses = 0;
+    std::uint64_t plan_cache_evictions = 0;
+
+    /** @return plan-cache hit rate ([0,1]; 1 when nothing compiled). */
+    double
+    planCacheHitRate() const
+    {
+        std::uint64_t lookups = plan_cache_hits + plan_cache_misses;
+        return lookups > 0 ? static_cast<double>(plan_cache_hits) /
+                                 static_cast<double>(lookups)
+                           : 1.0;
+    }
+
     /** @return multi-line human-readable summary. */
     std::string summary() const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "compiler/engine.h"
 #include "llm/e2e.h"
 #include "llm/ops.h"
 
@@ -276,11 +277,12 @@ Scheduler::retire(Request *r)
 // ---------------------------------------------------------------------
 // IterationPricer
 
-IterationPricer::IterationPricer(const gpusim::GpuSpec &spec,
+IterationPricer::IterationPricer(compiler::Engine &eng,
                                  const llm::LlamaConfig &model,
                                  llm::QuantScheme scheme,
                                  const PricerConfig &cfg)
-    : spec_(spec), model_(model), scheme_(scheme), cfg_(cfg)
+    : engine_(eng), spec_(eng.spec()), model_(model), scheme_(scheme),
+      cfg_(cfg)
 {
     vqllm_assert(cfg_.seq_bucket > 0, "seq_bucket must be positive");
 }
@@ -318,29 +320,22 @@ IterationPricer::prefillChunkUs(std::size_t tokens, std::size_t context)
 double
 IterationPricer::decodeLinearUs(std::size_t batch)
 {
-    auto memo = linear_memo_.find(batch);
-    if (memo != linear_memo_.end())
-        return memo->second;
+    // No pricer-side memo: the engine's plan cache memoizes the VQ
+    // kernel compiles, so repeated batch sizes are cache hits there
+    // (and the FP16/EWQ closed forms are cheap enough to re-evaluate).
     double us = 0;
     for (auto [n, k] : model_.layerLinearShapes()) {
         engine::GemmShape shape{batch, n, k};
-        us += llm::schemeLinearUs(spec_, scheme_, shape);
+        us += llm::schemeLinearUs(engine_, scheme_, shape);
     }
-    linear_memo_[batch] = us;
     return us;
 }
 
 double
 IterationPricer::decodeAttnUs(std::size_t batch, std::size_t seq_bucket)
 {
-    auto key = std::make_pair(batch, seq_bucket);
-    auto memo = attn_memo_.find(key);
-    if (memo != attn_memo_.end())
-        return memo->second;
-    double us = llm::schemeAttentionUs(
-        spec_, scheme_, model_.attnShape(batch, seq_bucket));
-    attn_memo_[key] = us;
-    return us;
+    return llm::schemeAttentionUs(
+        engine_, scheme_, model_.attnShape(batch, seq_bucket));
 }
 
 double

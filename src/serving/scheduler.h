@@ -29,14 +29,16 @@
  *
  * IterationPricer turns a formed iteration into simulated microseconds
  * by calling the same machinery the end-to-end model uses
- * (llm::schemeLinearUs / schemeAttentionUs, which plan adaptive VQ
- * kernels via engine::planWeightKernel / planAttentionKernel and price
- * them with gpusim::CostModel).  Decode attention is priced per
- * context-length bucket — mirroring flash-decoding's homogeneous
- * sub-launches over a ragged batch — prefill slices via
- * llm::estimateChunkedPrefillUs on the (slice, context) shape, and
- * every price is memoized on the bucketed shape, which keeps a
- * multi-minute simulation to a few thousand planner invocations.
+ * (llm::schemeLinearUs / schemeAttentionUs, which compile adaptive VQ
+ * kernels through the compiler::Engine facade and price them with
+ * gpusim::CostModel).  Decode attention is priced per context-length
+ * bucket — mirroring flash-decoding's homogeneous sub-launches over a
+ * ragged batch — and prefill slices via llm::estimateChunkedPrefillUs
+ * on the (slice, context) bucket.  Kernel-level memoization lives in
+ * the engine's plan cache: steady-state decode iterations repeat a
+ * handful of bucketed shapes, so pricing them is cache hits, which
+ * keeps a multi-minute simulation to a few hundred planner
+ * invocations.
  */
 #pragma once
 
@@ -51,6 +53,10 @@
 #include "serving/kv_block_pool.h"
 #include "serving/policy.h"
 #include "serving/request.h"
+
+namespace vqllm::compiler {
+class Engine;
+}
 
 namespace vqllm::serving {
 
@@ -177,12 +183,18 @@ struct PricerConfig
 /**
  * Prices scheduler iterations in simulated microseconds.
  *
- * Not thread-safe (memo tables); create one per simulator.
+ * Kernel compilation and costing route through the supplied
+ * compiler::Engine, whose memoizing plan cache makes repeated
+ * (bucketed) shapes cache hits — after the first decode iteration a
+ * steady-state simulation prices almost entirely from the cache.  The
+ * engine may be shared across pricers (it is thread-safe); the
+ * pricer's own residual memo tables (prefill buckets, element-wise
+ * ops) are not, so create one pricer per simulator.
  */
 class IterationPricer
 {
   public:
-    IterationPricer(const gpusim::GpuSpec &spec,
+    IterationPricer(compiler::Engine &eng,
                     const llm::LlamaConfig &model,
                     llm::QuantScheme scheme,
                     const PricerConfig &cfg = PricerConfig{});
@@ -208,18 +220,22 @@ class IterationPricer
 
     llm::QuantScheme scheme() const { return scheme_; }
 
+    /** @return the engine this pricer compiles through. */
+    compiler::Engine &engine() const { return engine_; }
+
   private:
     double decodeLinearUs(std::size_t batch);
     double decodeAttnUs(std::size_t batch, std::size_t seq_bucket);
 
+    compiler::Engine &engine_;
     const gpusim::GpuSpec &spec_;
     const llm::LlamaConfig &model_;
     llm::QuantScheme scheme_;
     PricerConfig cfg_;
 
+    /** Chunked-prefill slices price FP16 GeMMs (no VQ planning), so
+     *  the plan cache cannot memoize them; bucket-level memo stays. */
     std::map<std::pair<std::size_t, std::size_t>, double> prefill_memo_;
-    std::map<std::size_t, double> linear_memo_;
-    std::map<std::pair<std::size_t, std::size_t>, double> attn_memo_;
     std::map<std::size_t, double> elem_memo_;
 };
 

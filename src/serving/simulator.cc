@@ -1,9 +1,11 @@
 #include "serving/simulator.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "compiler/engine.h"
 #include "gpusim/gpu_spec.h"
 
 namespace vqllm::serving {
@@ -53,7 +55,15 @@ ServingSimulator::run(std::vector<Request> &trace)
             llm::schemeKvBytesPerToken(model_, cfg_.scheme), 1);
     KvBlockPool pool(pool_cfg);
     Scheduler scheduler(cfg_.scheduler, pool);
-    IterationPricer pricer(spec_, model_, cfg_.scheme, cfg_.pricer);
+    // Private per-run engine unless one is injected: reports then
+    // describe exactly this run, and concurrent runMany sims never
+    // contend on one cache.
+    std::optional<compiler::Engine> local_engine;
+    compiler::Engine &eng =
+        cfg_.engine != nullptr ? *cfg_.engine
+                               : local_engine.emplace(spec_);
+    const compiler::CacheStats plan_stats_before = eng.stats();
+    IterationPricer pricer(eng, model_, cfg_.scheme, cfg_.pricer);
     CodebookResidency residency(cfg_.codebook_slots);
     const bool has_codebooks = pricer.codebookGroupBytes() > 0;
     MetricsCollector metrics;
@@ -188,6 +198,12 @@ ServingSimulator::run(std::vector<Request> &trace)
     report.kv_capacity_bytes = kv_capacity_bytes_;
     report.codebook_hit_rate =
         has_codebooks ? residency.stats().hitRate() : 1.0;
+    const compiler::CacheStats plan_stats = eng.stats();
+    report.plan_cache_hits = plan_stats.hits - plan_stats_before.hits;
+    report.plan_cache_misses =
+        plan_stats.misses - plan_stats_before.misses;
+    report.plan_cache_evictions =
+        plan_stats.evictions - plan_stats_before.evictions;
     return report;
 }
 

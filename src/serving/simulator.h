@@ -27,6 +27,10 @@
 #include "serving/request.h"
 #include "serving/scheduler.h"
 
+namespace vqllm::compiler {
+class Engine;
+}
+
 namespace vqllm::serving {
 
 /** Full parameterization of one serving simulation. */
@@ -35,6 +39,18 @@ struct SimulatorConfig
     llm::QuantScheme scheme = llm::QuantScheme::VQ2;
     const gpusim::GpuSpec *spec = nullptr;   ///< default: rtx4090()
     const llm::LlamaConfig *model = nullptr; ///< default: llama7b()
+
+    /**
+     * Compile engine pricing the iterations.  nullptr (default): the
+     * run constructs a private engine, so its report's plan-cache
+     * counters describe exactly this run and concurrent runMany sims
+     * stay independent.  Injecting a shared engine keeps its kernel
+     * cache warm across runs (steady-state pricing is then cache hits
+     * from iteration one); the report's cache counters are the delta
+     * observed by this run, which double-counts under concurrent runs
+     * sharing one engine.
+     */
+    compiler::Engine *engine = nullptr;
 
     WorkloadConfig workload;
     SchedulerConfig scheduler;

@@ -6,6 +6,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "codegen/cuda_emitter.h"
 #include "engine/template_engine.h"
 
@@ -142,6 +145,54 @@ TEST(CudaEmitter, LauncherUsesPlanGeometry)
                        std::to_string(plan.grid_blocks) + ")"),
               std::string::npos);
     EXPECT_NE(src.find("cudaLaunchKernel"), std::string::npos);
+}
+
+TEST(CudaEmitter, SymbolNamesUniqueAcrossLevelsShapesAndFusion)
+{
+    // Two plans differing in any of level, shape, op kind, config, or
+    // fusion must emit distinct symbols: the dump example writes one
+    // file per symbol and a deployment links the units together.
+    std::set<std::string> names;
+    std::size_t expected = 0;
+    for (const auto &cfg : vq::paperConfigs()) {
+        bool kv = cfg.scope == vq::CodebookScope::PerChannelGroup;
+        for (OptLevel level : engine::kAllOptLevels) {
+            std::vector<engine::KernelPlan> plans;
+            if (kv) {
+                plans.push_back(attnPlan(cfg, level));
+                plans.push_back(engine::planAttentionKernel(
+                    {8, 32, 4096, 128}, cfg, level, inputs()));
+            } else {
+                plans.push_back(gemvPlan(cfg, level));
+                plans.push_back(engine::planWeightKernel(
+                    OpKind::GeMV, {1, 8192, 8192}, cfg, level,
+                    inputs()));
+                plans.push_back(engine::planWeightKernel(
+                    OpKind::GeMM, {4096, 4096, 4096}, cfg, level,
+                    inputs()));
+            }
+            for (const auto &plan : plans) {
+                names.insert(kernelSymbolName(plan));
+                ++expected;
+            }
+        }
+    }
+    EXPECT_EQ(names.size(), expected);
+
+    // Identical shape and level, different fusion decision: the
+    // symbol must still differ.
+    auto plan = attnPlan(vq::cq2(), OptLevel::O4);
+    ASSERT_EQ(plan.fusion.level, engine::FusionLevel::Register);
+    auto shared_fusion = plan;
+    shared_fusion.fusion.level = engine::FusionLevel::Shared;
+    EXPECT_NE(kernelSymbolName(plan), kernelSymbolName(shared_fusion));
+
+    // Identical shape/level/fusion, different cache boundaries (the
+    // access histogram moves them): the emitted body embeds
+    // CB_N_REG/CB_N_SHARED, so the symbol must differ too.
+    auto other_hist = plan;
+    other_hist.cache_plan.n_reg = plan.cache_plan.n_reg + 4;
+    EXPECT_NE(kernelSymbolName(plan), kernelSymbolName(other_hist));
 }
 
 TEST(CudaEmitter, SymbolNamesAreSanitized)
