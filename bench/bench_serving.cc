@@ -11,9 +11,22 @@
  * weights leave more HBM to the block pool, and fewer KV bytes per
  * token stretch that pool over more concurrent contexts, so VQ schemes
  * saturate at strictly higher QPS than FP16.
+ *
+ * A tensor-parallel sweep (degree 1/2/4/8 x scheme) serves the same
+ * load on sharded deployments, recording throughput, latency tails and
+ * the collective-time fraction per cell.  Results land in
+ * BENCH_serving.json (plan_cache + tp_sweep), which CI validates via
+ * scripts/check_bench_json.py.
+ *
+ * `--smoke` runs shortened workloads and skips the SLO bisections (CI
+ * schema-check mode); the JSON schema is identical either way.
  */
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/parallel.h"
@@ -27,6 +40,9 @@ namespace {
 constexpr double kTtftP95SloUs = 1500e3; // 1.5 s to first token
 constexpr double kTbtP95SloUs = 200e3;   // 200 ms between tokens
 
+/** Arrival-window seconds of one simulation (shortened by --smoke). */
+double g_duration_s = 15;
+
 /** The one workload parameterization the scheme comparison uses. */
 serving::SimulatorConfig
 makeConfig(llm::QuantScheme scheme, double qps)
@@ -34,7 +50,7 @@ makeConfig(llm::QuantScheme scheme, double qps)
     serving::SimulatorConfig cfg;
     cfg.scheme = scheme;
     cfg.workload.qps = qps;
-    cfg.workload.duration_s = 15;
+    cfg.workload.duration_s = g_duration_s;
     cfg.workload.seed = 42;
     return cfg;
 }
@@ -85,17 +101,41 @@ maxQpsUnderSlo(MakeConfig &&make)
 
 } // namespace
 
-int
-main()
+/** One cell of the tensor-parallel sweep (for the JSON report). */
+struct TpCell
 {
+    llm::QuantScheme scheme;
+    int degree;
+    serving::ServingReport report;
+};
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr,
+                         "bench_serving: unknown flag '%s' (only "
+                         "--smoke is accepted)\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (smoke)
+        g_duration_s = 6;
+
     const double ref_qps = 8.0;
     std::printf("Serving comparison: Llama-7B on %s, Poisson arrivals, "
-                "seed 42\n\n",
-                gpusim::rtx4090().name.c_str());
+                "seed 42%s\n\n",
+                gpusim::rtx4090().name.c_str(),
+                smoke ? " (smoke mode)" : "");
 
     std::printf("Latency profile at the reference load (%.0f QPS, "
-                "15 s):\n\n",
-                ref_qps);
+                "%.0f s):\n\n",
+                ref_qps, g_duration_s);
     TextTable profile({"scheme", "TTFT p95 (ms)", "TBT p95 (ms)",
                        "tok/s", "KV peak", "preempt", "book hit"});
     // The per-scheme reference-load runs are independent: fan them out
@@ -118,6 +158,7 @@ main()
     }
     std::printf("%s\n", profile.render().c_str());
 
+    if (!smoke) {
     std::printf("Max QPS under SLO (p95 TTFT <= %.1f s, p95 TBT <= "
                 "%.0f ms):\n\n",
                 kTtftP95SloUs / 1e6, kTbtP95SloUs / 1e3);
@@ -187,11 +228,14 @@ main()
                 "on running sequences: TBT tails drop without giving "
                 "up\nsustainable arrival rate.\n\n",
                 chunk);
+    } // !smoke
 
     // ---- Plan-cache effect on iteration pricing --------------------
     // The same VQ4 simulation twice against one shared engine: the
     // first run compiles every kernel cold, the second prices its
     // steady-state decode iterations entirely from the plan cache.
+    serving::ServingReport cold_report, warm_report;
+    double cold_ms = 0, warm_ms = 0;
     {
         using Clock = std::chrono::steady_clock;
         compiler::Engine eng(gpusim::rtx4090());
@@ -205,8 +249,8 @@ main()
                             .count();
             return std::make_pair(report, ms);
         };
-        auto [cold_report, cold_ms] = timedRun();
-        auto [warm_report, warm_ms] = timedRun();
+        std::tie(cold_report, cold_ms) = timedRun();
+        std::tie(warm_report, warm_ms) = timedRun();
         std::printf("Plan-cache pricing (VQ4, %.0f QPS, shared "
                     "compiler::Engine):\n\n",
                     ref_qps);
@@ -226,28 +270,94 @@ main()
         std::printf("steady-state iterations repeat a handful of "
                     "bucketed shapes, so pricing them is\ncache hits; "
                     "a warm cache removes the cold-compile tail "
-                    "entirely (%.2fx wall-clock).\n",
+                    "entirely (%.2fx wall-clock).\n\n",
                     warm_ms > 0 ? cold_ms / warm_ms : 0.0);
+    }
 
-        std::FILE *f = std::fopen("BENCH_serving.json", "w");
-        if (f != nullptr) {
+    // ---- Tensor-parallel sweep -------------------------------------
+    // The same reference load on sharded deployments: degree 1/2/4/8
+    // per scheme.  Sharded decode shortens TBT while the two per-layer
+    // ring all-reduces claim a growing collective fraction — and the
+    // per-device pools grow because each device holds 1/G of the
+    // weights.
+    std::vector<TpCell> tp_cells;
+    {
+        std::printf("Tensor-parallel sweep (%.0f QPS, NVLink-class "
+                    "links, per-layer ring all-reduces):\n\n",
+                    ref_qps);
+        std::vector<serving::SimulatorConfig> cfgs;
+        std::vector<TpCell> cells;
+        for (auto scheme : llm::kAllQuantSchemes)
+            for (int degree : {1, 2, 4, 8}) {
+                auto cfg = makeConfig(scheme, ref_qps);
+                cfg.tp.degree = degree;
+                cfgs.push_back(cfg);
+                cells.push_back({scheme, degree, {}});
+            }
+        auto reports = serving::ServingSimulator::runMany(cfgs);
+        TextTable tp_tbl({"scheme", "TP", "tok/s", "TBT p95 (ms)",
+                          "TTFT p95 (ms)", "comm %", "KV agg (GB)"});
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            cells[i].report = reports[i];
+            const auto &r = reports[i];
+            tp_tbl.addRow(
+                {llm::quantSchemeName(cells[i].scheme),
+                 std::to_string(cells[i].degree),
+                 formatDouble(r.tokens_per_sec, 0),
+                 formatDouble(r.tbt.p95_us / 1e3, 1),
+                 formatDouble(r.ttft.p95_us / 1e3, 1),
+                 formatPercent(r.comm_fraction, 1),
+                 formatDouble(
+                     static_cast<double>(r.kv_capacity_bytes) / 1e9,
+                     1)});
+        }
+        std::printf("%s\n", tp_tbl.render().c_str());
+        std::printf("sharding cuts per-token latency until collectives "
+                    "dominate; VQ schemes keep their\nedge at every "
+                    "degree and the per-device KV pools grow with the "
+                    "weight shards.\n\n");
+        tp_cells = std::move(cells);
+    }
+
+    // ---- JSON report (validated by scripts/check_bench_json.py) ----
+    std::FILE *f = std::fopen("BENCH_serving.json", "w");
+    if (f != nullptr) {
+        std::fprintf(
+            f,
+            "{\n  \"plan_cache\": {\"cold_ms\": %.3f, "
+            "\"cached_ms\": %.3f, \"speedup\": %.3f,\n"
+            "    \"cold_hit_rate\": %.4f, \"cached_hit_rate\": "
+            "%.4f,\n    \"cold_misses\": %llu, \"cached_misses\": "
+            "%llu},\n",
+            cold_ms, warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0,
+            cold_report.planCacheHitRate(),
+            warm_report.planCacheHitRate(),
+            static_cast<unsigned long long>(
+                cold_report.plan_cache_misses),
+            static_cast<unsigned long long>(
+                warm_report.plan_cache_misses));
+        std::fprintf(f, "  \"tp_sweep\": [\n");
+        for (std::size_t i = 0; i < tp_cells.size(); ++i) {
+            const auto &cell = tp_cells[i];
+            const auto &r = cell.report;
             std::fprintf(
                 f,
-                "{\n  \"plan_cache\": {\"cold_ms\": %.3f, "
-                "\"cached_ms\": %.3f, \"speedup\": %.3f,\n"
-                "    \"cold_hit_rate\": %.4f, \"cached_hit_rate\": "
-                "%.4f,\n    \"cold_misses\": %llu, \"cached_misses\": "
-                "%llu}\n}\n",
-                cold_ms, warm_ms, warm_ms > 0 ? cold_ms / warm_ms : 0.0,
-                cold_report.planCacheHitRate(),
-                warm_report.planCacheHitRate(),
-                static_cast<unsigned long long>(
-                    cold_report.plan_cache_misses),
-                static_cast<unsigned long long>(
-                    warm_report.plan_cache_misses));
-            std::fclose(f);
-            std::printf("wrote BENCH_serving.json\n");
+                "    {\"scheme\": \"%s\", \"degree\": %d, "
+                "\"tokens_per_sec\": %.3f, \"tbt_p95_ms\": %.3f, "
+                "\"ttft_p95_ms\": %.3f, \"comm_fraction\": %.5f, "
+                "\"kv_capacity_gb\": %.3f, \"preemptions\": %llu, "
+                "\"completed\": %llu}%s\n",
+                llm::quantSchemeName(cell.scheme), cell.degree,
+                r.tokens_per_sec, r.tbt.p95_us / 1e3,
+                r.ttft.p95_us / 1e3, r.comm_fraction,
+                static_cast<double>(r.kv_capacity_bytes) / 1e9,
+                static_cast<unsigned long long>(r.preemptions),
+                static_cast<unsigned long long>(r.completed_requests),
+                i + 1 < tp_cells.size() ? "," : "");
         }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote BENCH_serving.json\n");
     }
     return 0;
 }

@@ -9,14 +9,18 @@
  *               [--codebook-slots N] [--codebook-groups N]
  *               [--policy fcfs|priority|edf] [--chunk-tokens N]
  *               [--priority-levels N] [--prompt-median N]
+ *               [--tp-degree N] [--link-gbps G] [--collective-us U]
  *
  * Generates a Poisson request trace, serves it with the
  * policy-driven continuous-batching scheduler over a paged VQ KV
- * cache (chunked prefill when --chunk-tokens > 0), and reports
- * TTFT/TBT/E2E percentiles, sustained tokens/sec, the KV high-water
- * mark and codebook residency statistics.  Deterministic in --seed.
+ * cache (chunked prefill when --chunk-tokens > 0; per-device sharded
+ * pools and per-layer ring all-reduces when --tp-degree > 1), and
+ * reports TTFT/TBT/E2E percentiles, sustained tokens/sec, the KV
+ * high-water mark and codebook residency statistics.  Deterministic
+ * in --seed.  Unrecognized arguments are a hard error.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -26,6 +30,35 @@
 using namespace vqllm;
 
 namespace {
+
+const char kUsage[] =
+    "usage: serving_sim [options]\n"
+    "  --scheme fp16|ewq4|vq4|vq2   quantization scheme (default vq2)\n"
+    "  --model 7b|65b|70b           model configuration (default 7b)\n"
+    "  --gpu 4090|a40               per-GPU hardware model (default 4090)\n"
+    "  --qps N                      mean arrival rate (default 8)\n"
+    "  --duration S                 arrival window, seconds (default 60)\n"
+    "  --seed N                     workload seed (default 42)\n"
+    "  --max-batch N                max concurrent sequences\n"
+    "  --block-tokens N             KV tokens per paged block\n"
+    "  --hbm-gb G                   per-GPU HBM capacity, GB\n"
+    "  --codebook-slots N           resident codebook-group slots\n"
+    "  --codebook-groups N          distinct codebook groups in the trace\n"
+    "  --policy fcfs|priority|edf   scheduling policy (default fcfs)\n"
+    "  --chunk-tokens N             chunked-prefill token budget (0 = off)\n"
+    "  --priority-levels N          distinct priority levels in the trace\n"
+    "  --prompt-median N            median prompt length, tokens\n"
+    "  --tp-degree N                tensor-parallel degree, >= 1 (default 1)\n"
+    "  --link-gbps G                all-reduce link bandwidth, GB/s, > 0\n"
+    "  --collective-us U            per-collective launch latency, us\n"
+    "  --help                       print this message and exit\n";
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "serving_sim: %s\n%s", message.c_str(), kUsage);
+    std::exit(2);
+}
 
 const llm::LlamaConfig &
 modelByName(const std::string &name)
@@ -65,7 +98,7 @@ main(int argc, char **argv)
         std::string flag = argv[i];
         auto value = [&]() -> std::string {
             if (i + 1 >= argc)
-                vqllm_fatal("flag ", flag, " needs a value");
+                usageError("flag " + flag + " needs a value");
             return argv[++i];
         };
         if (flag == "--scheme") {
@@ -101,8 +134,23 @@ main(int argc, char **argv)
             cfg.workload.priority_levels = std::stoul(value());
         } else if (flag == "--prompt-median") {
             cfg.workload.prompt_len_median = std::stoul(value());
+        } else if (flag == "--tp-degree") {
+            cfg.tp.degree = std::stoi(value());
+            if (cfg.tp.degree < 1)
+                usageError("--tp-degree must be >= 1");
+        } else if (flag == "--link-gbps") {
+            cfg.tp.link_bw_gbps = std::stod(value());
+            if (cfg.tp.link_bw_gbps <= 0)
+                usageError("--link-gbps must be > 0");
+        } else if (flag == "--collective-us") {
+            cfg.tp.collective_latency_us = std::stod(value());
+            if (cfg.tp.collective_latency_us < 0)
+                usageError("--collective-us must be >= 0");
+        } else if (flag == "--help" || flag == "-h") {
+            std::printf("%s", kUsage);
+            return 0;
         } else {
-            vqllm_fatal("unknown flag '", flag, "'");
+            usageError("unknown flag '" + flag + "'");
         }
     }
     if (!hbm_set && cfg.spec == &gpusim::teslaA40())
@@ -114,16 +162,32 @@ main(int argc, char **argv)
             ? ", chunked prefill @" +
                   std::to_string(cfg.scheduler.chunk_tokens)
             : "";
+    std::string tp_note =
+        cfg.tp.degree > 1
+            ? ", TP degree " + std::to_string(cfg.tp.degree) + " @ " +
+                  std::to_string(
+                      static_cast<int>(cfg.tp.link_bw_gbps)) +
+                  " GB/s"
+            : "";
     std::printf("serving %s on %s / %s: %.1f QPS for %.0f s (seed "
-                "%llu, policy %s%s)\n",
+                "%llu, policy %s%s%s)\n",
                 cfg.model->name.c_str(), cfg.spec->name.c_str(),
                 llm::quantSchemeName(cfg.scheme), cfg.workload.qps,
                 cfg.workload.duration_s,
                 static_cast<unsigned long long>(cfg.workload.seed),
                 serving::policyKindName(cfg.scheduler.policy),
-                chunk_note.c_str());
-    std::printf("KV pool: %.2f GB under the scheme's weight footprint\n",
-                static_cast<double>(sim.kvCapacityBytes()) / 1e9);
+                chunk_note.c_str(), tp_note.c_str());
+    if (cfg.tp.degree > 1)
+        std::printf("KV pools: %zu devices x %.2f GB under each weight "
+                    "shard (%.2f GB aggregate)\n",
+                    static_cast<std::size_t>(cfg.tp.degree),
+                    static_cast<double>(sim.kvCapacityBytesPerDevice()) /
+                        1e9,
+                    static_cast<double>(sim.kvCapacityBytes()) / 1e9);
+    else
+        std::printf("KV pool: %.2f GB under the scheme's weight "
+                    "footprint\n",
+                    static_cast<double>(sim.kvCapacityBytes()) / 1e9);
     auto report = sim.run();
     std::printf("%s", report.summary().c_str());
     return 0;

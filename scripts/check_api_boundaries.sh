@@ -7,6 +7,11 @@
 #     facade, and the tests that verify them.
 #  2. No example includes engine/template_engine.h directly — the
 #     public surface for examples is compiler/engine.h.
+#  3. The serving layer must not plan or cost kernels itself — shard
+#     shapes (tensor-parallel linears/attention included) are compiled
+#     through compiler::Engine, so src/serving/ may not include the
+#     template engine or the kernel cost-estimator headers, nor call
+#     the estimateVq* estimators directly.
 #
 # Run from anywhere; exits non-zero with a diagnostic when a boundary
 # is violated.  Wired into ctest (label: compiler) and CI.
@@ -29,6 +34,27 @@ if [ -n "${include_hits}" ]; then
     echo "ERROR: examples must include compiler/engine.h, not the" \
          "template engine directly:"
     echo "${include_hits}"
+    status=1
+fi
+
+serving_include_hits=$(grep -rn \
+    '#include "engine/template_engine.h"\|#include "kernels/vq_kernels.h"\|#include "kernels/fp16_kernels.h"\|#include "kernels/ewq_kernels.h"' \
+    src/serving/ 2>/dev/null)
+if [ -n "${serving_include_hits}" ]; then
+    echo "ERROR: serving must price kernels through compiler::Engine" \
+         "(llm::schemeLinearUs / schemeAttentionUs), not include the" \
+         "planner or kernel estimators directly:"
+    echo "${serving_include_hits}"
+    status=1
+fi
+
+serving_call_hits=$(grep -rn \
+    "estimateVqGemvKernel\|estimateVqGemmKernel\|estimateVqAttentionKernel" \
+    src/serving/ 2>/dev/null)
+if [ -n "${serving_call_hits}" ]; then
+    echo "ERROR: serving calls kernel cost estimators directly instead" \
+         "of compiling shard shapes through compiler::Engine:"
+    echo "${serving_call_hits}"
     status=1
 fi
 

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Bench-JSON schema check for the perf trajectory.
+
+Runs the bench smoke targets, then validates every BENCH_*.json they
+emit: the file must parse, every number must be finite, every key
+ending in "sweep" (or named in REQUIRED below) must be a non-empty
+list, and per-file required keys must be present.  CI uploads the
+validated JSONs as workflow artifacts, so a silently malformed bench
+report fails the pipeline instead of poisoning the perf history.
+
+Usage:
+    check_bench_json.py [--build-dir BUILD] [--no-run]
+
+--no-run skips executing the benches and only validates the JSON files
+already present in the build directory.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import subprocess
+import sys
+
+# Bench targets to execute (relative to the build dir) and the JSON
+# files they are expected to leave behind.
+SMOKE_TARGETS = [
+    (["./bench_serving", "--smoke"], "BENCH_serving.json"),
+    (["./bench_host_throughput"], "BENCH_host.json"),
+]
+
+# Per-file required keys: path of nested keys that must exist.  A
+# trailing list marker "[]" requires a non-empty list whose entries all
+# carry the listed fields.
+REQUIRED = {
+    "BENCH_serving.json": {
+        "plan_cache": ["cold_ms", "cached_ms", "speedup",
+                       "cold_hit_rate", "cached_hit_rate"],
+        "tp_sweep[]": ["scheme", "degree", "tokens_per_sec",
+                       "tbt_p95_ms", "ttft_p95_ms", "comm_fraction",
+                       "kv_capacity_gb"],
+    },
+    "BENCH_host.json": {},
+}
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: ERROR: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_finite(node, path: str) -> None:
+    """Every number in the document must be finite (printf'ing a NaN or
+    inf into a report is exactly the silent corruption this guards)."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        if not math.isfinite(node):
+            fail(f"non-finite number at {path}: {node}")
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            check_finite(value, f"{path}.{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            check_finite(value, f"{path}[{i}]")
+
+
+def check_sweeps_non_empty(node, path: str) -> None:
+    """Any key ending in 'sweep' must be a non-empty list — an empty
+    sweep means the bench silently skipped its measurements."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key.endswith("sweep"):
+                if not isinstance(value, list) or not value:
+                    fail(f"sweep {path}.{key} is empty or not a list")
+            check_sweeps_non_empty(value, f"{path}.{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            check_sweeps_non_empty(value, f"{path}[{i}]")
+
+
+def check_required(doc: dict, name: str) -> None:
+    for key, fields in REQUIRED.get(name, {}).items():
+        if key.endswith("[]"):
+            key = key[:-2]
+            entries = doc.get(key)
+            if not isinstance(entries, list) or not entries:
+                fail(f"{name}: required list '{key}' missing or empty")
+            for i, entry in enumerate(entries):
+                for field in fields:
+                    if field not in entry:
+                        fail(f"{name}: {key}[{i}] lacks '{field}'")
+        else:
+            obj = doc.get(key)
+            if not isinstance(obj, dict):
+                fail(f"{name}: required object '{key}' missing")
+            for field in fields:
+                if field not in obj:
+                    fail(f"{name}: {key} lacks '{field}'")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--no-run", action="store_true",
+                        help="validate existing JSONs without running "
+                             "the benches")
+    args = parser.parse_args()
+    build = pathlib.Path(args.build_dir)
+    if not build.is_dir():
+        fail(f"build dir '{build}' does not exist")
+
+    if not args.no_run:
+        for cmd, _ in SMOKE_TARGETS:
+            exe = build / cmd[0]
+            if not exe.exists():
+                fail(f"bench target '{exe}' not built")
+            print(f"check_bench_json: running {' '.join(cmd)}")
+            proc = subprocess.run(cmd, cwd=build,
+                                  stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                fail(f"{' '.join(cmd)} exited {proc.returncode}")
+
+    expected = {json_name for _, json_name in SMOKE_TARGETS}
+    found = {p.name for p in build.glob("BENCH_*.json")}
+    missing = expected - found
+    if missing:
+        fail(f"expected bench JSONs not emitted: {sorted(missing)}")
+
+    for path in sorted(build.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as e:
+            fail(f"{path.name} does not parse: {e}")
+        if not isinstance(doc, dict) or not doc:
+            fail(f"{path.name}: top level must be a non-empty object")
+        check_finite(doc, path.name)
+        check_sweeps_non_empty(doc, path.name)
+        check_required(doc, path.name)
+        print(f"check_bench_json: {path.name} OK "
+              f"({len(doc)} top-level keys)")
+    print("check_bench_json: all bench JSONs valid")
+
+
+if __name__ == "__main__":
+    main()

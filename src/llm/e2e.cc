@@ -65,31 +65,25 @@ configProfile(const vq::VQConfig &cfg)
 
 } // namespace
 
-namespace {
-
-/**
- * Shared full-stack prefill pricing: FP16 GeMMs over `rows` tokens per
- * layer plus causal attention over `attn_positions` key positions
- * (2 ops x 2 MACs x H x head_dim each), scaled to all layers.  Both
- * prefill entry points price through here so whole-prompt and chunked
- * estimates cannot drift apart.
- */
 double
 prefillLayersUs(const gpusim::GpuSpec &spec, const LlamaConfig &model,
-                std::size_t rows, double attn_positions)
+                std::size_t rows, double attn_positions,
+                std::size_t heads,
+                const std::vector<std::pair<std::size_t, std::size_t>>
+                    &shapes)
 {
     double layer_us = 0;
-    for (auto [n, k] : model.layerLinearShapes()) {
+    for (auto [n, k] : shapes) {
         GemmShape shape{rows, n, k};
         layer_us += kernels::fp16GemmEstimate(spec, shape).us();
     }
-    double attn_flops =
-        2.0 * 2.0 * model.heads * attn_positions * model.head_dim;
+    // Attention: 2 ops x 2 MACs x H x head_dim per key position.
+    double attn_flops = 2.0 * 2.0 * static_cast<double>(heads) *
+                        attn_positions *
+                        static_cast<double>(model.head_dim);
     layer_us += attn_flops / (spec.fp16_tensor_tflops * 1e12 * 0.5) * 1e6;
     return layer_us * static_cast<double>(model.layers);
 }
-
-} // namespace
 
 double
 estimatePrefillUs(const gpusim::GpuSpec &spec, const LlamaConfig &model,
@@ -98,7 +92,8 @@ estimatePrefillUs(const gpusim::GpuSpec &spec, const LlamaConfig &model,
     // Causal attention: ~B*H*(T^2/2)*C MACs per layer.
     double positions = static_cast<double>(batch) * 0.5 *
                        static_cast<double>(prompt_len) * prompt_len;
-    return prefillLayersUs(spec, model, batch * prompt_len, positions);
+    return prefillLayersUs(spec, model, batch * prompt_len, positions,
+                           model.heads, model.layerLinearShapes());
 }
 
 double
@@ -112,7 +107,8 @@ estimateChunkedPrefillUs(const gpusim::GpuSpec &spec,
     double positions =
         static_cast<double>(slice_tokens) * context_tokens +
         0.5 * static_cast<double>(slice_tokens) * slice_tokens;
-    return prefillLayersUs(spec, model, slice_tokens, positions);
+    return prefillLayersUs(spec, model, slice_tokens, positions,
+                           model.heads, model.layerLinearShapes());
 }
 
 double

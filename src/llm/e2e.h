@@ -96,6 +96,19 @@ double estimateChunkedPrefillUs(const gpusim::GpuSpec &spec,
                                 std::size_t context_tokens);
 
 /**
+ * Shared prefill-layer pricing over explicit linear shapes and a head
+ * count: FP16 GeMMs over `rows` tokens per layer plus causal attention
+ * over `attn_positions` key positions, scaled to all layers.  Every
+ * prefill entry point — whole-prompt, chunked, and the tensor-parallel
+ * shard overload (which passes sharded geometry) — prices through
+ * here, so the estimates cannot drift apart.
+ */
+double prefillLayersUs(
+    const gpusim::GpuSpec &spec, const LlamaConfig &model,
+    std::size_t rows, double attn_positions, std::size_t heads,
+    const std::vector<std::pair<std::size_t, std::size_t>> &shapes);
+
+/**
  * Latency of one decode-phase linear layer under a scheme (best
  * adaptive VQ version for the VQ schemes).
  *

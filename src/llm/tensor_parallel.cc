@@ -16,6 +16,77 @@ ringAllReduceUs(const TpConfig &tp, std::uint64_t bytes)
            tp.collective_latency_us;
 }
 
+double
+layerAllReduceUs(const TpConfig &tp, std::size_t rows, std::size_t hidden)
+{
+    if (tp.degree <= 1)
+        return 0.0;
+    std::uint64_t activation_bytes =
+        static_cast<std::uint64_t>(rows) * hidden * 2;
+    return 2.0 * ringAllReduceUs(tp, activation_bytes);
+}
+
+std::size_t
+shardSplit(std::size_t total, std::size_t degree, std::size_t shard)
+{
+    vqllm_assert(degree >= 1, "shard degree must be >= 1");
+    vqllm_assert(shard < degree, "shard index out of range");
+    return total / degree + (shard < total % degree ? 1 : 0);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+shardLinearShapes(const LlamaConfig &model, std::size_t degree,
+                  std::size_t shard)
+{
+    auto shapes = model.layerLinearShapes();
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+        bool row_parallel = (i == 3 || i == 6); // Wo, W_down
+        if (row_parallel)
+            shapes[i].second = shardSplit(shapes[i].second, degree, shard);
+        else
+            shapes[i].first = shardSplit(shapes[i].first, degree, shard);
+    }
+    return shapes;
+}
+
+engine::AttnShape
+shardAttnShape(const LlamaConfig &model, std::size_t batch,
+               std::size_t seq_len, std::size_t degree, std::size_t shard)
+{
+    // Every shard must own at least one KV head: a zero split would
+    // read back as AttnShape's kv_heads == 0 MHA sentinel and silently
+    // price the shard with a full complement of KV heads.
+    vqllm_assert(model.kvHeads() >= degree,
+                 "TP degree exceeds the model's KV heads");
+    engine::AttnShape shape = model.attnShape(batch, seq_len);
+    shape.heads = shardSplit(shape.heads, degree, shard);
+    if (shape.kv_heads != 0)
+        shape.kv_heads = shardSplit(shape.kv_heads, degree, shard);
+    return shape;
+}
+
+double
+estimateChunkedPrefillUs(const gpusim::GpuSpec &spec,
+                         const LlamaConfig &model,
+                         std::size_t slice_tokens,
+                         std::size_t context_tokens, const TpConfig &tp)
+{
+    if (tp.degree <= 1)
+        return estimateChunkedPrefillUs(spec, model, slice_tokens,
+                                        context_tokens);
+    const std::size_t g = static_cast<std::size_t>(tp.degree);
+
+    // Critical (widest) shard: sharded FP16 GeMMs over the slice rows
+    // plus head-sharded causal attention, through the same shared
+    // pricing as the single-GPU estimates — only the geometry differs.
+    double positions =
+        static_cast<double>(slice_tokens) * context_tokens +
+        0.5 * static_cast<double>(slice_tokens) * slice_tokens;
+    return prefillLayersUs(spec, model, slice_tokens, positions,
+                           shardSplit(model.heads, g, 0),
+                           shardLinearShapes(model, g, 0));
+}
+
 TpResult
 estimateTensorParallel(const gpusim::GpuSpec &spec,
                        const LlamaConfig &model, QuantScheme scheme,
@@ -32,29 +103,21 @@ estimateTensorParallel(const gpusim::GpuSpec &spec,
     //  row-parallel:    Wo (k/G), W_down (k/G)
     std::size_t mid_seq = cfg.prompt_len + cfg.gen_tokens / 2;
     double step_linear_us = 0;
-    auto shapes = model.layerLinearShapes();
-    for (std::size_t i = 0; i < shapes.size(); ++i) {
-        auto [n, k] = shapes[i];
-        bool row_parallel = (i == 3 || i == 6); // Wo, W_down
-        engine::GemmShape shard{cfg.batch,
-                                row_parallel ? n : n / g,
-                                row_parallel ? k / g : k};
+    for (auto [n, k] : shardLinearShapes(model, g, 0)) {
+        engine::GemmShape shard{cfg.batch, n, k};
         step_linear_us += schemeLinearUs(spec, scheme, shard);
     }
 
     // ---- Head-sharded attention.
-    engine::AttnShape attn_shard{cfg.batch, model.heads / g, mid_seq,
-                                 model.head_dim};
-    double step_attn_us = schemeAttentionUs(spec, scheme, attn_shard);
+    double step_attn_us = schemeAttentionUs(
+        spec, scheme, shardAttnShape(model, cfg.batch, mid_seq, g, 0));
 
     // ---- Element-wise ops run replicated on the full hidden width.
     double step_elem_us =
         elementwiseLayerLatencyUs(spec, cfg.batch, model.hidden);
 
     // ---- Two all-reduces per layer (after Wo and after W_down).
-    std::uint64_t activation_bytes =
-        static_cast<std::uint64_t>(cfg.batch) * model.hidden * 2;
-    double comm_layer_us = 2.0 * ringAllReduceUs(tp, activation_bytes);
+    double comm_layer_us = layerAllReduceUs(tp, cfg.batch, model.hidden);
 
     double step_us =
         (step_linear_us + step_attn_us + step_elem_us + comm_layer_us) *

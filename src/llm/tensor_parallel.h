@@ -62,4 +62,58 @@ TpResult estimateTensorParallel(const gpusim::GpuSpec &spec,
  */
 double ringAllReduceUs(const TpConfig &tp, std::uint64_t bytes);
 
+/**
+ * Both ring all-reduces of one Megatron layer (after Wo and after
+ * W_down) over `rows` FP16 activation rows of width `hidden`.  The
+ * per-layer collective cost every decode step and prefill chunk pays
+ * under TP; 0 at degree 1.
+ */
+double layerAllReduceUs(const TpConfig &tp, std::size_t rows,
+                        std::size_t hidden);
+
+/**
+ * Balanced split of `total` units across `degree` shards: the share
+ * owned by shard `shard` (shards 0..total%degree-1 take the remainder,
+ * so shard 0 is always a widest — critical-path — shard).
+ */
+std::size_t shardSplit(std::size_t total, std::size_t degree,
+                       std::size_t shard);
+
+/**
+ * Per-layer linear weight shapes of one TP shard (Megatron layout:
+ * column-parallel Wq/Wk/Wv/W_gate/W_up split the output features,
+ * row-parallel Wo/W_down split the reduced input features).  Degree 1
+ * returns LlamaConfig::layerLinearShapes() unchanged.
+ *
+ * Shared by llm::estimateTensorParallel and the serving iteration
+ * pricer so the analytical and scheduler-level TP models can never
+ * disagree about shard geometry.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+shardLinearShapes(const LlamaConfig &model, std::size_t degree,
+                  std::size_t shard);
+
+/**
+ * Head-sharded decode-attention shape of one TP shard.  Query heads
+ * split by shardSplit; GQA KV heads split the same way, and the MHA
+ * default (kv_heads == 0) is preserved so a degree-1 shard shape is
+ * bit-identical to LlamaConfig::attnShape.
+ */
+engine::AttnShape shardAttnShape(const LlamaConfig &model,
+                                 std::size_t batch, std::size_t seq_len,
+                                 std::size_t degree, std::size_t shard);
+
+/**
+ * TP-aware chunked-prefill compute latency: the critical shard's
+ * sharded GeMMs plus head-sharded causal attention over the cached
+ * context (no collectives — callers add layerAllReduceUs per layer).
+ * Degree <= 1 delegates to the single-GPU estimateChunkedPrefillUs and
+ * is bit-identical to it.
+ */
+double estimateChunkedPrefillUs(const gpusim::GpuSpec &spec,
+                                const LlamaConfig &model,
+                                std::size_t slice_tokens,
+                                std::size_t context_tokens,
+                                const TpConfig &tp);
+
 } // namespace vqllm::llm

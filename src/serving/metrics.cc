@@ -82,6 +82,27 @@ ServingReport::summary() const
                                                       plan_cache_misses));
         out += buf;
     }
+    if (tp_degree > 1) {
+        std::snprintf(buf, sizeof(buf),
+                      "  tensor parallel degree %llu, collectives %.2f s "
+                      "(%.1f%% of busy time)\n",
+                      static_cast<unsigned long long>(tp_degree),
+                      comm_us / 1e6, comm_fraction * 100.0);
+        out += buf;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            const ShardReport &s = shards[i];
+            std::snprintf(
+                buf, sizeof(buf),
+                "    shard %zu: KV peak %.2f GB of %.2f GB (%.1f%%), "
+                "plan cache %llu/%llu hits/misses\n",
+                i, static_cast<double>(s.kv_peak_bytes) / 1e9,
+                static_cast<double>(s.kv_capacity_bytes) / 1e9,
+                s.kvPeakFraction() * 100.0,
+                static_cast<unsigned long long>(s.plan_cache_hits),
+                static_cast<unsigned long long>(s.plan_cache_misses));
+            out += buf;
+        }
+    }
     return out;
 }
 

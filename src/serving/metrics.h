@@ -96,6 +96,30 @@ class MetricsCollector
     std::uint64_t preemptions_ = 0;
 };
 
+/** Per-device view of one tensor-parallel serving run. */
+struct ShardReport
+{
+    /** KV high-water mark on this device, bytes. */
+    std::uint64_t kv_peak_bytes = 0;
+    /** KV capacity of this device's pool, bytes. */
+    std::uint64_t kv_capacity_bytes = 0;
+    /** Plan-cache lookups this shard's pricing performed (per-shard
+     *  delta; shards sharing one engine attribute correctly because
+     *  pricing is sequential within a run). */
+    std::uint64_t plan_cache_hits = 0;
+    std::uint64_t plan_cache_misses = 0;
+
+    /** @return peak KV occupancy of this device ([0,1]). */
+    double
+    kvPeakFraction() const
+    {
+        return kv_capacity_bytes > 0
+                   ? static_cast<double>(kv_peak_bytes) /
+                         static_cast<double>(kv_capacity_bytes)
+                   : 0.0;
+    }
+};
+
 /** Final report of one serving simulation. */
 struct ServingReport
 {
@@ -121,8 +145,20 @@ struct ServingReport
     /** Scheduler iterations executed. */
     std::uint64_t iterations = 0;
 
-    /** KV-cache high-water mark, bytes. */
+    /** Tensor-parallel degree of the run (1 = single GPU). */
+    std::uint64_t tp_degree = 1;
+    /** Ring all-reduce time summed over the run, microseconds (0 at
+     *  degree 1). */
+    double comm_us = 0;
+    /** Collective share of busy time ([0,1]; 0 at degree 1). */
+    double comm_fraction = 0;
+    /** Per-device KV occupancy and plan-cache deltas (one entry per
+     *  shard; a single entry at degree 1). */
+    std::vector<ShardReport> shards;
+
+    /** KV-cache high-water mark, bytes (summed over shards). */
     std::uint64_t kv_peak_bytes = 0;
+    /** Aggregate KV capacity, bytes (summed over shards). */
     std::uint64_t kv_capacity_bytes = 0;
     /** Codebook residency hit rate over the run ([0,1]; 1 when the
      *  scheme has no codebooks). */

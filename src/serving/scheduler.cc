@@ -34,7 +34,7 @@ sliceTokens(std::size_t remaining, std::size_t budget, std::size_t avail)
 
 } // namespace
 
-Scheduler::Scheduler(const SchedulerConfig &cfg, KvBlockPool &pool)
+Scheduler::Scheduler(const SchedulerConfig &cfg, ShardedKvPool &pool)
     : cfg_(cfg), pool_(pool), policy_(makePolicy(cfg.policy))
 {
     vqllm_assert(cfg_.max_batch > 0, "max_batch must be positive");
@@ -281,10 +281,31 @@ IterationPricer::IterationPricer(compiler::Engine &eng,
                                  const llm::LlamaConfig &model,
                                  llm::QuantScheme scheme,
                                  const PricerConfig &cfg)
-    : engine_(eng), spec_(eng.spec()), model_(model), scheme_(scheme),
-      cfg_(cfg)
+    : IterationPricer(std::vector<compiler::Engine *>{&eng}, model,
+                      scheme, llm::TpConfig{}, cfg)
+{
+}
+
+IterationPricer::IterationPricer(std::vector<compiler::Engine *> engines,
+                                 const llm::LlamaConfig &model,
+                                 llm::QuantScheme scheme,
+                                 const llm::TpConfig &tp,
+                                 const PricerConfig &cfg)
+    : engines_(std::move(engines)), spec_(engines_.front()->spec()),
+      model_(model), scheme_(scheme), tp_(tp), cfg_(cfg),
+      shard_deltas_(engines_.size())
 {
     vqllm_assert(cfg_.seq_bucket > 0, "seq_bucket must be positive");
+    vqllm_assert(tp_.degree >= 1, "TP degree must be >= 1");
+    vqllm_assert(engines_.size() == static_cast<std::size_t>(tp_.degree),
+                 "one engine per TP shard required");
+    vqllm_assert(model_.heads % tp_.degree == 0,
+                 "heads must divide evenly across TP ranks");
+    vqllm_assert(model_.kvHeads() >=
+                     static_cast<std::size_t>(tp_.degree),
+                 "TP degree exceeds the model's KV heads");
+    for (compiler::Engine *eng : engines_)
+        vqllm_assert(eng != nullptr, "null shard engine");
 }
 
 double
@@ -312,30 +333,42 @@ IterationPricer::prefillChunkUs(std::size_t tokens, std::size_t context)
         return memo->second;
 
     double us = llm::estimateChunkedPrefillUs(spec_, model_, key.first,
-                                              key.second);
+                                              key.second, tp_);
     prefill_memo_[key] = us;
     return us;
 }
 
 double
-IterationPricer::decodeLinearUs(std::size_t batch)
+IterationPricer::prefillCommUs(std::size_t tokens) const
+{
+    return llm::layerAllReduceUs(tp_, tokens, model_.hidden) *
+           static_cast<double>(model_.layers);
+}
+
+double
+IterationPricer::decodeLinearUs(compiler::Engine &eng, std::size_t shard,
+                                std::size_t batch)
 {
     // No pricer-side memo: the engine's plan cache memoizes the VQ
     // kernel compiles, so repeated batch sizes are cache hits there
     // (and the FP16/EWQ closed forms are cheap enough to re-evaluate).
     double us = 0;
-    for (auto [n, k] : model_.layerLinearShapes()) {
+    std::size_t degree = static_cast<std::size_t>(tp_.degree);
+    for (auto [n, k] : llm::shardLinearShapes(model_, degree, shard)) {
         engine::GemmShape shape{batch, n, k};
-        us += llm::schemeLinearUs(engine_, scheme_, shape);
+        us += llm::schemeLinearUs(eng, scheme_, shape);
     }
     return us;
 }
 
 double
-IterationPricer::decodeAttnUs(std::size_t batch, std::size_t seq_bucket)
+IterationPricer::decodeAttnUs(compiler::Engine &eng, std::size_t shard,
+                              std::size_t batch, std::size_t seq_bucket)
 {
     return llm::schemeAttentionUs(
-        engine_, scheme_, model_.attnShape(batch, seq_bucket));
+        eng, scheme_,
+        llm::shardAttnShape(model_, batch, seq_bucket,
+                            static_cast<std::size_t>(tp_.degree), shard));
 }
 
 double
@@ -355,9 +388,6 @@ IterationPricer::decodeUs(const std::vector<Request *> &batch)
             cfg_.seq_bucket;
         ++bucket_counts[bucket];
     }
-    double attn_us = 0;
-    for (auto [bucket, count] : bucket_counts)
-        attn_us += decodeAttnUs(count, bucket);
 
     std::size_t n = batch.size();
     auto elem_memo = elem_memo_.find(n);
@@ -369,18 +399,45 @@ IterationPricer::decodeUs(const std::vector<Request *> &batch)
         elem_memo_[n] = elem_us;
     }
 
+    // All shards launch in lockstep; the slowest (widest) shard sets
+    // the step latency.  Element-wise ops run replicated on the full
+    // hidden width on every shard.
     double layers = static_cast<double>(model_.layers);
-    return (decodeLinearUs(n) + elem_us + attn_us) * layers;
+    double step_us = 0;
+    for (std::size_t s = 0; s < engines_.size(); ++s) {
+        compiler::Engine &eng = *engines_[s];
+        const compiler::CacheStats before = eng.stats();
+        double attn_us = 0;
+        for (auto [bucket, count] : bucket_counts)
+            attn_us += decodeAttnUs(eng, s, count, bucket);
+        double shard_us = decodeLinearUs(eng, s, n) + elem_us + attn_us;
+        const compiler::CacheStats after = eng.stats();
+        shard_deltas_[s].plan_cache_hits += after.hits - before.hits;
+        shard_deltas_[s].plan_cache_misses += after.misses - before.misses;
+        step_us = std::max(step_us, shard_us);
+    }
+
+    // Two ring all-reduces per layer gather the attention output and
+    // reduce the MLP partials (0 at degree 1).
+    double comm_us =
+        llm::layerAllReduceUs(tp_, n, model_.hidden) * layers;
+    comm_us_ += comm_us;
+    return step_us * layers + comm_us;
 }
 
 double
 IterationPricer::iterationUs(const Scheduler::Iteration &it)
 {
     // One serialized launch set: every prefill slice's GEMMs plus the
-    // decode batch's bucketed attention sub-launches.
+    // decode batch's bucketed attention sub-launches, plus (degree > 1)
+    // each slice's per-layer collectives.
     double us = 0;
-    for (const auto &chunk : it.prefill)
+    for (const auto &chunk : it.prefill) {
         us += prefillChunkUs(chunk.tokens, chunk.context);
+        double comm_us = prefillCommUs(chunk.tokens);
+        comm_us_ += comm_us;
+        us += comm_us;
+    }
     if (!it.decode.empty())
         us += decodeUs(it.decode);
     return us;
@@ -409,6 +466,15 @@ IterationPricer::codebookMissUs(std::size_t misses) const
     std::uint64_t bytes = codebookGroupBytes();
     if (bytes == 0)
         return 0;
+    if (tp_.degree > 1) {
+        // Each device uploads only its KV-head shard and the uploads
+        // overlap across devices, so the serialized penalty is the
+        // critical (widest) shard's share of the group.
+        std::size_t degree = static_cast<std::size_t>(tp_.degree);
+        std::uint64_t kv_heads = model_.kvHeads();
+        std::uint64_t shard_heads = llm::shardSplit(kv_heads, degree, 0);
+        bytes = (bytes * shard_heads + kv_heads - 1) / kv_heads;
+    }
     double per_upload_us =
         static_cast<double>(bytes) / (cfg_.upload_gbps * 1e9) * 1e6 +
         cfg_.upload_fixed_us;

@@ -6,7 +6,8 @@
  * *iteration* at a time.  Queue order and preemption-victim selection
  * are delegated to a SchedulingPolicy (FCFS, priority, SLO-aware EDF),
  * so every policy shares the same KV block accounting through
- * KvBlockPool and the same recompute-style preemption: a sequence that
+ * ShardedKvPool (per-device pools under tensor parallelism; one pool at
+ * degree 1) and the same recompute-style preemption: a sequence that
  * loses its blocks re-queues and re-prefills its full context later.
  *
  * Two batch-formation regimes:
@@ -50,9 +51,10 @@
 
 #include "gpusim/gpu_spec.h"
 #include "llm/model_config.h"
-#include "serving/kv_block_pool.h"
+#include "llm/tensor_parallel.h"
 #include "serving/policy.h"
 #include "serving/request.h"
+#include "serving/sharded_kv_pool.h"
 
 namespace vqllm::compiler {
 class Engine;
@@ -87,7 +89,7 @@ struct SchedulerConfig
 class Scheduler
 {
   public:
-    Scheduler(const SchedulerConfig &cfg, KvBlockPool &pool);
+    Scheduler(const SchedulerConfig &cfg, ShardedKvPool &pool);
 
     /** One prefill slice scheduled in an iteration. */
     struct PrefillChunk
@@ -158,7 +160,7 @@ class Scheduler
     void requeue(Request *r);
 
     SchedulerConfig cfg_;
-    KvBlockPool &pool_;
+    ShardedKvPool &pool_;
     std::unique_ptr<SchedulingPolicy> policy_;
     /** Waiting queue, kept in policy admission order (requeue()). */
     std::vector<Request *> waiting_;
@@ -181,57 +183,115 @@ struct PricerConfig
 };
 
 /**
- * Prices scheduler iterations in simulated microseconds.
+ * Prices scheduler iterations in simulated microseconds, across the
+ * shards of a tensor-parallel deployment.
  *
- * Kernel compilation and costing route through the supplied
- * compiler::Engine, whose memoizing plan cache makes repeated
- * (bucketed) shapes cache hits — after the first decode iteration a
- * steady-state simulation prices almost entirely from the cache.  The
- * engine may be shared across pricers (it is thread-safe); the
- * pricer's own residual memo tables (prefill buckets, element-wise
- * ops) are not, so create one pricer per simulator.
+ * Kernel compilation and costing route through the per-shard
+ * compiler::Engine instances, whose memoizing plan caches make
+ * repeated (bucketed) shapes cache hits — after the first decode
+ * iteration a steady-state simulation prices almost entirely from the
+ * cache.  Under TP (degree > 1) every decode step and prefill chunk
+ * prices the critical shard's head-sharded attention and column/row
+ * -parallel linears per shard (shard geometry from
+ * llm::shardLinearShapes / shardAttnShape, the same helpers
+ * llm::estimateTensorParallel uses, so the two models stay consistent)
+ * plus the two per-layer ring all-reduces via llm::layerAllReduceUs.
+ * Degree 1 takes the exact pre-TP arithmetic: no collectives, unsharded
+ * shapes, bit-identical pricing.
+ *
+ * Engines may be shared across pricers and shards (they are
+ * thread-safe); the pricer's own residual memo tables (prefill
+ * buckets, element-wise ops) and per-shard cache-delta accounting are
+ * not, so create one pricer per simulator.
  */
 class IterationPricer
 {
   public:
+    /** Plan-cache lookups one shard's pricing performed (the
+     *  attribution works whether shards share one engine or own
+     *  private ones — pricing is sequential within the pricer). */
+    struct ShardCacheDelta
+    {
+        std::uint64_t plan_cache_hits = 0;
+        std::uint64_t plan_cache_misses = 0;
+    };
+
+    /** Single-GPU convenience: degree-1 TP over one engine. */
     IterationPricer(compiler::Engine &eng,
                     const llm::LlamaConfig &model,
                     llm::QuantScheme scheme,
                     const PricerConfig &cfg = PricerConfig{});
 
+    /**
+     * Tensor-parallel pricer: one engine per shard (entries may repeat
+     * one shared engine).  engines.size() must equal tp.degree, and
+     * model.heads must divide evenly across the degree.
+     */
+    IterationPricer(std::vector<compiler::Engine *> engines,
+                    const llm::LlamaConfig &model,
+                    llm::QuantScheme scheme, const llm::TpConfig &tp,
+                    const PricerConfig &cfg = PricerConfig{});
+
     /** Full mixed iteration: chunked-prefill GEMM slices plus decode
-     *  attention buckets, priced as one serialized launch set. */
+     *  attention buckets plus (degree > 1) the per-layer collectives,
+     *  priced as one serialized launch set. */
     double iterationUs(const Scheduler::Iteration &it);
 
     /** One prefill slice of `tokens` against `context` resident KV
      *  tokens (chunked-prefill GEMM + attention over the history; a
-     *  whole-prompt prefill is the context == 0 case). */
+     *  whole-prompt prefill is the context == 0 case).  Compute only —
+     *  iterationUs adds the slice's collectives. */
     double prefillChunkUs(std::size_t tokens, std::size_t context);
 
-    /** One decode iteration over the batch's current contexts. */
+    /** One decode iteration over the batch's current contexts,
+     *  including the decode step's collectives. */
     double decodeUs(const std::vector<Request *> &batch);
 
+    /** Collective time of one prefill slice of `tokens` rows (two ring
+     *  all-reduces per layer; 0 at degree 1). */
+    double prefillCommUs(std::size_t tokens) const;
+
     /** Upload penalty for codebook-residency misses (0 for schemes
-     *  without codebooks). */
+     *  without codebooks).  Under TP each device uploads only its head
+     *  shard and the uploads overlap, so the penalty is the critical
+     *  shard's share. */
     double codebookMissUs(std::size_t misses) const;
 
-    /** Bytes of one codebook group (all layers' KV codebooks). */
+    /** Bytes of one codebook group (all layers' KV codebooks, summed
+     *  over shards). */
     std::uint64_t codebookGroupBytes() const;
 
     llm::QuantScheme scheme() const { return scheme_; }
 
-    /** @return the engine this pricer compiles through. */
-    compiler::Engine &engine() const { return engine_; }
+    const llm::TpConfig &tp() const { return tp_; }
+
+    /** Cumulative collective time priced so far, microseconds. */
+    double commUs() const { return comm_us_; }
+
+    /** Per-shard plan-cache lookup deltas accumulated so far. */
+    const std::vector<ShardCacheDelta> &
+    shardCacheDeltas() const
+    {
+        return shard_deltas_;
+    }
+
+    /** @return the engine shard 0 compiles through. */
+    compiler::Engine &engine() const { return *engines_.front(); }
 
   private:
-    double decodeLinearUs(std::size_t batch);
-    double decodeAttnUs(std::size_t batch, std::size_t seq_bucket);
+    double decodeLinearUs(compiler::Engine &eng, std::size_t shard,
+                          std::size_t batch);
+    double decodeAttnUs(compiler::Engine &eng, std::size_t shard,
+                        std::size_t batch, std::size_t seq_bucket);
 
-    compiler::Engine &engine_;
+    std::vector<compiler::Engine *> engines_;
     const gpusim::GpuSpec &spec_;
     const llm::LlamaConfig &model_;
     llm::QuantScheme scheme_;
+    llm::TpConfig tp_;
     PricerConfig cfg_;
+    double comm_us_ = 0;
+    std::vector<ShardCacheDelta> shard_deltas_;
 
     /** Chunked-prefill slices price FP16 GeMMs (no VQ planning), so
      *  the plan cache cannot memoize them; bucket-level memo stays. */

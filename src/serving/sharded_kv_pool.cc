@@ -1,0 +1,167 @@
+#include "serving/sharded_kv_pool.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace vqllm::serving {
+
+ShardedKvPool::ShardedKvPool(const KvBlockPoolConfig &device_cfg,
+                             std::size_t degree)
+{
+    vqllm_assert(degree >= 1, "TP degree must be >= 1");
+    shards_.reserve(degree);
+    for (std::size_t i = 0; i < degree; ++i)
+        shards_.emplace_back(device_cfg);
+}
+
+ShardedKvPool::ShardedKvPool(const std::vector<KvBlockPoolConfig> &cfgs)
+{
+    vqllm_assert(!cfgs.empty(), "need at least one per-device pool");
+    shards_.reserve(cfgs.size());
+    for (const auto &cfg : cfgs)
+        shards_.emplace_back(cfg);
+}
+
+bool
+ShardedKvPool::canEverFit(std::size_t tokens) const
+{
+    for (const auto &shard : shards_)
+        if (!shard.canEverFit(tokens))
+            return false;
+    return true;
+}
+
+bool
+ShardedKvPool::allocSequence(std::uint64_t seq_id, std::size_t tokens)
+{
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (shards_[i].allocSequence(seq_id, tokens))
+            continue;
+        // Shard i is the constraint: roll the prefix back so the
+        // failure is all-or-nothing across devices.
+        for (std::size_t j = 0; j < i; ++j)
+            shards_[j].freeSequence(seq_id);
+        if (i > 0)
+            ++stats_.cross_shard_rollbacks;
+        ++stats_.failed_allocs;
+        return false;
+    }
+    return true;
+}
+
+bool
+ShardedKvPool::extendSequence(std::uint64_t seq_id, std::size_t tokens)
+{
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (shards_[i].extendSequence(seq_id, tokens))
+            continue;
+        // Rolling an extension back means releasing the whole sequence
+        // and re-allocating its prior length — KvBlockPool has no
+        // shrink — so reconstruct the pre-call state on the prefix.
+        std::size_t prior = shards_[i].seqTokens(seq_id);
+        for (std::size_t j = 0; j < i; ++j) {
+            shards_[j].freeSequence(seq_id);
+            bool ok = shards_[j].allocSequence(seq_id, prior);
+            vqllm_assert(ok, "rollback re-allocation cannot fail");
+        }
+        if (i > 0)
+            ++stats_.cross_shard_rollbacks;
+        ++stats_.failed_allocs;
+        return false;
+    }
+    return true;
+}
+
+std::size_t
+ShardedKvPool::extendableTokens(std::uint64_t seq_id) const
+{
+    std::size_t tokens = std::numeric_limits<std::size_t>::max();
+    for (const auto &shard : shards_)
+        tokens = std::min(tokens, shard.extendableTokens(seq_id));
+    return tokens;
+}
+
+std::size_t
+ShardedKvPool::freeTokens() const
+{
+    std::size_t tokens = std::numeric_limits<std::size_t>::max();
+    for (const auto &shard : shards_)
+        tokens = std::min(tokens, shard.freeTokens());
+    return tokens;
+}
+
+std::uint64_t
+ShardedKvPool::freeBlocks() const
+{
+    std::uint64_t blocks = std::numeric_limits<std::uint64_t>::max();
+    for (const auto &shard : shards_)
+        blocks = std::min(blocks, shard.freeBlocks());
+    return blocks;
+}
+
+std::uint64_t
+ShardedKvPool::usedBlocks() const
+{
+    std::uint64_t blocks = 0;
+    for (const auto &shard : shards_)
+        blocks += shard.usedBlocks();
+    return blocks;
+}
+
+void
+ShardedKvPool::freeSequence(std::uint64_t seq_id)
+{
+    for (auto &shard : shards_)
+        shard.freeSequence(seq_id);
+}
+
+std::size_t
+ShardedKvPool::seqTokens(std::uint64_t seq_id) const
+{
+    std::size_t tokens = shards_.front().seqTokens(seq_id);
+    for (const auto &shard : shards_)
+        vqllm_assert(shard.seqTokens(seq_id) == tokens,
+                     "sequence token counts diverged across shards for "
+                     "sequence ", seq_id);
+    return tokens;
+}
+
+std::uint64_t
+ShardedKvPool::seqBlocks(std::uint64_t seq_id) const
+{
+    std::uint64_t blocks = 0;
+    for (const auto &shard : shards_)
+        blocks += shard.seqBlocks(seq_id);
+    return blocks;
+}
+
+std::uint64_t
+ShardedKvPool::usedBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &shard : shards_)
+        bytes += shard.usedBytes();
+    return bytes;
+}
+
+std::uint64_t
+ShardedKvPool::capacityBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &shard : shards_)
+        bytes += shard.totalBlocks() * shard.blockBytes();
+    return bytes;
+}
+
+std::uint64_t
+ShardedKvPool::peakBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &shard : shards_)
+        bytes += shard.peakBytes();
+    return bytes;
+}
+
+} // namespace vqllm::serving

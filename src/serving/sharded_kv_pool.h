@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tensor-parallel KV residency: per-device block pools behind one
+ * facade.
+ *
+ * Under TP every sequence's KV cache is head-sharded across all
+ * devices, so a sequence is resident on *every* shard simultaneously
+ * (each device holds its heads' K/V for every cached token) and any
+ * allocation must succeed on every per-device pool or on none.  The
+ * facade enforces that all-or-nothing contract: an alloc/extend that
+ * fails on some shard rolls back the shards that already took blocks
+ * (counted as a cross-shard rollback — the accounting signature of one
+ * device's pool being the constraint) and reports failure, which is the
+ * scheduler's preemption signal exactly as with a single pool.
+ *
+ * Capacity queries (freeTokens, extendableTokens, canEverFit) are the
+ * minimum over shards — the smallest free pool constrains admission,
+ * chunked-prefill slice sizing and decode appends.  Shards are
+ * symmetric when the model's KV heads divide evenly across devices;
+ * the facade itself supports asymmetric per-device configurations
+ * (uneven head splits, heterogeneous HBM) and keeps every sequence's
+ * token count identical across shards regardless.
+ *
+ * Degree 1 is a zero-cost wrapper over one KvBlockPool: identical
+ * accounting, identical failure points, identical stats.
+ */
+#pragma once
+
+#include <vector>
+
+#include "serving/kv_block_pool.h"
+
+namespace vqllm::serving {
+
+/** Facade-level lifetime counters (per-shard counters live in each
+ *  shard's KvBlockPoolStats). */
+struct ShardedKvPoolStats
+{
+    /** Alloc/extend attempts that succeeded on a shard prefix but hit
+     *  capacity on a later shard and were rolled back.  Nonzero only
+     *  when shards are imbalanced — symmetric shards fill in lockstep
+     *  and fail on shard 0 first. */
+    std::uint64_t cross_shard_rollbacks = 0;
+    /** Allocation requests refused (on any shard). */
+    std::uint64_t failed_allocs = 0;
+};
+
+/**
+ * Per-device KV block pools with all-or-nothing sharded allocation.
+ *
+ * Mirrors the KvBlockPool surface the scheduler and simulator consume,
+ * aggregating bytes (sums) and capacities (minima) across shards.
+ */
+class ShardedKvPool
+{
+  public:
+    /** Symmetric construction: `degree` identical per-device pools. */
+    ShardedKvPool(const KvBlockPoolConfig &device_cfg, std::size_t degree);
+
+    /** General construction: one pool per per-device config. */
+    explicit ShardedKvPool(const std::vector<KvBlockPoolConfig> &cfgs);
+
+    std::size_t degree() const { return shards_.size(); }
+
+    /** @return true if a sequence of n tokens could ever fit on every
+     *  shard (the smallest pool decides). */
+    bool canEverFit(std::size_t tokens) const;
+
+    /**
+     * Reserve blocks for a new sequence on every shard.
+     *
+     * @return false (and change nothing on any shard) if any shard
+     *         lacks free blocks
+     */
+    bool allocSequence(std::uint64_t seq_id, std::size_t tokens);
+
+    /**
+     * Extend a resident sequence by n tokens on every shard.
+     *
+     * @return false (and change nothing) if any shard cannot extend —
+     *         the scheduler's preemption signal
+     */
+    bool extendSequence(std::uint64_t seq_id, std::size_t tokens);
+
+    /** Extend by one token (decode step) on every shard. */
+    bool
+    appendToken(std::uint64_t seq_id)
+    {
+        return extendSequence(seq_id, 1);
+    }
+
+    /** @return tokens the sequence could gain right now on the most
+     *  constrained shard. */
+    std::size_t extendableTokens(std::uint64_t seq_id) const;
+
+    /** @return tokens a fresh sequence could take right now on the
+     *  most constrained shard. */
+    std::size_t freeTokens() const;
+
+    /** @return free blocks of the most constrained shard. */
+    std::uint64_t freeBlocks() const;
+
+    /** @return used blocks summed over shards. */
+    std::uint64_t usedBlocks() const;
+
+    /** Release the sequence's blocks on every shard. */
+    void freeSequence(std::uint64_t seq_id);
+
+    /** @return tokens stored by a sequence (identical on all shards;
+     *  0 if not resident). */
+    std::size_t seqTokens(std::uint64_t seq_id) const;
+
+    /** @return blocks held by a sequence summed over shards (0 if not
+     *  resident). */
+    std::uint64_t seqBlocks(std::uint64_t seq_id) const;
+
+    /** @return KV bytes in use summed over shards. */
+    std::uint64_t usedBytes() const;
+
+    /** @return aggregate capacity, bytes (sum over shards). */
+    std::uint64_t capacityBytes() const;
+
+    /** @return aggregate high-water mark, bytes (sum of per-shard
+     *  peaks; shards move in near-lockstep so the sum is the fleet
+     *  peak). */
+    std::uint64_t peakBytes() const;
+
+    const KvBlockPool &shard(std::size_t i) const { return shards_[i]; }
+
+    const ShardedKvPoolStats &stats() const { return stats_; }
+
+  private:
+    std::vector<KvBlockPool> shards_;
+    ShardedKvPoolStats stats_;
+};
+
+} // namespace vqllm::serving

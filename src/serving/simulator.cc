@@ -15,15 +15,26 @@ ServingSimulator::ServingSimulator(const SimulatorConfig &cfg)
       spec_(cfg.spec != nullptr ? *cfg.spec : gpusim::rtx4090()),
       model_(cfg.model != nullptr ? *cfg.model : llm::llama7b())
 {
+    vqllm_assert(cfg_.tp.degree >= 1, "TP degree must be >= 1");
+    vqllm_assert(model_.heads % cfg_.tp.degree == 0,
+                 "heads must divide evenly across TP ranks");
+    const auto degree = static_cast<std::size_t>(cfg_.tp.degree);
+    vqllm_assert(model_.kvHeads() >= degree,
+                 "TP degree exceeds the model's KV heads");
+    // Each device holds 1/degree of the weights; its pool gets what
+    // that shard leaves free of the per-GPU HBM.
     double weight_bytes =
         static_cast<double>(model_.decoderParams()) *
-        llm::schemeWeightBytesPerParam(cfg_.scheme);
+        llm::schemeWeightBytesPerParam(cfg_.scheme) /
+        static_cast<double>(degree);
     double free_bytes = cfg_.hbm_gb * 1e9 - weight_bytes -
                         cfg_.hbm_reserve_gb * 1e9;
     if (free_bytes <= 0)
-        vqllm_fatal("model weights (", weight_bytes / 1e9,
-                    " GB) exceed HBM budget of ", cfg_.hbm_gb, " GB");
-    kv_capacity_bytes_ = static_cast<std::uint64_t>(free_bytes);
+        vqllm_fatal("model weight shard (", weight_bytes / 1e9,
+                    " GB) exceeds HBM budget of ", cfg_.hbm_gb,
+                    " GB per device at TP degree ", cfg_.tp.degree);
+    kv_capacity_per_device_ = static_cast<std::uint64_t>(free_bytes);
+    kv_capacity_bytes_ = kv_capacity_per_device_ * degree;
 }
 
 ServingReport
@@ -47,23 +58,37 @@ ServingSimulator::runMany(const std::vector<SimulatorConfig> &configs)
 ServingReport
 ServingSimulator::run(std::vector<Request> &trace)
 {
-    KvBlockPoolConfig pool_cfg;
-    pool_cfg.capacity_bytes = kv_capacity_bytes_;
-    pool_cfg.block_tokens = cfg_.kv_block_tokens;
-    pool_cfg.bytes_per_token =
-        std::max<std::uint64_t>(
-            llm::schemeKvBytesPerToken(model_, cfg_.scheme), 1);
-    KvBlockPool pool(pool_cfg);
+    // One KV pool per TP shard: each device stores its KV-head share
+    // of every cached token, so per-device bytes per token are the
+    // shard's proportional slice of the scheme's full-token footprint.
+    const auto degree = static_cast<std::size_t>(cfg_.tp.degree);
+    const std::uint64_t total_bpt = std::max<std::uint64_t>(
+        llm::schemeKvBytesPerToken(model_, cfg_.scheme), 1);
+    const std::uint64_t kv_heads = model_.kvHeads();
+    std::vector<KvBlockPoolConfig> shard_cfgs(degree);
+    for (std::size_t i = 0; i < degree; ++i) {
+        std::uint64_t shard_heads = llm::shardSplit(kv_heads, degree, i);
+        shard_cfgs[i].capacity_bytes = kv_capacity_per_device_;
+        shard_cfgs[i].block_tokens = cfg_.kv_block_tokens;
+        shard_cfgs[i].bytes_per_token = std::max<std::uint64_t>(
+            (total_bpt * shard_heads + kv_heads - 1) / kv_heads, 1);
+    }
+    ShardedKvPool pool(shard_cfgs);
     Scheduler scheduler(cfg_.scheduler, pool);
     // Private per-run engine unless one is injected: reports then
     // describe exactly this run, and concurrent runMany sims never
-    // contend on one cache.
+    // contend on one cache.  TP shards are identical GPUs compiling
+    // identical shard shapes, so all shards price through one engine —
+    // per-shard plan-cache deltas still attribute correctly because
+    // the pricer snapshots around each shard's pricing.
     std::optional<compiler::Engine> local_engine;
     compiler::Engine &eng =
         cfg_.engine != nullptr ? *cfg_.engine
                                : local_engine.emplace(spec_);
     const compiler::CacheStats plan_stats_before = eng.stats();
-    IterationPricer pricer(eng, model_, cfg_.scheme, cfg_.pricer);
+    std::vector<compiler::Engine *> shard_engines(degree, &eng);
+    IterationPricer pricer(shard_engines, model_, cfg_.scheme, cfg_.tp,
+                           cfg_.pricer);
     CodebookResidency residency(cfg_.codebook_slots);
     const bool has_codebooks = pricer.codebookGroupBytes() > 0;
     MetricsCollector metrics;
@@ -204,6 +229,19 @@ ServingSimulator::run(std::vector<Request> &trace)
         plan_stats.misses - plan_stats_before.misses;
     report.plan_cache_evictions =
         plan_stats.evictions - plan_stats_before.evictions;
+    report.tp_degree = degree;
+    report.comm_us = pricer.commUs();
+    report.comm_fraction = busy_us > 0 ? pricer.commUs() / busy_us : 0;
+    report.shards.resize(degree);
+    const auto &shard_deltas = pricer.shardCacheDeltas();
+    for (std::size_t i = 0; i < degree; ++i) {
+        report.shards[i].kv_peak_bytes = pool.shard(i).peakBytes();
+        report.shards[i].kv_capacity_bytes = kv_capacity_per_device_;
+        report.shards[i].plan_cache_hits =
+            shard_deltas[i].plan_cache_hits;
+        report.shards[i].plan_cache_misses =
+            shard_deltas[i].plan_cache_misses;
+    }
     return report;
 }
 

@@ -22,10 +22,11 @@
 
 #include "gpusim/gpu_spec.h"
 #include "llm/model_config.h"
-#include "serving/kv_block_pool.h"
+#include "llm/tensor_parallel.h"
 #include "serving/metrics.h"
 #include "serving/request.h"
 #include "serving/scheduler.h"
+#include "serving/sharded_kv_pool.h"
 
 namespace vqllm::compiler {
 class Engine;
@@ -52,11 +53,23 @@ struct SimulatorConfig
      */
     compiler::Engine *engine = nullptr;
 
+    /**
+     * Tensor parallelism: degree > 1 serves the model sharded across
+     * that many identical GPUs (head-sharded attention, column/row
+     * -parallel linears, two ring all-reduces per layer priced into
+     * every decode step and prefill chunk) with one KV pool per device
+     * behind a ShardedKvPool.  Weights shard by the degree, so each
+     * device's pool gets hbm_gb minus its weight shard minus the
+     * reserve.  Degree 1 is the single-GPU path, bit-identical to a
+     * config without this member.
+     */
+    llm::TpConfig tp;
+
     WorkloadConfig workload;
     SchedulerConfig scheduler;
     PricerConfig pricer;
 
-    /** GPU HBM capacity, GB (24 matches the RTX 4090). */
+    /** Per-GPU HBM capacity, GB (24 matches the RTX 4090). */
     double hbm_gb = 24.0;
     /** HBM held back for activations and scratch, GB. */
     double hbm_reserve_gb = 1.0;
@@ -72,7 +85,8 @@ struct SimulatorConfig
  * The KV pool capacity is what the scheme leaves free: HBM minus the
  * scheme's weight footprint minus the activation reserve — so a
  * quantized scheme gains twice, from smaller weights and from fewer KV
- * bytes per token.
+ * bytes per token.  Under TP each device pays only its weight shard,
+ * so aggregate KV capacity grows superlinearly with the degree.
  */
 class ServingSimulator
 {
@@ -95,14 +109,23 @@ class ServingSimulator
     static std::vector<ServingReport>
     runMany(const std::vector<SimulatorConfig> &configs);
 
-    /** @return KV bytes available to the pool under this config. */
+    /** @return KV bytes available to the pools under this config,
+     *  summed over the TP shards. */
     std::uint64_t kvCapacityBytes() const { return kv_capacity_bytes_; }
+
+    /** @return KV bytes available to one device's pool. */
+    std::uint64_t
+    kvCapacityBytesPerDevice() const
+    {
+        return kv_capacity_per_device_;
+    }
 
   private:
     SimulatorConfig cfg_;
     const gpusim::GpuSpec &spec_;
     const llm::LlamaConfig &model_;
     std::uint64_t kv_capacity_bytes_ = 0;
+    std::uint64_t kv_capacity_per_device_ = 0;
 };
 
 } // namespace vqllm::serving

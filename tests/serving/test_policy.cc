@@ -97,7 +97,7 @@ TEST(Policy, NamesRoundTrip)
 
 TEST(PolicyScheduler, PriorityAdmitsHighPriorityFirst)
 {
-    KvBlockPool pool(poolCfg(64));
+    ShardedKvPool pool(poolCfg(64), 1);
     SchedulerConfig cfg;
     cfg.policy = PolicyKind::Priority;
     Scheduler sched(cfg, pool);
@@ -114,7 +114,7 @@ TEST(PolicyScheduler, PriorityAdmitsHighPriorityFirst)
 
 TEST(PolicyScheduler, PriorityEvictsLowestPriorityNotLatestArrival)
 {
-    KvBlockPool pool(poolCfg(4, 4));
+    ShardedKvPool pool(poolCfg(4, 4), 1);
     SchedulerConfig cfg;
     cfg.policy = PolicyKind::Priority;
     Scheduler sched(cfg, pool);
@@ -141,7 +141,7 @@ TEST(PolicyScheduler, HighPriorityNeverSelfPreemptsPastProtectedLow)
     // eviction-protected for the iteration) and force a younger
     // high-priority sequence under pressure to preempt *itself*.
     // Decode must visit most-protected-first instead.
-    KvBlockPool pool(poolCfg(4, 4));
+    ShardedKvPool pool(poolCfg(4, 4), 1);
     SchedulerConfig cfg;
     cfg.policy = PolicyKind::Priority;
     Scheduler sched(cfg, pool);
@@ -164,7 +164,7 @@ TEST(PolicyScheduler, HighPriorityNeverSelfPreemptsPastProtectedLow)
 
 TEST(PolicyScheduler, EdfAdmitsTightestDeadlineFirst)
 {
-    KvBlockPool pool(poolCfg(64));
+    ShardedKvPool pool(poolCfg(64), 1);
     SchedulerConfig cfg;
     cfg.policy = PolicyKind::EDF;
     Scheduler sched(cfg, pool);

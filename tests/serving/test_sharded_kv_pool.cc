@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the tensor-parallel ShardedKvPool facade: all-or-nothing
+ * allocation across per-device pools, smallest-free-pool capacity
+ * queries, cross-shard rollback accounting, and degree-1 equivalence
+ * with a bare KvBlockPool.
+ */
+#include <gtest/gtest.h>
+
+#include "serving/sharded_kv_pool.h"
+
+namespace vqllm::serving {
+namespace {
+
+KvBlockPoolConfig
+poolCfg(std::uint64_t capacity_bytes, std::size_t block_tokens,
+        std::uint64_t bytes_per_token)
+{
+    KvBlockPoolConfig cfg;
+    cfg.capacity_bytes = capacity_bytes;
+    cfg.block_tokens = block_tokens;
+    cfg.bytes_per_token = bytes_per_token;
+    return cfg;
+}
+
+/** Two asymmetric shards: shard 0 holds 64 token slots (16 blocks of
+ *  4), shard 1 only 32 (8 blocks of 4, twice the bytes per token) —
+ *  shard 1 is always the constraint. */
+ShardedKvPool
+asymmetricPool()
+{
+    return ShardedKvPool(
+        {poolCfg(64, 4, 1), poolCfg(64, 4, 2)});
+}
+
+TEST(ShardedKvPool, Degree1MatchesBarePool)
+{
+    KvBlockPoolConfig cfg = poolCfg(64, 4, 1);
+    KvBlockPool bare(cfg);
+    ShardedKvPool sharded(cfg, 1);
+
+    EXPECT_EQ(sharded.degree(), 1u);
+    EXPECT_TRUE(bare.allocSequence(0, 9));
+    EXPECT_TRUE(sharded.allocSequence(0, 9));
+    EXPECT_TRUE(bare.extendSequence(0, 5));
+    EXPECT_TRUE(sharded.extendSequence(0, 5));
+    EXPECT_TRUE(bare.appendToken(0));
+    EXPECT_TRUE(sharded.appendToken(0));
+    EXPECT_EQ(sharded.seqTokens(0), bare.seqTokens(0));
+    EXPECT_EQ(sharded.freeTokens(), bare.freeTokens());
+    EXPECT_EQ(sharded.freeBlocks(), bare.freeBlocks());
+    EXPECT_EQ(sharded.extendableTokens(0), bare.extendableTokens(0));
+    EXPECT_EQ(sharded.usedBytes(), bare.usedBytes());
+    EXPECT_EQ(sharded.peakBytes(), bare.peakBytes());
+    bare.freeSequence(0);
+    sharded.freeSequence(0);
+    EXPECT_EQ(sharded.usedBlocks(), bare.usedBlocks());
+    EXPECT_EQ(sharded.stats().cross_shard_rollbacks, 0u);
+}
+
+TEST(ShardedKvPool, CapacityQueriesTakeSmallestPool)
+{
+    ShardedKvPool pool = asymmetricPool();
+    EXPECT_EQ(pool.freeTokens(), 32u);   // shard 1: 8 blocks x 4
+    EXPECT_EQ(pool.freeBlocks(), 8u);
+    EXPECT_TRUE(pool.canEverFit(32));
+    EXPECT_FALSE(pool.canEverFit(33)); // fits shard 0, never shard 1
+    EXPECT_TRUE(pool.allocSequence(0, 4));
+    // Tail slack + free blocks of the most constrained shard.
+    EXPECT_EQ(pool.extendableTokens(0), 28u);
+}
+
+TEST(ShardedKvPool, AllocIsAllOrNothingAcrossShards)
+{
+    ShardedKvPool pool = asymmetricPool();
+    // 40 tokens fit shard 0 (10 of 16 blocks) but not shard 1 (10 of
+    // 8): the whole allocation must fail and leave shard 0 untouched.
+    EXPECT_FALSE(pool.allocSequence(0, 40));
+    EXPECT_EQ(pool.seqTokens(0), 0u);
+    EXPECT_EQ(pool.usedBlocks(), 0u);
+    EXPECT_EQ(pool.shard(0).usedBlocks(), 0u);
+    EXPECT_EQ(pool.shard(1).usedBlocks(), 0u);
+    EXPECT_EQ(pool.stats().cross_shard_rollbacks, 1u);
+    EXPECT_EQ(pool.stats().failed_allocs, 1u);
+}
+
+TEST(ShardedKvPool, ExtendRollbackRestoresPriorState)
+{
+    ShardedKvPool pool = asymmetricPool();
+    ASSERT_TRUE(pool.allocSequence(0, 8)); // 2 blocks on each shard
+    // Extending to 38 tokens needs 10 blocks: fine on shard 0, beyond
+    // shard 1's 8 — the facade must restore shard 0's prior 8 tokens.
+    EXPECT_FALSE(pool.extendSequence(0, 30));
+    EXPECT_EQ(pool.seqTokens(0), 8u);
+    EXPECT_EQ(pool.shard(0).seqBlocks(0), 2u);
+    EXPECT_EQ(pool.shard(1).seqBlocks(0), 2u);
+    EXPECT_EQ(pool.stats().cross_shard_rollbacks, 1u);
+    // The sequence still extends within the constrained shard's room.
+    EXPECT_TRUE(pool.extendSequence(0, 24)); // 32 total = shard 1 full
+    EXPECT_EQ(pool.seqTokens(0), 32u);
+    EXPECT_FALSE(pool.appendToken(0));
+}
+
+TEST(ShardedKvPool, SymmetricShardsNeverRollBack)
+{
+    ShardedKvPool pool(poolCfg(64, 4, 1), 4);
+    EXPECT_EQ(pool.degree(), 4u);
+    EXPECT_TRUE(pool.allocSequence(0, 60));
+    EXPECT_FALSE(pool.allocSequence(1, 8)); // fails on shard 0 first
+    EXPECT_EQ(pool.stats().failed_allocs, 1u);
+    EXPECT_EQ(pool.stats().cross_shard_rollbacks, 0u);
+}
+
+TEST(ShardedKvPool, AggregatesSumOverShards)
+{
+    ShardedKvPool pool = asymmetricPool();
+    ASSERT_TRUE(pool.allocSequence(0, 8)); // 2 blocks per shard
+    // shard 0: 2 blocks x 4 tokens x 1 B; shard 1: 2 x 4 x 2 B.
+    EXPECT_EQ(pool.usedBytes(), 8u + 16u);
+    EXPECT_EQ(pool.peakBytes(), 24u);
+    EXPECT_EQ(pool.capacityBytes(), 64u + 64u);
+    pool.freeSequence(0);
+    EXPECT_EQ(pool.usedBytes(), 0u);
+    EXPECT_EQ(pool.peakBytes(), 24u); // high-water mark persists
+}
+
+TEST(ShardedKvPool, FreeSequenceReleasesEveryShard)
+{
+    ShardedKvPool pool(poolCfg(64, 4, 1), 3);
+    ASSERT_TRUE(pool.allocSequence(7, 10));
+    EXPECT_EQ(pool.seqTokens(7), 10u);
+    pool.freeSequence(7);
+    EXPECT_EQ(pool.seqTokens(7), 0u);
+    for (std::size_t i = 0; i < pool.degree(); ++i)
+        EXPECT_EQ(pool.shard(i).usedBlocks(), 0u);
+}
+
+} // namespace
+} // namespace vqllm::serving
