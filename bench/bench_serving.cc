@@ -13,8 +13,9 @@
  * saturate at strictly higher QPS than FP16.
  *
  * A tensor-parallel sweep (degree 1/2/4/8 x scheme) serves the same
- * load on sharded deployments, recording throughput, latency tails and
- * the collective-time fraction per cell.  Results land in
+ * load on sharded deployments, recording throughput, latency tails,
+ * the collective-time fraction and the busy-time breakdown
+ * (prefill/decode/comm/codebook-upload us) per cell.  Results land in
  * BENCH_serving.json (plan_cache + tp_sweep), which CI validates via
  * scripts/check_bench_json.py.
  *
@@ -346,13 +347,18 @@ main(int argc, char **argv)
                 "\"tokens_per_sec\": %.3f, \"tbt_p95_ms\": %.3f, "
                 "\"ttft_p95_ms\": %.3f, \"comm_fraction\": %.5f, "
                 "\"kv_capacity_gb\": %.3f, \"preemptions\": %llu, "
-                "\"completed\": %llu}%s\n",
+                "\"completed\": %llu, "
+                "\"busy_us\": %.3f, \"prefill_us\": %.3f, "
+                "\"decode_us\": %.3f, \"comm_us\": %.3f, "
+                "\"codebook_upload_us\": %.3f}%s\n",
                 llm::quantSchemeName(cell.scheme), cell.degree,
                 r.tokens_per_sec, r.tbt.p95_us / 1e3,
                 r.ttft.p95_us / 1e3, r.comm_fraction,
                 static_cast<double>(r.kv_capacity_bytes) / 1e9,
                 static_cast<unsigned long long>(r.preemptions),
                 static_cast<unsigned long long>(r.completed_requests),
+                r.busy_time_us, r.prefill_us, r.decode_us, r.comm_us,
+                r.codebook_upload_us,
                 i + 1 < tp_cells.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");

@@ -10,6 +10,7 @@
  *               [--policy fcfs|priority|edf] [--chunk-tokens N]
  *               [--priority-levels N] [--prompt-median N]
  *               [--tp-degree N] [--link-gbps G] [--collective-us U]
+ *               [--trace-out FILE] [--metrics-json FILE]
  *
  * Generates a Poisson request trace, serves it with the
  * policy-driven continuous-batching scheduler over a paged VQ KV
@@ -18,13 +19,21 @@
  * reports TTFT/TBT/E2E percentiles, sustained tokens/sec, the KV
  * high-water mark and codebook residency statistics.  Deterministic
  * in --seed.  Unrecognized arguments are a hard error.
+ *
+ * --trace-out writes a Chrome trace-event JSON timeline of the run
+ * (open in https://ui.perfetto.dev or chrome://tracing);
+ * --metrics-json writes the full report plus the metrics registry as
+ * JSON.  Neither flag changes the simulation or the report.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/simulator.h"
 
 using namespace vqllm;
@@ -51,6 +60,8 @@ const char kUsage[] =
     "  --tp-degree N                tensor-parallel degree, >= 1 (default 1)\n"
     "  --link-gbps G                all-reduce link bandwidth, GB/s, > 0\n"
     "  --collective-us U            per-collective launch latency, us\n"
+    "  --trace-out FILE             write a Chrome/Perfetto trace JSON\n"
+    "  --metrics-json FILE          write report + metrics as JSON\n"
     "  --help                       print this message and exit\n";
 
 [[noreturn]] void
@@ -94,6 +105,8 @@ main(int argc, char **argv)
     cfg.workload.duration_s = 60;
 
     bool hbm_set = false;
+    std::string trace_out;
+    std::string metrics_out;
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
         auto value = [&]() -> std::string {
@@ -146,6 +159,10 @@ main(int argc, char **argv)
             cfg.tp.collective_latency_us = std::stod(value());
             if (cfg.tp.collective_latency_us < 0)
                 usageError("--collective-us must be >= 0");
+        } else if (flag == "--trace-out") {
+            trace_out = value();
+        } else if (flag == "--metrics-json") {
+            metrics_out = value();
         } else if (flag == "--help" || flag == "-h") {
             std::printf("%s", kUsage);
             return 0;
@@ -155,6 +172,13 @@ main(int argc, char **argv)
     }
     if (!hbm_set && cfg.spec == &gpusim::teslaA40())
         cfg.hbm_gb = 48.0; // A40 ships 48 GB
+
+    obs::TraceRecorder recorder;
+    obs::MetricsRegistry registry;
+    if (!trace_out.empty())
+        cfg.trace = &recorder;
+    if (!metrics_out.empty())
+        cfg.metrics = &registry;
 
     serving::ServingSimulator sim(cfg);
     std::string chunk_note =
@@ -190,5 +214,25 @@ main(int argc, char **argv)
                     static_cast<double>(sim.kvCapacityBytes()) / 1e9);
     auto report = sim.run();
     std::printf("%s", report.summary().c_str());
+
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out, std::ios::binary);
+        if (!os)
+            vqllm_fatal("cannot open trace output '", trace_out, "'");
+        recorder.writeChromeJson(os);
+        std::printf("trace: %zu events -> %s (load in "
+                    "https://ui.perfetto.dev)\n",
+                    recorder.eventCount(), trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+        std::ofstream os(metrics_out, std::ios::binary);
+        if (!os)
+            vqllm_fatal("cannot open metrics output '", metrics_out,
+                        "'");
+        os << "{\"report\":" << report.json()
+           << ",\"metrics\":" << registry.json() << "}\n";
+        std::printf("metrics: %zu instruments -> %s\n", registry.size(),
+                    metrics_out.c_str());
+    }
     return 0;
 }

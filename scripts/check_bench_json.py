@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Bench-JSON schema check for the perf trajectory.
+"""Bench/observability JSON schema check for the perf trajectory.
 
 Runs the bench smoke targets, then validates every BENCH_*.json they
 emit: the file must parse, every number must be finite, every key
@@ -8,11 +8,28 @@ list, and per-file required keys must be present.  CI uploads the
 validated JSONs as workflow artifacts, so a silently malformed bench
 report fails the pipeline instead of poisoning the perf history.
 
+The script also validates serving_sim observability output:
+
+--trace FILE    a Chrome trace-event JSON (serving_sim --trace-out):
+                must parse, contain only finite numbers, spans per
+                track must be properly nested (sorted by start, a
+                later span never starts before the enclosing one
+                ends unless fully contained), and timestamps must be
+                non-negative.
+--metrics FILE  a metrics JSON (serving_sim --metrics-json): the
+                report object must carry the busy-time breakdown, and
+                prefill + decode + comm + codebook upload must equal
+                busy_time_us within tolerance.  Given both --trace and
+                --metrics, the trace's per-category span durations are
+                checked against the report's breakdown too.
+
 Usage:
-    check_bench_json.py [--build-dir BUILD] [--no-run]
+    check_bench_json.py [--build-dir BUILD] [--no-run] [--skip-bench]
+                        [--trace FILE] [--metrics FILE]
 
 --no-run skips executing the benches and only validates the JSON files
-already present in the build directory.
+already present in the build directory.  --skip-bench skips the bench
+JSON validation entirely (observability-only mode).
 """
 
 import argparse
@@ -38,7 +55,8 @@ REQUIRED = {
                        "cold_hit_rate", "cached_hit_rate"],
         "tp_sweep[]": ["scheme", "degree", "tokens_per_sec",
                        "tbt_p95_ms", "ttft_p95_ms", "comm_fraction",
-                       "kv_capacity_gb"],
+                       "kv_capacity_gb", "busy_us", "prefill_us",
+                       "decode_us", "comm_us", "codebook_upload_us"],
     },
     "BENCH_host.json": {},
 }
@@ -99,13 +117,146 @@ def check_required(doc: dict, name: str) -> None:
                     fail(f"{name}: {key} lacks '{field}'")
 
 
+# Categories whose tid-0 spans tile each iteration exactly; their sums
+# reproduce the report's busy-time breakdown.
+BREAKDOWN_CATS = {
+    "prefill": "prefill_us",
+    "decode": "decode_us",
+    "comm": "comm_us",
+    "codebook": "codebook_upload_us",
+}
+
+
+def close(a: float, b: float, rel: float = 1e-6,
+          abs_tol: float = 1e-3) -> bool:
+    return abs(a - b) <= max(rel * max(abs(a), abs(b)), abs_tol)
+
+
+def check_trace(trace_path: pathlib.Path):
+    """Validate a Chrome trace-event JSON; returns per-category span
+    duration sums over track 0 for cross-checking against metrics."""
+    try:
+        doc = json.loads(trace_path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{trace_path.name} does not parse: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{trace_path.name}: traceEvents missing or empty")
+    check_finite(events, f"{trace_path.name}.traceEvents")
+
+    spans_by_tid = {}
+    tids_named = set()
+    cat_us = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                tids_named.add(ev.get("tid"))
+            continue
+        if ph not in ("X", "i"):
+            fail(f"{trace_path.name}: event {i} has unknown ph '{ph}'")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{trace_path.name}: event {i} has bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{trace_path.name}: span {i} has bad dur {dur!r}")
+            tid = ev.get("tid", 0)
+            spans_by_tid.setdefault(tid, []).append((ts, dur, i))
+            if tid == 0 and ev.get("cat") in BREAKDOWN_CATS:
+                cat_us[ev["cat"]] = cat_us.get(ev["cat"], 0.0) + dur
+
+    if not spans_by_tid:
+        fail(f"{trace_path.name}: no spans recorded")
+
+    # Per-track spans must nest: sorted by (start, -dur), every span is
+    # either disjoint from or fully contained in the enclosing one.
+    tol = 1e-6
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for ts, dur, i in spans:
+            end = ts + dur
+            while stack and stack[-1] <= ts * (1 + tol) + tol:
+                stack.pop()
+            if stack and end > stack[-1] * (1 + tol) + tol:
+                fail(f"{trace_path.name}: span {i} on tid {tid} "
+                     f"overlaps its enclosing span "
+                     f"(ends {end}, enclosing ends {stack[-1]})")
+            stack.append(end)
+
+    print(f"check_bench_json: {trace_path.name} OK "
+          f"({sum(len(s) for s in spans_by_tid.values())} spans on "
+          f"{len(spans_by_tid)} tracks, {len(tids_named)} named)")
+    return cat_us
+
+
+def check_metrics(metrics_path: pathlib.Path, cat_us) -> None:
+    """Validate a serving_sim --metrics-json document; cross-check the
+    trace's category sums against the report breakdown when given."""
+    try:
+        doc = json.loads(metrics_path.read_text())
+    except json.JSONDecodeError as e:
+        fail(f"{metrics_path.name} does not parse: {e}")
+    check_finite(doc, metrics_path.name)
+    report = doc.get("report")
+    if not isinstance(report, dict):
+        fail(f"{metrics_path.name}: 'report' object missing")
+    for key in ("busy_time_us", "prefill_us", "decode_us", "comm_us",
+                "codebook_upload_us", "sim_time_us", "tp_degree"):
+        if key not in report:
+            fail(f"{metrics_path.name}: report lacks '{key}'")
+    busy = report["busy_time_us"]
+    parts = (report["prefill_us"] + report["decode_us"] +
+             report["comm_us"] + report["codebook_upload_us"])
+    if not close(parts, busy):
+        fail(f"{metrics_path.name}: breakdown sums to {parts}, "
+             f"busy_time_us is {busy}")
+    if not isinstance(doc.get("metrics"), dict):
+        fail(f"{metrics_path.name}: 'metrics' registry object missing")
+    if cat_us is not None:
+        for cat, field in BREAKDOWN_CATS.items():
+            want = report[field]
+            got = cat_us.get(cat, 0.0)
+            if not close(got, want):
+                fail(f"{metrics_path.name}: trace category '{cat}' "
+                     f"sums to {got}, report {field} is {want}")
+        print("check_bench_json: trace category sums match the "
+              "report breakdown")
+    print(f"check_bench_json: {metrics_path.name} OK "
+          f"(busy {busy / 1e6:.3f} s)")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--no-run", action="store_true",
                         help="validate existing JSONs without running "
                              "the benches")
+    parser.add_argument("--skip-bench", action="store_true",
+                        help="skip bench JSON validation entirely")
+    parser.add_argument("--trace", type=pathlib.Path,
+                        help="validate a serving_sim --trace-out JSON")
+    parser.add_argument("--metrics", type=pathlib.Path,
+                        help="validate a serving_sim --metrics-json "
+                             "JSON")
     args = parser.parse_args()
+
+    cat_us = None
+    if args.trace:
+        if not args.trace.is_file():
+            fail(f"trace file '{args.trace}' does not exist")
+        cat_us = check_trace(args.trace)
+    if args.metrics:
+        if not args.metrics.is_file():
+            fail(f"metrics file '{args.metrics}' does not exist")
+        check_metrics(args.metrics, cat_us)
+
+    if args.skip_bench:
+        print("check_bench_json: bench validation skipped")
+        return
+
     build = pathlib.Path(args.build_dir)
     if not build.is_dir():
         fail(f"build dir '{build}' does not exist")

@@ -40,12 +40,23 @@ logMessage(LogLevel level, const char *file, int line, const std::string &msg)
 {
     if (level == LogLevel::Inform && !g_verbose.load())
         return;
-    if (level == LogLevel::Inform) {
-        std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
-    } else {
-        std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level),
-                     msg.c_str(), file, line);
+    // Compose the whole line first and emit it with one stream write,
+    // so lines from concurrent threads never interleave mid-line.
+    std::string out;
+    out.reserve(msg.size() + 64);
+    out += '[';
+    out += levelName(level);
+    out += "] ";
+    out += msg;
+    if (level != LogLevel::Inform) {
+        out += " (";
+        out += file;
+        out += ':';
+        out += std::to_string(line);
+        out += ')';
     }
+    out += '\n';
+    std::fwrite(out.data(), 1, out.size(), stderr);
 }
 
 } // namespace vqllm

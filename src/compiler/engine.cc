@@ -5,6 +5,8 @@
 
 #include "codegen/cuda_emitter.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vqllm::compiler {
 
@@ -250,6 +252,10 @@ Engine::compile(const KernelRequest &request)
         return it->second;
     }
     ++stats_.misses;
+    if (trace_)
+        trace_->instant(
+            "plan_compile", "compiler", 0, trace_->now(),
+            {{"cache_size", static_cast<double>(cache_.size())}});
     auto artifact = compileUncached(request);
     cache_.emplace(key, artifact);
     insertion_order_.push_back(key);
@@ -292,6 +298,25 @@ Engine::clearCache()
     cache_.clear();
     insertion_order_.clear();
     stats_.size = 0;
+}
+
+void
+Engine::setTrace(obs::TraceRecorder *trace)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    trace_ = trace;
+}
+
+void
+Engine::exportMetrics(obs::MetricsRegistry &registry,
+                      const std::string &prefix) const
+{
+    CacheStats s = stats();
+    registry.counter(prefix + ".hits").add(s.hits);
+    registry.counter(prefix + ".misses").add(s.misses);
+    registry.counter(prefix + ".evictions").add(s.evictions);
+    registry.gauge(prefix + ".size").set(static_cast<double>(s.size));
+    registry.gauge(prefix + ".hit_rate").set(s.hitRate());
 }
 
 Engine &

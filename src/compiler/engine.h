@@ -59,6 +59,11 @@
 #include "gpusim/gpu_spec.h"
 #include "kernels/vq_kernels.h"
 
+namespace vqllm::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}
+
 namespace vqllm::compiler {
 
 /** Engine-wide planning policy (fixed per Engine, part of the key). */
@@ -270,6 +275,19 @@ class Engine
     /** Drop all retained artifacts (counters keep accumulating). */
     void clearCache();
 
+    /**
+     * Attach a trace recorder (nullptr = off, the default): every cache
+     * miss records a "plan_compile" instant at the recorder's simulated
+     * clock.  Traced runs must not compile concurrently on this engine
+     * — the simulator attaches for its sequential run and detaches
+     * before returning.
+     */
+    void setTrace(obs::TraceRecorder *trace);
+
+    /** Publish the cache counters under `<prefix>.`-qualified names. */
+    void exportMetrics(obs::MetricsRegistry &registry,
+                       const std::string &prefix) const;
+
     /** @return the engine's private copy of the target GPU. */
     const gpusim::GpuSpec &spec() const { return spec_; }
 
@@ -298,6 +316,7 @@ class Engine
     /** Insertion order driving FIFO eviction (deterministic). */
     std::vector<std::string> insertion_order_;
     CacheStats stats_;
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 } // namespace vqllm::compiler

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vqllm::serving {
 
@@ -94,6 +95,28 @@ KvBlockPool::seqTokens(std::uint64_t seq_id) const
     return it == seqs_.end() ? 0 : it->second.tokens;
 }
 
+void
+KvBlockPool::exportMetrics(obs::MetricsRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.counter(prefix + ".block_allocs").add(stats_.block_allocs);
+    registry.counter(prefix + ".block_frees").add(stats_.block_frees);
+    registry.counter(prefix + ".failed_allocs")
+        .add(stats_.failed_allocs);
+    registry.gauge(prefix + ".total_blocks")
+        .set(static_cast<double>(total_blocks_));
+    registry.gauge(prefix + ".used_blocks")
+        .set(static_cast<double>(used_blocks_));
+    registry.gauge(prefix + ".peak_used_blocks")
+        .set(static_cast<double>(stats_.peak_used_blocks));
+    registry.gauge(prefix + ".peak_bytes")
+        .set(static_cast<double>(peakBytes()));
+    registry.gauge(prefix + ".capacity_bytes")
+        .set(static_cast<double>(total_blocks_ * blockBytes()));
+    registry.gauge(prefix + ".internal_fragmentation")
+        .set(internalFragmentation());
+}
+
 double
 KvBlockPool::internalFragmentation() const
 {
@@ -116,6 +139,21 @@ bool
 CodebookResidency::resident(std::uint64_t group) const
 {
     return resident_.find(group) != resident_.end();
+}
+
+void
+CodebookResidency::exportMetrics(obs::MetricsRegistry &registry,
+                                 const std::string &prefix) const
+{
+    registry.counter(prefix + ".hits").add(stats_.hits);
+    registry.counter(prefix + ".misses").add(stats_.misses);
+    registry.counter(prefix + ".evictions").add(stats_.evictions);
+    registry.counter(prefix + ".overflow").add(stats_.overflow);
+    registry.gauge(prefix + ".hit_rate").set(stats_.hitRate());
+    registry.gauge(prefix + ".resident_groups")
+        .set(static_cast<double>(resident_.size()));
+    registry.gauge(prefix + ".slots")
+        .set(static_cast<double>(slots_));
 }
 
 CodebookResidency::BatchResult

@@ -23,8 +23,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
+
+namespace vqllm::obs {
+class MetricsRegistry;
+}
 
 namespace vqllm::serving {
 
@@ -167,6 +172,11 @@ class KvBlockPool
     const KvBlockPoolStats &stats() const { return stats_; }
     const KvBlockPoolConfig &config() const { return cfg_; }
 
+    /** Publish the pool's counters and occupancy under
+     *  `<prefix>.`-qualified names (e.g. `serving.kv.shard0`). */
+    void exportMetrics(obs::MetricsRegistry &registry,
+                       const std::string &prefix) const;
+
   private:
     struct SeqEntry
     {
@@ -243,6 +253,11 @@ class CodebookResidency
     std::size_t size() const { return resident_.size(); }
     std::size_t capacity() const { return slots_; }
     const CodebookResidencyStats &stats() const { return stats_; }
+
+    /** Publish hit/miss/eviction/overflow counters and the hit rate
+     *  under `<prefix>.`-qualified names. */
+    void exportMetrics(obs::MetricsRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     struct Slot

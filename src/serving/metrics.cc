@@ -4,8 +4,44 @@
 #include <cmath>
 #include <cstdio>
 #include <numeric>
+#include <sstream>
+
+#include "obs/metrics.h"
 
 namespace vqllm::serving {
+
+namespace {
+
+/** %.17g — shortest representation that round-trips a double. */
+std::string
+jsonDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonU64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+writeLatency(std::ostream &os, const char *name, const LatencyStats &s)
+{
+    os << "\"" << name << "\":{\"count\":" << s.count
+       << ",\"mean_us\":" << jsonDouble(s.mean_us)
+       << ",\"p50_us\":" << jsonDouble(s.p50_us)
+       << ",\"p95_us\":" << jsonDouble(s.p95_us)
+       << ",\"p99_us\":" << jsonDouble(s.p99_us)
+       << ",\"max_us\":" << jsonDouble(s.max_us) << "}";
+}
+
+} // namespace
 
 double
 percentile(const std::vector<double> &sorted, double q)
@@ -20,6 +56,68 @@ percentile(const std::vector<double> &sorted, double q)
     auto hi = static_cast<std::size_t>(std::ceil(rank));
     double frac = rank - static_cast<double>(lo);
     return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+MetricsCollector::MetricsCollector(obs::MetricsRegistry *registry)
+{
+    if (registry == nullptr)
+        return;
+    // Latency populations span ~1us..minutes; 2x log buckets from 1us
+    // keep relative error bounded across that range.
+    h_ttft_ = &registry->histogram("serving.latency.ttft_us");
+    h_tbt_ = &registry->histogram("serving.latency.tbt_us");
+    h_e2e_ = &registry->histogram("serving.latency.e2e_us");
+    c_decode_tokens_ = &registry->counter("serving.tokens.decode");
+    c_prefill_tokens_ = &registry->counter("serving.tokens.prefill");
+    c_preemptions_ = &registry->counter("serving.preemptions");
+}
+
+void
+MetricsCollector::recordTtft(double us)
+{
+    ttft_us_.push_back(us);
+    if (h_ttft_)
+        h_ttft_->record(us);
+}
+
+void
+MetricsCollector::recordTbt(double us)
+{
+    tbt_us_.push_back(us);
+    if (h_tbt_)
+        h_tbt_->record(us);
+}
+
+void
+MetricsCollector::recordE2e(double us)
+{
+    e2e_us_.push_back(us);
+    if (h_e2e_)
+        h_e2e_->record(us);
+}
+
+void
+MetricsCollector::recordDecodeTokens(std::uint64_t n)
+{
+    decode_tokens_ += n;
+    if (c_decode_tokens_)
+        c_decode_tokens_->add(n);
+}
+
+void
+MetricsCollector::recordPrefillTokens(std::uint64_t n)
+{
+    prefill_tokens_ += n;
+    if (c_prefill_tokens_)
+        c_prefill_tokens_->add(n);
+}
+
+void
+MetricsCollector::recordPreemption()
+{
+    ++preemptions_;
+    if (c_preemptions_)
+        c_preemptions_->add();
 }
 
 LatencyStats
@@ -73,6 +171,17 @@ ServingReport::summary() const
                   static_cast<double>(kv_capacity_bytes) / 1e9,
                   codebook_hit_rate * 100.0);
     out += buf;
+    if (busy_time_us > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  busy breakdown: prefill %.1f%%, decode %.1f%%, "
+            "comm %.1f%%, codebook upload %.1f%%\n",
+            prefill_us / busy_time_us * 100.0,
+            decode_us / busy_time_us * 100.0,
+            comm_us / busy_time_us * 100.0,
+            codebook_upload_us / busy_time_us * 100.0);
+        out += buf;
+    }
     if (plan_cache_hits + plan_cache_misses > 0) {
         std::snprintf(buf, sizeof(buf),
                       "  plan cache %.1f%% hits (%llu of %llu lookups)\n",
@@ -104,6 +213,53 @@ ServingReport::summary() const
         }
     }
     return out;
+}
+
+std::string
+ServingReport::json() const
+{
+    std::ostringstream os;
+    os << "{";
+    writeLatency(os, "ttft", ttft);
+    os << ",";
+    writeLatency(os, "tbt", tbt);
+    os << ",";
+    writeLatency(os, "e2e", e2e);
+    os << ",\"sim_time_us\":" << jsonDouble(sim_time_us)
+       << ",\"busy_time_us\":" << jsonDouble(busy_time_us)
+       << ",\"utilization\":" << jsonDouble(utilization)
+       << ",\"tokens_per_sec\":" << jsonDouble(tokens_per_sec)
+       << ",\"completed_requests\":" << jsonU64(completed_requests)
+       << ",\"rejected_requests\":" << jsonU64(rejected_requests)
+       << ",\"preemptions\":" << jsonU64(preemptions)
+       << ",\"decode_tokens\":" << jsonU64(decode_tokens)
+       << ",\"prefill_tokens\":" << jsonU64(prefill_tokens)
+       << ",\"iterations\":" << jsonU64(iterations)
+       << ",\"tp_degree\":" << jsonU64(tp_degree)
+       << ",\"comm_us\":" << jsonDouble(comm_us)
+       << ",\"comm_fraction\":" << jsonDouble(comm_fraction)
+       << ",\"prefill_us\":" << jsonDouble(prefill_us)
+       << ",\"decode_us\":" << jsonDouble(decode_us)
+       << ",\"codebook_upload_us\":" << jsonDouble(codebook_upload_us)
+       << ",\"kv_peak_bytes\":" << jsonU64(kv_peak_bytes)
+       << ",\"kv_capacity_bytes\":" << jsonU64(kv_capacity_bytes)
+       << ",\"codebook_hit_rate\":" << jsonDouble(codebook_hit_rate)
+       << ",\"plan_cache_hits\":" << jsonU64(plan_cache_hits)
+       << ",\"plan_cache_misses\":" << jsonU64(plan_cache_misses)
+       << ",\"plan_cache_evictions\":" << jsonU64(plan_cache_evictions)
+       << ",\"shards\":[";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const ShardReport &s = shards[i];
+        if (i > 0)
+            os << ",";
+        os << "{\"kv_peak_bytes\":" << jsonU64(s.kv_peak_bytes)
+           << ",\"kv_capacity_bytes\":" << jsonU64(s.kv_capacity_bytes)
+           << ",\"plan_cache_hits\":" << jsonU64(s.plan_cache_hits)
+           << ",\"plan_cache_misses\":" << jsonU64(s.plan_cache_misses)
+           << "}";
+    }
+    os << "]}";
+    return os.str();
 }
 
 } // namespace vqllm::serving

@@ -16,6 +16,12 @@
 #include <string>
 #include <vector>
 
+namespace vqllm::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}
+
 namespace vqllm::serving {
 
 /** Summary statistics of one latency population (microseconds). */
@@ -40,45 +46,25 @@ double percentile(const std::vector<double> &sorted, double q);
 /** Summarize a latency population (sorts a copy; empty input → zeros). */
 LatencyStats summarize(std::vector<double> samples);
 
-/** Accumulator the simulator feeds while the clock advances. */
+/**
+ * Accumulator the simulator feeds while the clock advances.
+ *
+ * Given a MetricsRegistry the collector additionally streams every
+ * sample into live registry instruments (`serving.latency.*`
+ * histograms, `serving.tokens.*` / `serving.preemptions` counters);
+ * without one it is exactly the plain sample buffer it always was.
+ */
 class MetricsCollector
 {
   public:
-    void
-    recordTtft(double us)
-    {
-        ttft_us_.push_back(us);
-    }
+    explicit MetricsCollector(obs::MetricsRegistry *registry = nullptr);
 
-    void
-    recordTbt(double us)
-    {
-        tbt_us_.push_back(us);
-    }
-
-    void
-    recordE2e(double us)
-    {
-        e2e_us_.push_back(us);
-    }
-
-    void
-    recordDecodeTokens(std::uint64_t n)
-    {
-        decode_tokens_ += n;
-    }
-
-    void
-    recordPrefillTokens(std::uint64_t n)
-    {
-        prefill_tokens_ += n;
-    }
-
-    void
-    recordPreemption()
-    {
-        ++preemptions_;
-    }
+    void recordTtft(double us);
+    void recordTbt(double us);
+    void recordE2e(double us);
+    void recordDecodeTokens(std::uint64_t n);
+    void recordPrefillTokens(std::uint64_t n);
+    void recordPreemption();
 
     const std::vector<double> &ttftSamples() const { return ttft_us_; }
     const std::vector<double> &tbtSamples() const { return tbt_us_; }
@@ -94,6 +80,15 @@ class MetricsCollector
     std::uint64_t decode_tokens_ = 0;
     std::uint64_t prefill_tokens_ = 0;
     std::uint64_t preemptions_ = 0;
+
+    // Registry instruments (nullptr when no registry was given);
+    // resolved once at construction so record paths stay O(1).
+    obs::Histogram *h_ttft_ = nullptr;
+    obs::Histogram *h_tbt_ = nullptr;
+    obs::Histogram *h_e2e_ = nullptr;
+    obs::Counter *c_decode_tokens_ = nullptr;
+    obs::Counter *c_prefill_tokens_ = nullptr;
+    obs::Counter *c_preemptions_ = nullptr;
 };
 
 /** Per-device view of one tensor-parallel serving run. */
@@ -152,6 +147,16 @@ struct ServingReport
     double comm_us = 0;
     /** Collective share of busy time ([0,1]; 0 at degree 1). */
     double comm_fraction = 0;
+
+    // Busy-time breakdown: prefill + decode + comm + codebook_upload
+    // partitions busy_time_us (each iteration's price is the sum of
+    // exactly these four components).
+    /** Prefill compute summed over the run, microseconds. */
+    double prefill_us = 0;
+    /** Decode compute summed over the run, microseconds. */
+    double decode_us = 0;
+    /** Codebook upload (residency misses) summed, microseconds. */
+    double codebook_upload_us = 0;
     /** Per-device KV occupancy and plan-cache deltas (one entry per
      *  shard; a single entry at degree 1). */
     std::vector<ShardReport> shards;
@@ -184,6 +189,15 @@ struct ServingReport
 
     /** @return multi-line human-readable summary. */
     std::string summary() const;
+
+    /**
+     * @return the full report as a deterministic JSON object: every
+     * scalar field, the busy-time breakdown and the per-shard views.
+     * Doubles print with %.17g (round-trip exact), so two reports
+     * serialize identically iff they are bit-identical — the property
+     * the tracing-off parity tests key on.
+     */
+    std::string json() const;
 };
 
 } // namespace vqllm::serving

@@ -6,6 +6,7 @@
 #include "compiler/engine.h"
 #include "llm/e2e.h"
 #include "llm/ops.h"
+#include "obs/trace.h"
 
 namespace vqllm::serving {
 
@@ -50,6 +51,11 @@ Scheduler::submit(Request *r)
     if (!pool_.canEverFit(peak)) {
         r->state = RequestState::Rejected;
         ++rejected_;
+        if (trace_ != nullptr)
+            trace_->instant(
+                "reject", "sched", 0, trace_->now(),
+                {{"req", static_cast<double>(r->id)},
+                 {"peak_tokens", static_cast<double>(peak)}});
         return;
     }
     r->state = RequestState::Waiting;
@@ -79,6 +85,12 @@ Scheduler::requeue(Request *r)
 void
 Scheduler::preempt(Request *r)
 {
+    if (trace_ != nullptr)
+        trace_->instant(
+            "preempt", "sched", 0, trace_->now(),
+            {{"req", static_cast<double>(r->id)},
+             {"held_tokens",
+              static_cast<double>(r->prefilled_tokens)}});
     pool_.freeSequence(r->id);
     r->state = RequestState::Preempted;
     r->prefilled_tokens = 0;
@@ -414,6 +426,8 @@ IterationPricer::decodeUs(const std::vector<Request *> &batch)
         const compiler::CacheStats after = eng.stats();
         shard_deltas_[s].plan_cache_hits += after.hits - before.hits;
         shard_deltas_[s].plan_cache_misses += after.misses - before.misses;
+        if (collect_detail_)
+            last_detail_.shard_compute_us.push_back(shard_us * layers);
         step_us = std::max(step_us, shard_us);
     }
 
@@ -422,6 +436,13 @@ IterationPricer::decodeUs(const std::vector<Request *> &batch)
     double comm_us =
         llm::layerAllReduceUs(tp_, n, model_.hidden) * layers;
     comm_us_ += comm_us;
+    last_breakdown_.decode_us += step_us * layers;
+    last_breakdown_.comm_us += comm_us;
+    totals_.decode_us += step_us * layers;
+    if (collect_detail_) {
+        last_detail_.decode_comm_us += comm_us;
+        last_detail_.decode_batch = n;
+    }
     return step_us * layers + comm_us;
 }
 
@@ -431,11 +452,21 @@ IterationPricer::iterationUs(const Scheduler::Iteration &it)
     // One serialized launch set: every prefill slice's GEMMs plus the
     // decode batch's bucketed attention sub-launches, plus (degree > 1)
     // each slice's per-layer collectives.
+    last_breakdown_ = Breakdown{};
+    last_detail_ = IterationDetail{};
     double us = 0;
     for (const auto &chunk : it.prefill) {
-        us += prefillChunkUs(chunk.tokens, chunk.context);
+        double chunk_us = prefillChunkUs(chunk.tokens, chunk.context);
+        us += chunk_us;
+        last_breakdown_.prefill_us += chunk_us;
+        totals_.prefill_us += chunk_us;
+        if (collect_detail_)
+            last_detail_.chunks.push_back({chunk.req->id, chunk.tokens,
+                                           chunk.context, chunk.last,
+                                           chunk_us});
         double comm_us = prefillCommUs(chunk.tokens);
         comm_us_ += comm_us;
+        last_breakdown_.comm_us += comm_us;
         us += comm_us;
     }
     if (!it.decode.empty())
@@ -459,7 +490,7 @@ IterationPricer::codebookGroupBytes() const
 }
 
 double
-IterationPricer::codebookMissUs(std::size_t misses) const
+IterationPricer::codebookMissUs(std::size_t misses)
 {
     if (misses == 0)
         return 0;
@@ -478,7 +509,10 @@ IterationPricer::codebookMissUs(std::size_t misses) const
     double per_upload_us =
         static_cast<double>(bytes) / (cfg_.upload_gbps * 1e9) * 1e6 +
         cfg_.upload_fixed_us;
-    return per_upload_us * static_cast<double>(misses);
+    double upload_us = per_upload_us * static_cast<double>(misses);
+    last_breakdown_.codebook_upload_us += upload_us;
+    totals_.codebook_upload_us += upload_us;
+    return upload_us;
 }
 
 } // namespace vqllm::serving

@@ -60,6 +60,10 @@ namespace vqllm::compiler {
 class Engine;
 }
 
+namespace vqllm::obs {
+class TraceRecorder;
+}
+
 namespace vqllm::serving {
 
 /** Batch-formation limits. */
@@ -150,6 +154,11 @@ class Scheduler
     const std::vector<Request *> &running() const { return running_; }
     const SchedulingPolicy &policy() const { return *policy_; }
 
+    /** Attach a trace recorder (nullptr = off, the default):
+     *  preemptions and rejections record as instants at the
+     *  recorder's simulated clock. */
+    void setTrace(obs::TraceRecorder *trace) { trace_ = trace; }
+
   private:
     Iteration nextUnchunked();
     Iteration nextChunked();
@@ -169,6 +178,7 @@ class Scheduler
      *  load-bearing). */
     std::vector<Request *> running_;
     std::uint64_t rejected_ = 0;
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 /** Tunables of the iteration pricer. */
@@ -216,6 +226,58 @@ class IterationPricer
         std::uint64_t plan_cache_misses = 0;
     };
 
+    /**
+     * Busy-time decomposition of priced work, microseconds.  The four
+     * categories partition every priced microsecond: summed over a run
+     * they reproduce the simulator's busy time exactly (modulo
+     * floating-point association).
+     */
+    struct Breakdown
+    {
+        /** Prefill-slice compute (chunked GEMMs + history attention). */
+        double prefill_us = 0;
+        /** Decode compute (linears + bucketed attention + element-wise
+         *  ops; the critical shard under TP). */
+        double decode_us = 0;
+        /** Ring all-reduces of prefill slices and decode steps (0 at
+         *  degree 1). */
+        double comm_us = 0;
+        /** Codebook-group upload penalties for residency misses. */
+        double codebook_upload_us = 0;
+
+        double
+        total() const
+        {
+            return prefill_us + decode_us + comm_us + codebook_upload_us;
+        }
+    };
+
+    /** Per-iteration trace detail, collected only when enabled (the
+     *  simulator turns it on for traced runs; off by default so the
+     *  hot path stays allocation-free). */
+    struct IterationDetail
+    {
+        /** One priced prefill slice. */
+        struct ChunkSpan
+        {
+            std::uint64_t req_id = 0;
+            std::size_t tokens = 0;
+            std::size_t context = 0;
+            bool last = false;
+            /** Compute microseconds of this slice (comm excluded). */
+            double us = 0;
+        };
+
+        std::vector<ChunkSpan> chunks;
+        /** Per-shard decode compute (all layers), one entry per TP
+         *  shard; empty when the iteration had no decode batch. */
+        std::vector<double> shard_compute_us;
+        /** Decode-step collective time (0 at degree 1). */
+        double decode_comm_us = 0;
+        /** Decode batch size of the iteration. */
+        std::size_t decode_batch = 0;
+    };
+
     /** Single-GPU convenience: degree-1 TP over one engine. */
     IterationPricer(compiler::Engine &eng,
                     const llm::LlamaConfig &model,
@@ -254,8 +316,9 @@ class IterationPricer
     /** Upload penalty for codebook-residency misses (0 for schemes
      *  without codebooks).  Under TP each device uploads only its head
      *  shard and the uploads overlap, so the penalty is the critical
-     *  shard's share. */
-    double codebookMissUs(std::size_t misses) const;
+     *  shard's share.  The returned penalty accrues to the codebook
+     *  category of the breakdown accounting. */
+    double codebookMissUs(std::size_t misses);
 
     /** Bytes of one codebook group (all layers' KV codebooks, summed
      *  over shards). */
@@ -267,6 +330,27 @@ class IterationPricer
 
     /** Cumulative collective time priced so far, microseconds. */
     double commUs() const { return comm_us_; }
+
+    /** Cumulative busy-time breakdown priced so far (comm_us matches
+     *  commUs()). */
+    Breakdown
+    totals() const
+    {
+        Breakdown b = totals_;
+        b.comm_us = comm_us_;
+        return b;
+    }
+
+    /** Breakdown of the most recent iterationUs() call (codebook
+     *  penalties priced after it via codebookMissUs included). */
+    const Breakdown &lastBreakdown() const { return last_breakdown_; }
+
+    /** Trace detail of the most recent iterationUs() call; populated
+     *  only while detail collection is on. */
+    const IterationDetail &lastDetail() const { return last_detail_; }
+
+    /** Toggle per-iteration detail collection (off by default). */
+    void setCollectDetail(bool on) { collect_detail_ = on; }
 
     /** Per-shard plan-cache lookup deltas accumulated so far. */
     const std::vector<ShardCacheDelta> &
@@ -291,6 +375,11 @@ class IterationPricer
     llm::TpConfig tp_;
     PricerConfig cfg_;
     double comm_us_ = 0;
+    /** Cumulative breakdown (comm tracked by comm_us_ above). */
+    Breakdown totals_;
+    Breakdown last_breakdown_;
+    IterationDetail last_detail_;
+    bool collect_detail_ = false;
     std::vector<ShardCacheDelta> shard_deltas_;
 
     /** Chunked-prefill slices price FP16 GeMMs (no VQ planning), so

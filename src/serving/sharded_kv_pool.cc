@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vqllm::serving {
 
@@ -46,8 +48,17 @@ ShardedKvPool::allocSequence(std::uint64_t seq_id, std::size_t tokens)
         if (i > 0)
             ++stats_.cross_shard_rollbacks;
         ++stats_.failed_allocs;
+        if (trace_)
+            trace_->instant("kv_alloc_fail", "kv", 0, trace_->now(),
+                            {{"seq", static_cast<double>(seq_id)},
+                             {"tokens", static_cast<double>(tokens)},
+                             {"shard", static_cast<double>(i)}});
         return false;
     }
+    if (trace_)
+        trace_->instant("kv_alloc", "kv", 0, trace_->now(),
+                        {{"seq", static_cast<double>(seq_id)},
+                         {"tokens", static_cast<double>(tokens)}});
     return true;
 }
 
@@ -69,8 +80,17 @@ ShardedKvPool::extendSequence(std::uint64_t seq_id, std::size_t tokens)
         if (i > 0)
             ++stats_.cross_shard_rollbacks;
         ++stats_.failed_allocs;
+        if (trace_)
+            trace_->instant("kv_extend_fail", "kv", 0, trace_->now(),
+                            {{"seq", static_cast<double>(seq_id)},
+                             {"tokens", static_cast<double>(tokens)},
+                             {"shard", static_cast<double>(i)}});
         return false;
     }
+    if (trace_)
+        trace_->instant("kv_extend", "kv", 0, trace_->now(),
+                        {{"seq", static_cast<double>(seq_id)},
+                         {"tokens", static_cast<double>(tokens)}});
     return true;
 }
 
@@ -113,8 +133,14 @@ ShardedKvPool::usedBlocks() const
 void
 ShardedKvPool::freeSequence(std::uint64_t seq_id)
 {
+    std::size_t tokens =
+        trace_ ? shards_.front().seqTokens(seq_id) : 0;
     for (auto &shard : shards_)
         shard.freeSequence(seq_id);
+    if (trace_ && tokens > 0)
+        trace_->instant("kv_free", "kv", 0, trace_->now(),
+                        {{"seq", static_cast<double>(seq_id)},
+                         {"tokens", static_cast<double>(tokens)}});
 }
 
 std::size_t
@@ -162,6 +188,21 @@ ShardedKvPool::peakBytes() const
     for (const auto &shard : shards_)
         bytes += shard.peakBytes();
     return bytes;
+}
+
+void
+ShardedKvPool::exportMetrics(obs::MetricsRegistry &registry,
+                             const std::string &prefix) const
+{
+    registry.counter(prefix + ".cross_shard_rollbacks")
+        .add(stats_.cross_shard_rollbacks);
+    registry.counter(prefix + ".failed_allocs")
+        .add(stats_.failed_allocs);
+    registry.gauge(prefix + ".degree")
+        .set(static_cast<double>(shards_.size()));
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        shards_[i].exportMetrics(registry,
+                                 prefix + ".shard" + std::to_string(i));
 }
 
 } // namespace vqllm::serving

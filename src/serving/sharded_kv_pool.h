@@ -26,9 +26,14 @@
  */
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "serving/kv_block_pool.h"
+
+namespace vqllm::obs {
+class TraceRecorder;
+}
 
 namespace vqllm::serving {
 
@@ -129,9 +134,20 @@ class ShardedKvPool
 
     const ShardedKvPoolStats &stats() const { return stats_; }
 
+    /** Attach a trace recorder (nullptr = off, the default):
+     *  alloc/extend/free and their capacity failures record as
+     *  instants at the recorder's simulated clock. */
+    void setTrace(obs::TraceRecorder *trace) { trace_ = trace; }
+
+    /** Publish facade counters plus every shard's pool metrics under
+     *  `<prefix>` / `<prefix>.shard<i>`. */
+    void exportMetrics(obs::MetricsRegistry &registry,
+                       const std::string &prefix) const;
+
   private:
     std::vector<KvBlockPool> shards_;
     ShardedKvPoolStats stats_;
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 } // namespace vqllm::serving

@@ -7,6 +7,8 @@
 #include "common/parallel.h"
 #include "compiler/engine.h"
 #include "gpusim/gpu_spec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vqllm::serving {
 
@@ -91,7 +93,31 @@ ServingSimulator::run(std::vector<Request> &trace)
                            cfg_.pricer);
     CodebookResidency residency(cfg_.codebook_slots);
     const bool has_codebooks = pricer.codebookGroupBytes() > 0;
-    MetricsCollector metrics;
+    MetricsCollector metrics(cfg_.metrics);
+
+    // ---- Observability hookup.  Every instrumentation site guards on
+    // its own nullptr, so a run without a recorder/registry executes
+    // exactly the pre-instrumentation code path (bit-identical report).
+    obs::TraceRecorder *trace_rec = cfg_.trace;
+    if (trace_rec != nullptr) {
+        trace_rec->setNow(0);
+        trace_rec->nameTrack(0, "scheduler");
+        for (std::size_t s = 0; s < degree; ++s)
+            trace_rec->nameTrack(1 + static_cast<int>(s),
+                                 "shard " + std::to_string(s));
+        scheduler.setTrace(trace_rec);
+        pool.setTrace(trace_rec);
+        eng.setTrace(trace_rec);
+        pricer.setCollectDetail(true);
+    }
+    obs::Histogram *h_iter_us = nullptr;
+    obs::Histogram *h_decode_batch = nullptr;
+    if (cfg_.metrics != nullptr) {
+        h_iter_us =
+            &cfg_.metrics->histogram("serving.iteration.duration_us");
+        h_decode_batch =
+            &cfg_.metrics->histogram("serving.iteration.decode_batch");
+    }
 
     double now_us = 0;
     double busy_us = 0;
@@ -107,6 +133,8 @@ ServingSimulator::run(std::vector<Request> &trace)
     };
 
     while (completed + scheduler.rejectedCount() < trace.size()) {
+        if (trace_rec != nullptr)
+            trace_rec->setNow(now_us);
         deliver(now_us);
         if (scheduler.idle()) {
             if (next_arrival >= trace.size())
@@ -144,6 +172,72 @@ ServingSimulator::run(std::vector<Request> &trace)
             auto touch = residency.touchBatch(groups);
             iter_us += pricer.codebookMissUs(touch.misses);
         }
+
+        if (trace_rec != nullptr) {
+            // The iteration's four price components tile [now, now +
+            // iter_us] as consecutive spans: prefill, decode, comm,
+            // codebook upload.  Detail spans (per chunk, per shard)
+            // nest inside their tiles; category sums therefore
+            // reproduce the report's busy-time breakdown.
+            const IterationPricer::Breakdown &bd =
+                pricer.lastBreakdown();
+            const IterationPricer::IterationDetail &det =
+                pricer.lastDetail();
+            trace_rec->span(
+                "iteration", "iteration", 0, now_us, iter_us,
+                {{"prefill_chunks",
+                  static_cast<double>(iter.prefill.size())},
+                 {"decode_batch",
+                  static_cast<double>(iter.decode.size())}});
+            double t = now_us;
+            if (bd.prefill_us > 0) {
+                trace_rec->span(
+                    "prefill", "prefill", 0, t, bd.prefill_us,
+                    {{"chunks",
+                      static_cast<double>(iter.prefill.size())}});
+                double ct = t;
+                for (const auto &c : det.chunks) {
+                    trace_rec->span(
+                        "prefill_chunk", "prefill_detail", 0, ct, c.us,
+                        {{"req", static_cast<double>(c.req_id)},
+                         {"tokens", static_cast<double>(c.tokens)},
+                         {"context", static_cast<double>(c.context)},
+                         {"last", c.last ? 1.0 : 0.0}});
+                    ct += c.us;
+                }
+                t += bd.prefill_us;
+            }
+            if (bd.decode_us > 0) {
+                trace_rec->span(
+                    "decode", "decode", 0, t, bd.decode_us,
+                    {{"batch",
+                      static_cast<double>(det.decode_batch)}});
+                for (std::size_t s = 0; s < det.shard_compute_us.size();
+                     ++s)
+                    trace_rec->span("decode_compute", "shard_compute",
+                                    1 + static_cast<int>(s), t,
+                                    det.shard_compute_us[s]);
+                t += bd.decode_us;
+            }
+            if (bd.comm_us > 0) {
+                trace_rec->span("all_reduce", "comm", 0, t, bd.comm_us);
+                if (det.decode_comm_us > 0)
+                    for (std::size_t s = 0; s < degree; ++s)
+                        trace_rec->span("all_reduce", "shard_comm",
+                                        1 + static_cast<int>(s), t,
+                                        det.decode_comm_us);
+                t += bd.comm_us;
+            }
+            if (bd.codebook_upload_us > 0)
+                trace_rec->span("codebook_upload", "codebook", 0, t,
+                                bd.codebook_upload_us);
+        }
+        if (h_iter_us != nullptr) {
+            h_iter_us->record(iter_us);
+            h_decode_batch->record(
+                static_cast<double>(iter.decode.size()));
+        }
+
         now_us += iter_us;
         busy_us += iter_us;
 
@@ -232,6 +326,10 @@ ServingSimulator::run(std::vector<Request> &trace)
     report.tp_degree = degree;
     report.comm_us = pricer.commUs();
     report.comm_fraction = busy_us > 0 ? pricer.commUs() / busy_us : 0;
+    const IterationPricer::Breakdown breakdown = pricer.totals();
+    report.prefill_us = breakdown.prefill_us;
+    report.decode_us = breakdown.decode_us;
+    report.codebook_upload_us = breakdown.codebook_upload_us;
     report.shards.resize(degree);
     const auto &shard_deltas = pricer.shardCacheDeltas();
     for (std::size_t i = 0; i < degree; ++i) {
@@ -241,6 +339,34 @@ ServingSimulator::run(std::vector<Request> &trace)
             shard_deltas[i].plan_cache_hits;
         report.shards[i].plan_cache_misses =
             shard_deltas[i].plan_cache_misses;
+    }
+
+    if (trace_rec != nullptr) {
+        trace_rec->setNow(now_us);
+        // Detach the recorder: injected engines outlive this run and
+        // may compile concurrently afterwards.
+        eng.setTrace(nullptr);
+    }
+    if (cfg_.metrics != nullptr) {
+        obs::MetricsRegistry &reg = *cfg_.metrics;
+        pool.exportMetrics(reg, "serving.kv");
+        residency.exportMetrics(reg, "serving.codebook");
+        eng.exportMetrics(reg, "compiler.plan_cache");
+        reg.counter("serving.requests.completed").add(completed);
+        reg.counter("serving.requests.rejected")
+            .add(report.rejected_requests);
+        reg.counter("serving.iterations").add(iterations);
+        reg.gauge("serving.sim_time_us").set(report.sim_time_us);
+        reg.gauge("serving.busy_time_us").set(report.busy_time_us);
+        reg.gauge("serving.busy.prefill_us").set(report.prefill_us);
+        reg.gauge("serving.busy.decode_us").set(report.decode_us);
+        reg.gauge("serving.busy.comm_us").set(report.comm_us);
+        reg.gauge("serving.busy.codebook_upload_us")
+            .set(report.codebook_upload_us);
+        reg.gauge("serving.utilization").set(report.utilization);
+        reg.gauge("serving.tokens_per_sec").set(report.tokens_per_sec);
+        reg.gauge("serving.tp_degree")
+            .set(static_cast<double>(degree));
     }
     return report;
 }

@@ -32,6 +32,11 @@ namespace vqllm::compiler {
 class Engine;
 }
 
+namespace vqllm::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}
+
 namespace vqllm::serving {
 
 /** Full parameterization of one serving simulation. */
@@ -77,6 +82,25 @@ struct SimulatorConfig
     std::size_t kv_block_tokens = 16;
     /** Codebook-group residency slots (hit-aware LFU capacity). */
     std::size_t codebook_slots = 48;
+
+    /**
+     * Optional trace recorder (nullptr = tracing off, the default).
+     * A traced run records scheduler iterations, prefill chunks,
+     * decode batches, all-reduces, codebook uploads, KV pool events,
+     * preemptions and plan-cache compiles on the simulated clock; the
+     * ServingReport is bit-identical with tracing on or off.  The
+     * recorder must outlive the run; its clock is overwritten.
+     */
+    obs::TraceRecorder *trace = nullptr;
+
+    /**
+     * Optional metrics registry (nullptr = off, the default).  The run
+     * streams latency/token metrics into it live and publishes every
+     * component's counters (`serving.kv.*`, `serving.codebook.*`,
+     * `compiler.plan_cache.*`, busy-time breakdown gauges) when the
+     * run completes.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /**

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the trace recorder: simulated-clock semantics, span and
+ * instant recording, category accounting and deterministic Chrome
+ * trace-event JSON export.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace vqllm::obs {
+namespace {
+
+TEST(TraceRecorder, ClockIsExplicit)
+{
+    TraceRecorder rec;
+    EXPECT_DOUBLE_EQ(rec.now(), 0.0);
+    rec.setNow(125.5);
+    EXPECT_DOUBLE_EQ(rec.now(), 125.5);
+    rec.instant("tick", "test", 0, rec.now());
+    auto events = rec.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_DOUBLE_EQ(events[0].ts_us, 125.5);
+    EXPECT_EQ(events[0].phase, TraceEvent::Phase::Instant);
+}
+
+TEST(TraceRecorder, RecordsSpansInOrder)
+{
+    TraceRecorder rec;
+    rec.span("a", "cat1", 0, 0.0, 10.0);
+    rec.span("b", "cat2", 1, 10.0, 5.0, {{"tokens", 128.0}});
+    rec.instant("i", "cat1", 0, 12.0);
+    EXPECT_EQ(rec.eventCount(), 3u);
+    auto events = rec.events();
+    EXPECT_EQ(events[0].name, "a");
+    EXPECT_EQ(events[1].name, "b");
+    EXPECT_EQ(events[1].tid, 1);
+    ASSERT_EQ(events[1].args.size(), 1u);
+    EXPECT_EQ(events[1].args[0].key, "tokens");
+    EXPECT_DOUBLE_EQ(events[1].args[0].value, 128.0);
+    EXPECT_EQ(events[2].name, "i");
+}
+
+TEST(TraceRecorder, CategoryDurationSumsSpansOnly)
+{
+    TraceRecorder rec;
+    rec.span("a", "work", 0, 0.0, 10.0);
+    rec.span("b", "work", 1, 5.0, 2.5);
+    rec.span("c", "idle", 0, 10.0, 100.0);
+    rec.instant("i", "work", 0, 3.0); // instants carry no duration
+    EXPECT_DOUBLE_EQ(rec.categoryDurationUs("work"), 12.5);
+    EXPECT_DOUBLE_EQ(rec.categoryDurationUs("idle"), 100.0);
+    EXPECT_DOUBLE_EQ(rec.categoryDurationUs("absent"), 0.0);
+}
+
+TEST(TraceRecorder, ChromeJsonShape)
+{
+    TraceRecorder rec;
+    rec.nameTrack(0, "scheduler");
+    rec.nameTrack(1, "shard 0");
+    rec.span("iteration", "iteration", 0, 0.0, 42.0);
+    rec.instant("kv_alloc", "kv", 0, 1.0, {{"seq", 7.0}});
+    std::string json = rec.chromeJson();
+
+    // Loadable shape: a traceEvents array with metadata, complete
+    // spans and instants.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"scheduler\""), std::string::npos);
+    EXPECT_NE(json.find("\"shard 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+
+    // writeChromeJson streams the identical bytes.
+    std::ostringstream os;
+    rec.writeChromeJson(os);
+    EXPECT_EQ(os.str(), json);
+}
+
+TEST(TraceRecorder, JsonEscapesStrings)
+{
+    TraceRecorder rec;
+    rec.span("quote\"back\\slash", "c\nat", 0, 0.0, 1.0);
+    std::string json = rec.chromeJson();
+    EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+    EXPECT_NE(json.find("c\\nat"), std::string::npos);
+}
+
+TEST(TraceRecorder, IdenticalRecordingsSerializeIdentically)
+{
+    auto record = [] {
+        TraceRecorder rec;
+        rec.nameTrack(0, "scheduler");
+        rec.nameTrack(2, "shard 1");
+        for (int i = 0; i < 50; ++i) {
+            double t = i * 10.0;
+            rec.setNow(t);
+            rec.span("iter", "iteration", 0, t, 10.0,
+                     {{"i", static_cast<double>(i)}});
+            rec.instant("tick", "sched", 0, rec.now());
+        }
+        return rec.chromeJson();
+    };
+    EXPECT_EQ(record(), record());
+}
+
+TEST(TraceRecorder, ClearDropsEventsKeepsClock)
+{
+    TraceRecorder rec;
+    rec.setNow(99.0);
+    rec.nameTrack(0, "t");
+    rec.span("a", "c", 0, 0.0, 1.0);
+    rec.clear();
+    EXPECT_EQ(rec.eventCount(), 0u);
+    EXPECT_DOUBLE_EQ(rec.now(), 99.0);
+    EXPECT_DOUBLE_EQ(rec.categoryDurationUs("c"), 0.0);
+}
+
+} // namespace
+} // namespace vqllm::obs
