@@ -10,6 +10,8 @@
  *               [--policy fcfs|priority|edf] [--chunk-tokens N]
  *               [--priority-levels N] [--prompt-median N]
  *               [--tp-degree N] [--link-gbps G] [--collective-us U]
+ *               [--prefix-groups N] [--prefix-tokens N]
+ *               [--prefix-cache on|off]
  *               [--trace-out FILE] [--metrics-json FILE]
  *
  * Generates a Poisson request trace, serves it with the
@@ -60,6 +62,11 @@ const char kUsage[] =
     "  --tp-degree N                tensor-parallel degree, >= 1 (default 1)\n"
     "  --link-gbps G                all-reduce link bandwidth, GB/s, > 0\n"
     "  --collective-us U            per-collective launch latency, us\n"
+    "  --prefix-groups N            shared-prefix tenants in the trace\n"
+    "                               (0 = no shared prefixes, the default)\n"
+    "  --prefix-tokens N            shared system-prompt length, tokens, > 0\n"
+    "  --prefix-cache on|off        cross-request KV prefix caching\n"
+    "                               (default off)\n"
     "  --trace-out FILE             write a Chrome/Perfetto trace JSON\n"
     "  --metrics-json FILE          write report + metrics as JSON\n"
     "  --help                       print this message and exit\n";
@@ -159,6 +166,21 @@ main(int argc, char **argv)
             cfg.tp.collective_latency_us = std::stod(value());
             if (cfg.tp.collective_latency_us < 0)
                 usageError("--collective-us must be >= 0");
+        } else if (flag == "--prefix-groups") {
+            cfg.workload.prefix_groups = std::stoul(value());
+        } else if (flag == "--prefix-tokens") {
+            cfg.workload.prefix_tokens = std::stoul(value());
+            if (cfg.workload.prefix_tokens == 0)
+                usageError("--prefix-tokens must be > 0");
+        } else if (flag == "--prefix-cache") {
+            std::string v = value();
+            if (v == "on")
+                cfg.prefix_cache = true;
+            else if (v == "off")
+                cfg.prefix_cache = false;
+            else
+                usageError("--prefix-cache expects on|off, got '" + v +
+                           "'");
         } else if (flag == "--trace-out") {
             trace_out = value();
         } else if (flag == "--metrics-json") {
@@ -193,14 +215,23 @@ main(int argc, char **argv)
                       static_cast<int>(cfg.tp.link_bw_gbps)) +
                   " GB/s"
             : "";
+    std::string prefix_note =
+        cfg.workload.prefix_groups > 0
+            ? ", " + std::to_string(cfg.workload.prefix_groups) +
+                  " prefix groups x " +
+                  std::to_string(cfg.workload.prefix_tokens) +
+                  " tokens (cache " +
+                  (cfg.prefix_cache ? "on" : "off") + ")"
+            : "";
     std::printf("serving %s on %s / %s: %.1f QPS for %.0f s (seed "
-                "%llu, policy %s%s%s)\n",
+                "%llu, policy %s%s%s%s)\n",
                 cfg.model->name.c_str(), cfg.spec->name.c_str(),
                 llm::quantSchemeName(cfg.scheme), cfg.workload.qps,
                 cfg.workload.duration_s,
                 static_cast<unsigned long long>(cfg.workload.seed),
                 serving::policyKindName(cfg.scheduler.policy),
-                chunk_note.c_str(), tp_note.c_str());
+                chunk_note.c_str(), tp_note.c_str(),
+                prefix_note.c_str());
     if (cfg.tp.degree > 1)
         std::printf("KV pools: %zu devices x %.2f GB under each weight "
                     "shard (%.2f GB aggregate)\n",

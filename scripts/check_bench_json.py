@@ -57,6 +57,11 @@ REQUIRED = {
                        "tbt_p95_ms", "ttft_p95_ms", "comm_fraction",
                        "kv_capacity_gb", "busy_us", "prefill_us",
                        "decode_us", "comm_us", "codebook_upload_us"],
+        "prefix_sweep[]": ["scheme", "prefix_cache", "seed", "qps",
+                           "ttft_mean_ms", "ttft_p95_ms", "tbt_p95_ms",
+                           "prefill_us", "busy_us", "tokens_saved",
+                           "prompt_tokens", "prefix_len", "hit_rate",
+                           "cow_forks", "preemptions", "completed"],
     },
     "BENCH_host.json": {},
 }
@@ -115,6 +120,57 @@ def check_required(doc: dict, name: str) -> None:
             for field in fields:
                 if field not in obj:
                     fail(f"{name}: {key} lacks '{field}'")
+
+
+def check_prefix_sweep(doc: dict, name: str) -> None:
+    """Semantic checks on the shared-prefix sweep: rates in range,
+    cache-off rows save nothing, and per (scheme, seed, qps) pair the
+    cache-on run must save tokens and prefill no more than the
+    cache-off run on its identical arrival trace."""
+    entries = doc.get("prefix_sweep")
+    if entries is None:
+        return
+    pairs = {}
+    for i, e in enumerate(entries):
+        where = f"{name}: prefix_sweep[{i}]"
+        if not 0.0 <= e["hit_rate"] <= 1.0:
+            fail(f"{where} hit_rate {e['hit_rate']} outside [0, 1]")
+        # Each admission matches at most the request's prefix, and
+        # every preemption recompute may legitimately re-match it, so
+        # the sound ceiling is the trace's prompt tokens plus one
+        # prefix per preemption.
+        bound = e["prompt_tokens"] + e["preemptions"] * e["prefix_len"]
+        if e["tokens_saved"] > bound:
+            fail(f"{where} saved {e['tokens_saved']} tokens; ceiling "
+                 f"is {bound} ({e['prompt_tokens']} prompt tokens + "
+                 f"{e['preemptions']} preemption re-matches)")
+        if not e["prefix_cache"]:
+            if e["tokens_saved"] != 0 or e["hit_rate"] != 0:
+                fail(f"{where} is cache-off but reports savings "
+                     f"({e['tokens_saved']} tokens, hit rate "
+                     f"{e['hit_rate']})")
+        key = (e["scheme"], e["seed"], e["qps"], bool(e["prefix_cache"]))
+        if key in pairs:
+            fail(f"{where} duplicates cell {key}")
+        pairs[key] = e
+    for (scheme, seed, qps, cache), e in pairs.items():
+        if not cache:
+            continue
+        off = pairs.get((scheme, seed, qps, False))
+        if off is None:
+            fail(f"{name}: prefix_sweep cache-on cell ({scheme}, seed "
+                 f"{seed}, {qps} QPS) has no cache-off twin")
+        if e["tokens_saved"] == 0:
+            fail(f"{name}: prefix_sweep ({scheme}) cache-on saved no "
+                 f"tokens on a shared-prefix trace")
+        # Identical trace, strictly less prefill work: conservation.
+        if e["prefill_us"] > off["prefill_us"] * (1 + 1e-9):
+            fail(f"{name}: prefix_sweep ({scheme}) cache-on prefilled "
+                 f"{e['prefill_us']} us, more than cache-off's "
+                 f"{off['prefill_us']} us on the same trace")
+    if entries:
+        print(f"check_bench_json: prefix_sweep OK "
+              f"({len(entries)} cells)")
 
 
 # Categories whose tid-0 spans tile each iteration exactly; their sums
@@ -288,6 +344,7 @@ def main() -> None:
         check_finite(doc, path.name)
         check_sweeps_non_empty(doc, path.name)
         check_required(doc, path.name)
+        check_prefix_sweep(doc, path.name)
         print(f"check_bench_json: {path.name} OK "
               f"({len(doc)} top-level keys)")
     print("check_bench_json: all bench JSONs valid")

@@ -15,47 +15,183 @@ KvBlockPool::KvBlockPool(const KvBlockPoolConfig &cfg) : cfg_(cfg)
     total_blocks_ = cfg_.capacity_bytes / blockBytes();
 }
 
+BlockId
+KvBlockPool::takeBlock()
+{
+    BlockId id;
+    if (!free_ids_.empty()) {
+        id = free_ids_.back();
+        free_ids_.pop_back();
+    } else {
+        // Materialize a new physical id: the table only ever grows to
+        // the peak concurrently-used block count, not totalBlocks().
+        id = static_cast<BlockId>(block_refs_.size());
+        block_refs_.push_back(0);
+        block_fill_.push_back(0);
+    }
+    block_refs_[id] = 1;
+    block_fill_[id] = 0;
+    ++used_blocks_;
+    ++stats_.block_allocs;
+    stats_.peak_used_blocks =
+        std::max(stats_.peak_used_blocks, used_blocks_);
+    return id;
+}
+
+void
+KvBlockPool::dropRef(BlockId block)
+{
+    vqllm_assert(block < block_refs_.size() && block_refs_[block] > 0,
+                "dropRef on a block that is not live");
+    if (--block_refs_[block] == 0) {
+        stored_tokens_ -= block_fill_[block];
+        block_fill_[block] = 0;
+        free_ids_.push_back(block);
+        --used_blocks_;
+        ++stats_.block_frees;
+    }
+}
+
+void
+KvBlockPool::setFill(BlockId block, std::size_t fill)
+{
+    vqllm_assert(fill <= cfg_.block_tokens, "fill exceeds block size");
+    stored_tokens_ += fill - block_fill_[block];
+    block_fill_[block] = static_cast<std::uint32_t>(fill);
+}
+
+bool
+KvBlockPool::ensureFree(std::uint64_t need)
+{
+    if (need > freeBlocks() && reclaimer_)
+        reclaimer_(need - freeBlocks());
+    return need <= freeBlocks();
+}
+
+std::uint64_t
+KvBlockPool::availableBlocks() const
+{
+    std::uint64_t avail = freeBlocks();
+    if (reclaimable_)
+        avail += reclaimable_();
+    return avail;
+}
+
 bool
 KvBlockPool::allocSequence(std::uint64_t seq_id, std::size_t tokens)
 {
     vqllm_assert(seqs_.find(seq_id) == seqs_.end(),
                 "sequence already resident");
     std::uint64_t need = blocksForTokens(tokens);
-    if (need > freeBlocks()) {
+    if (!ensureFree(need)) {
         ++stats_.failed_allocs;
         return false;
     }
-    seqs_[seq_id] = SeqEntry{tokens, need};
-    used_blocks_ += need;
-    stored_tokens_ += tokens;
-    stats_.block_allocs += need;
-    stats_.peak_used_blocks =
-        std::max(stats_.peak_used_blocks, used_blocks_);
+    SeqEntry &e = seqs_[seq_id];
+    e.tokens = tokens;
+    e.blocks.reserve(need);
+    for (std::uint64_t i = 0; i < need; ++i) {
+        BlockId b = takeBlock();
+        e.blocks.push_back(b);
+        setFill(b, std::min(cfg_.block_tokens,
+                            tokens - static_cast<std::size_t>(i) *
+                                         cfg_.block_tokens));
+    }
     return true;
 }
 
+void
+KvBlockPool::attachSequence(std::uint64_t seq_id,
+                            const std::vector<BlockId> &blocks,
+                            std::size_t tokens)
+{
+    vqllm_assert(seqs_.find(seq_id) == seqs_.end(),
+                "sequence already resident");
+    vqllm_assert(blocksForTokens(tokens) == blocks.size(),
+                "attached block list does not cover the tokens");
+    std::size_t stored = 0;
+    for (BlockId b : blocks) {
+        vqllm_assert(b < block_refs_.size() && block_refs_[b] > 0,
+                    "attaching a block that is not live");
+        stored += block_fill_[b];
+    }
+    vqllm_assert(stored == tokens,
+                "attached blocks do not store the claimed tokens");
+    for (BlockId b : blocks)
+        ++block_refs_[b];
+    SeqEntry &e = seqs_[seq_id];
+    e.tokens = tokens;
+    e.blocks = blocks;
+}
+
 bool
-KvBlockPool::extendSequence(std::uint64_t seq_id, std::size_t tokens)
+KvBlockPool::extendSequence(std::uint64_t seq_id, std::size_t tokens,
+                            ExtendUndo *undo)
 {
     auto it = seqs_.find(seq_id);
     vqllm_assert(it != seqs_.end(), "sequence not resident");
     SeqEntry &e = it->second;
-    std::uint64_t need = blocksForTokens(e.tokens + tokens);
-    if (need > e.blocks) {
-        std::uint64_t fresh = need - e.blocks;
-        if (fresh > freeBlocks()) {
-            ++stats_.failed_allocs;
-            return false;
-        }
-        e.blocks = need;
-        used_blocks_ += fresh;
-        stats_.block_allocs += fresh;
-        stats_.peak_used_blocks =
-            std::max(stats_.peak_used_blocks, used_blocks_);
+    std::size_t new_tokens = e.tokens + tokens;
+    std::uint64_t need_total = blocksForTokens(new_tokens);
+    std::size_t held = e.blocks.size();
+
+    // Writing into a shared tail block's slack would clobber the other
+    // owners' view: privatize it first (copy-on-write fork).
+    bool fork = !e.blocks.empty() &&
+                e.tokens % cfg_.block_tokens != 0 &&
+                block_refs_[e.blocks.back()] > 1;
+    std::uint64_t fresh = (need_total - held) + (fork ? 1 : 0);
+    if (fresh > 0 && !ensureFree(fresh)) {
+        ++stats_.failed_allocs;
+        return false;
     }
-    e.tokens += tokens;
-    stored_tokens_ += tokens;
+    if (undo) {
+        undo->old_tokens = e.tokens;
+        undo->old_blocks = e.blocks;
+    }
+    std::size_t first_changed = e.blocks.empty() ? 0 : held - 1;
+    if (fork) {
+        dropRef(e.blocks.back());
+        e.blocks.back() = takeBlock();
+        ++stats_.cow_forks;
+    }
+    while (e.blocks.size() < need_total)
+        e.blocks.push_back(takeBlock());
+    // Refresh fills from the (possibly forked) old tail onward.  A
+    // shared *full* tail is untouched: its fill stays block_tokens.
+    for (std::size_t i = first_changed; i < e.blocks.size(); ++i)
+        setFill(e.blocks[i],
+                std::min(cfg_.block_tokens,
+                         new_tokens - i * cfg_.block_tokens));
+    e.tokens = new_tokens;
     return true;
+}
+
+void
+KvBlockPool::undoExtend(std::uint64_t seq_id, const ExtendUndo &undo)
+{
+    auto it = seqs_.find(seq_id);
+    vqllm_assert(it != seqs_.end(), "sequence not resident");
+    SeqEntry &e = it->second;
+    std::size_t k = undo.old_blocks.size();
+    vqllm_assert(e.blocks.size() >= k && e.tokens >= undo.old_tokens,
+                "undo record does not match the sequence");
+    for (std::size_t i = e.blocks.size(); i-- > k;)
+        dropRef(e.blocks[i]);
+    if (k > 0) {
+        if (e.blocks[k - 1] != undo.old_blocks[k - 1]) {
+            // The extension COW-forked the tail: re-share the original
+            // block and discard the private copy.
+            ++block_refs_[undo.old_blocks[k - 1]];
+            dropRef(e.blocks[k - 1]);
+            --stats_.cow_forks;
+        } else {
+            setFill(e.blocks[k - 1],
+                    undo.old_tokens - (k - 1) * cfg_.block_tokens);
+        }
+    }
+    e.tokens = undo.old_tokens;
+    e.blocks = undo.old_blocks;
 }
 
 std::size_t
@@ -65,8 +201,18 @@ KvBlockPool::extendableTokens(std::uint64_t seq_id) const
     vqllm_assert(it != seqs_.end(), "sequence not resident");
     const SeqEntry &e = it->second;
     std::size_t slack =
-        static_cast<std::size_t>(e.blocks) * cfg_.block_tokens - e.tokens;
-    return slack + freeTokens();
+        e.blocks.size() * cfg_.block_tokens - e.tokens;
+    std::uint64_t avail = availableBlocks();
+    if (slack > 0 && block_refs_[e.blocks.back()] > 1) {
+        // The slack sits in a shared tail: using any of it costs one
+        // available block for the COW fork first.
+        if (avail == 0)
+            return 0;
+        return slack + static_cast<std::size_t>(avail - 1) *
+                           cfg_.block_tokens;
+    }
+    return slack +
+           static_cast<std::size_t>(avail) * cfg_.block_tokens;
 }
 
 void
@@ -75,9 +221,8 @@ KvBlockPool::freeSequence(std::uint64_t seq_id)
     auto it = seqs_.find(seq_id);
     if (it == seqs_.end())
         return;
-    used_blocks_ -= it->second.blocks;
-    stored_tokens_ -= it->second.tokens;
-    stats_.block_frees += it->second.blocks;
+    for (BlockId b : it->second.blocks)
+        dropRef(b);
     seqs_.erase(it);
 }
 
@@ -85,7 +230,7 @@ std::uint64_t
 KvBlockPool::seqBlocks(std::uint64_t seq_id) const
 {
     auto it = seqs_.find(seq_id);
-    return it == seqs_.end() ? 0 : it->second.blocks;
+    return it == seqs_.end() ? 0 : it->second.blocks.size();
 }
 
 std::size_t
@@ -93,6 +238,57 @@ KvBlockPool::seqTokens(std::uint64_t seq_id) const
 {
     auto it = seqs_.find(seq_id);
     return it == seqs_.end() ? 0 : it->second.tokens;
+}
+
+const std::vector<BlockId> &
+KvBlockPool::seqBlockIds(std::uint64_t seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    vqllm_assert(it != seqs_.end(), "sequence not resident");
+    return it->second.blocks;
+}
+
+bool
+KvBlockPool::allocCacheBlock(std::size_t fill_tokens, BlockId *out)
+{
+    vqllm_assert(fill_tokens > 0 && fill_tokens <= cfg_.block_tokens,
+                "cache block fill must be within one block");
+    // Deliberately no reclaimer here: the cache skips the insert when
+    // the pool is full rather than evicting itself reentrantly.
+    if (freeBlocks() == 0)
+        return false;
+    *out = takeBlock();
+    setFill(*out, fill_tokens);
+    return true;
+}
+
+void
+KvBlockPool::addBlockRef(BlockId block)
+{
+    vqllm_assert(block < block_refs_.size() && block_refs_[block] > 0,
+                "addBlockRef on a block that is not live");
+    ++block_refs_[block];
+}
+
+void
+KvBlockPool::releaseBlockRef(BlockId block)
+{
+    dropRef(block);
+}
+
+std::uint32_t
+KvBlockPool::blockRefs(BlockId block) const
+{
+    return block < block_refs_.size() ? block_refs_[block] : 0;
+}
+
+std::uint64_t
+KvBlockPool::sharedBlocks() const
+{
+    std::uint64_t shared = 0;
+    for (std::uint32_t refs : block_refs_)
+        shared += refs > 1 ? 1 : 0;
+    return shared;
 }
 
 void
@@ -103,10 +299,13 @@ KvBlockPool::exportMetrics(obs::MetricsRegistry &registry,
     registry.counter(prefix + ".block_frees").add(stats_.block_frees);
     registry.counter(prefix + ".failed_allocs")
         .add(stats_.failed_allocs);
+    registry.counter(prefix + ".cow_forks").add(stats_.cow_forks);
     registry.gauge(prefix + ".total_blocks")
         .set(static_cast<double>(total_blocks_));
     registry.gauge(prefix + ".used_blocks")
         .set(static_cast<double>(used_blocks_));
+    registry.gauge(prefix + ".shared_blocks")
+        .set(static_cast<double>(sharedBlocks()));
     registry.gauge(prefix + ".peak_used_blocks")
         .set(static_cast<double>(stats_.peak_used_blocks));
     registry.gauge(prefix + ".peak_bytes")

@@ -4,13 +4,28 @@
  *
  * The serving layer stores every sequence's quantized KV cache in
  * fixed-size token blocks (paged-attention style).  Fixed pages remove
- * external fragmentation entirely, so the pool's job is accounting:
+ * external fragmentation entirely, so the pool's job is accounting: the
  * per-sequence block lists, capacity pressure (a failed extension is the
  * scheduler's preemption signal), the high-water mark, and internal
  * fragmentation (allocated-but-unused token slots in tail blocks).
  * Bytes per token come from the quantization scheme
  * (llm::schemeKvBytesPerToken), which is where VQ buys its capacity: a
  * CQ-2 cache packs ~7x the tokens of FP16 into the same HBM.
+ *
+ * Blocks carry identities and reference counts so the prefix cache can
+ * map one physical block into many sequences (cross-request prefix
+ * sharing): attachSequence() raises refcounts instead of consuming free
+ * blocks, and an extension that would write into a shared tail block's
+ * slack copy-on-write forks the tail first.  Block ids materialize
+ * lazily up to the high-water mark — a pool sized for hundreds of
+ * millions of blocks only ever tracks its peak concurrently-used few
+ * thousand — and freed ids recycle LIFO, so id assignment is
+ * deterministic.  Under capacity pressure the pool consults an optional
+ * reclaimer (the prefix cache's eviction hook) before declaring an
+ * allocation failure, and the paired reclaimable query folds those
+ * evictable blocks into the capacity estimates (freeTokens /
+ * extendableTokens) so slice sizing can rely on the reclaim that the
+ * subsequent alloc will trigger.
  *
  * CodebookResidency models the GPU-resident codebook slots shared by a
  * mixed batch: each request's codebook group must be resident for the
@@ -23,6 +38,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +48,9 @@ class MetricsRegistry;
 }
 
 namespace vqllm::serving {
+
+/** Physical block identifier within one pool (dense, reused LIFO). */
+using BlockId = std::uint32_t;
 
 /** Static parameters of the block pool. */
 struct KvBlockPoolConfig
@@ -54,14 +73,20 @@ struct KvBlockPoolStats
     std::uint64_t failed_allocs = 0;
     /** Peak concurrently-used blocks. */
     std::uint64_t peak_used_blocks = 0;
+    /** Copy-on-write forks: extensions that wrote into a shared tail
+     *  block's slack and privatized it first. */
+    std::uint64_t cow_forks = 0;
 };
 
 /**
- * Fixed-size paged allocator for quantized KV caches.
+ * Fixed-size paged allocator for quantized KV caches with block-level
+ * reference counts.
  *
  * Sequences allocate whole blocks; a sequence holding t tokens owns
- * ceil(t / block_tokens) blocks.  All operations are O(1) in the number
- * of resident sequences.
+ * ceil(t / block_tokens) blocks.  Blocks may be shared across owners
+ * (sequences and the prefix cache); a shared block is counted once in
+ * the pool-level occupancy (usedBlocks / storedTokens) while every
+ * owner's per-sequence view (seqTokens / seqBlocks) is unchanged.
  */
 class KvBlockPool
 {
@@ -71,7 +96,8 @@ class KvBlockPool
     /** @return total blocks the capacity affords. */
     std::uint64_t totalBlocks() const { return total_blocks_; }
 
-    /** @return currently free blocks. */
+    /** @return currently free blocks (physical; excludes blocks the
+     *  reclaimer could surrender — see availableBlocks()). */
     std::uint64_t
     freeBlocks() const
     {
@@ -79,6 +105,10 @@ class KvBlockPool
     }
 
     std::uint64_t usedBlocks() const { return used_blocks_; }
+
+    /** @return free blocks plus blocks the registered reclaimer could
+     *  release right now (the capacity the next alloc can count on). */
+    std::uint64_t availableBlocks() const;
 
     /** @return blocks needed to hold n tokens. */
     std::uint64_t
@@ -98,17 +128,49 @@ class KvBlockPool
      * Reserve blocks for a new (or re-prefilling) sequence of n tokens.
      *
      * @return false (and change nothing) if free blocks are insufficient
+     *         even after asking the reclaimer
      */
     bool allocSequence(std::uint64_t seq_id, std::size_t tokens);
 
     /**
-     * Extend a resident sequence by n tokens, taking fresh blocks as
-     * tokens cross block boundaries.
-     *
-     * @return false if blocks were needed and too few were free (the
-     *         scheduler's preemption signal); the sequence is unchanged
+     * Create a sequence that *shares* already-resident blocks (a prefix
+     * cache hit): each listed block's refcount rises, no free block is
+     * consumed, and the sequence starts holding exactly `tokens`, which
+     * must equal the blocks' stored tokens (full blocks plus the tail
+     * block's fill).  Writing past a shared tail copy-on-write forks it
+     * (see extendSequence).
      */
-    bool extendSequence(std::uint64_t seq_id, std::size_t tokens);
+    void attachSequence(std::uint64_t seq_id,
+                        const std::vector<BlockId> &blocks,
+                        std::size_t tokens);
+
+    /** Undo record of one extendSequence call, for the all-or-nothing
+     *  cross-shard rollback in ShardedKvPool. */
+    struct ExtendUndo
+    {
+        std::size_t old_tokens = 0;
+        std::vector<BlockId> old_blocks;
+    };
+
+    /**
+     * Extend a resident sequence by n tokens, taking fresh blocks as
+     * tokens cross block boundaries.  If the tail block is shared and
+     * has slack, it is copy-on-write forked first (one extra fresh
+     * block; counted in stats().cow_forks).
+     *
+     * @param undo when non-null, filled with the state needed to revert
+     *        a successful extension via undoExtend()
+     * @return false if blocks were needed and too few were free even
+     *         after reclaim (the scheduler's preemption signal); the
+     *         sequence is unchanged
+     */
+    bool extendSequence(std::uint64_t seq_id, std::size_t tokens,
+                        ExtendUndo *undo = nullptr);
+
+    /** Revert a successful extendSequence (a sharded extension hit
+     *  capacity on a later shard): appended blocks free, a COW-forked
+     *  tail re-shares the original block. */
+    void undoExtend(std::uint64_t seq_id, const ExtendUndo &undo);
 
     /**
      * Extend a resident sequence by one token (decode step).
@@ -123,17 +185,21 @@ class KvBlockPool
     }
 
     /** @return tokens a resident sequence could gain right now without
-     *  failing: tail-block slack plus every free block. */
+     *  failing: tail-block slack plus every available block (a shared
+     *  tail's slack is only writable after a COW fork, which costs one
+     *  of those blocks itself). */
     std::size_t extendableTokens(std::uint64_t seq_id) const;
 
     /** @return tokens a fresh sequence could take right now. */
     std::size_t
     freeTokens() const
     {
-        return static_cast<std::size_t>(freeBlocks()) * cfg_.block_tokens;
+        return static_cast<std::size_t>(availableBlocks()) *
+               cfg_.block_tokens;
     }
 
-    /** Release all blocks of a sequence (completion or preemption). */
+    /** Release all blocks of a sequence (completion or preemption).
+     *  Shared blocks merely drop a reference. */
     void freeSequence(std::uint64_t seq_id);
 
     /** @return blocks held by a sequence (0 if not resident). */
@@ -141,6 +207,59 @@ class KvBlockPool
 
     /** @return tokens stored by a sequence (0 if not resident). */
     std::size_t seqTokens(std::uint64_t seq_id) const;
+
+    /** @return the sequence's physical block list (must be resident). */
+    const std::vector<BlockId> &seqBlockIds(std::uint64_t seq_id) const;
+
+    // ---- Cache-owned block interface (prefix cache) -----------------
+
+    /**
+     * Take one block owned by a cache rather than a sequence, storing
+     * `fill_tokens` tokens (a partial prefix tail).  Unlike sequence
+     * allocation this never consults the reclaimer — the cache skips
+     * the insert instead of evicting itself.
+     *
+     * @return false when no block is free
+     */
+    bool allocCacheBlock(std::size_t fill_tokens, BlockId *out);
+
+    /** Add a reference to a resident block (prefix-cache insertion of
+     *  a writer's full block). */
+    void addBlockRef(BlockId block);
+
+    /** Drop a reference; at zero the block returns to the free list. */
+    void releaseBlockRef(BlockId block);
+
+    /** @return references currently held on a block (0 if free or
+     *  never materialized). */
+    std::uint32_t blockRefs(BlockId block) const;
+
+    /** @return live physical blocks referenced by more than one
+     *  owner. */
+    std::uint64_t sharedBlocks() const;
+
+    /** @return tokens stored across live blocks, shared blocks counted
+     *  once — the pool-level view backing the simulator's accounting
+     *  invariant (per-sequence seqTokens sums count shared tokens once
+     *  per owner instead). */
+    std::size_t storedTokens() const { return stored_tokens_; }
+
+    /**
+     * Register a reclaimer consulted under capacity pressure: before an
+     * alloc/extend fails, the pool asks it to release `need` blocks
+     * (the prefix cache evicts cold unpinned prefixes) and re-checks
+     * once.  `reclaimable` reports how many blocks a reclaim could
+     * free right now; it feeds availableBlocks() so capacity queries
+     * and the eventual allocation agree.  Pass empty functions to
+     * detach.
+     */
+    void
+    setReclaimer(std::function<void(std::uint64_t)> reclaim,
+                 std::function<std::uint64_t()> reclaimable)
+    {
+        reclaimer_ = std::move(reclaim);
+        reclaimable_ = std::move(reclaimable);
+    }
 
     std::uint64_t
     usedBytes() const
@@ -181,14 +300,28 @@ class KvBlockPool
     struct SeqEntry
     {
         std::size_t tokens = 0;
-        std::uint64_t blocks = 0;
+        std::vector<BlockId> blocks;
     };
+
+    BlockId takeBlock();
+    void dropRef(BlockId block);
+    void setFill(BlockId block, std::size_t fill);
+    bool ensureFree(std::uint64_t need);
 
     KvBlockPoolConfig cfg_;
     std::uint64_t total_blocks_ = 0;
     std::uint64_t used_blocks_ = 0;
+    /** Sum of live blocks' fills (shared blocks counted once). */
     std::size_t stored_tokens_ = 0;
     std::unordered_map<std::uint64_t, SeqEntry> seqs_;
+    /** Physical block table, materialized lazily up to the high-water
+     *  mark; index = BlockId. */
+    std::vector<std::uint32_t> block_refs_;
+    std::vector<std::uint32_t> block_fill_;
+    /** Freed ids, reused LIFO (deterministic). */
+    std::vector<BlockId> free_ids_;
+    std::function<void(std::uint64_t)> reclaimer_;
+    std::function<std::uint64_t()> reclaimable_;
     KvBlockPoolStats stats_;
 };
 

@@ -182,6 +182,20 @@ ServingReport::summary() const
             codebook_upload_us / busy_time_us * 100.0);
         out += buf;
     }
+    if (prefix_cache_enabled) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  prefix cache %.1f%% of prefill demand served from cache "
+            "(%llu tokens saved, %llu/%llu hits/lookups, %llu COW "
+            "forks, %llu blocks evicted)\n",
+            prefix_hit_rate * 100.0,
+            static_cast<unsigned long long>(prefix_matched_tokens),
+            static_cast<unsigned long long>(prefix_hits),
+            static_cast<unsigned long long>(prefix_lookups),
+            static_cast<unsigned long long>(cow_forks),
+            static_cast<unsigned long long>(prefix_evicted_blocks));
+        out += buf;
+    }
     if (plan_cache_hits + plan_cache_misses > 0) {
         std::snprintf(buf, sizeof(buf),
                       "  plan cache %.1f%% hits (%llu of %llu lookups)\n",
@@ -246,8 +260,19 @@ ServingReport::json() const
        << ",\"codebook_hit_rate\":" << jsonDouble(codebook_hit_rate)
        << ",\"plan_cache_hits\":" << jsonU64(plan_cache_hits)
        << ",\"plan_cache_misses\":" << jsonU64(plan_cache_misses)
-       << ",\"plan_cache_evictions\":" << jsonU64(plan_cache_evictions)
-       << ",\"shards\":[";
+       << ",\"plan_cache_evictions\":" << jsonU64(plan_cache_evictions);
+    if (prefix_cache_enabled) {
+        // Emitted only when the cache served the run: cache-off
+        // reports stay byte-identical to pre-cache builds.
+        os << ",\"prefix_cache\":{\"lookups\":" << jsonU64(prefix_lookups)
+           << ",\"hits\":" << jsonU64(prefix_hits)
+           << ",\"matched_tokens\":" << jsonU64(prefix_matched_tokens)
+           << ",\"evicted_blocks\":" << jsonU64(prefix_evicted_blocks)
+           << ",\"cached_blocks\":" << jsonU64(prefix_cached_blocks)
+           << ",\"cow_forks\":" << jsonU64(cow_forks)
+           << ",\"hit_rate\":" << jsonDouble(prefix_hit_rate) << "}";
+    }
+    os << ",\"shards\":[";
     for (std::size_t i = 0; i < shards.size(); ++i) {
         const ShardReport &s = shards[i];
         if (i > 0)

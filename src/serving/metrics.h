@@ -177,6 +177,31 @@ struct ServingReport
     std::uint64_t plan_cache_misses = 0;
     std::uint64_t plan_cache_evictions = 0;
 
+    // Cross-request prefix caching (SimulatorConfig::prefix_cache).
+    // The fields below stay at their defaults — and out of json() /
+    // summary() — when the cache is off, keeping cache-off reports
+    // bit-identical to pre-cache builds.
+    /** True when the run served with the prefix cache enabled. */
+    bool prefix_cache_enabled = false;
+    /** Prefix-bearing prompts matched against the index. */
+    std::uint64_t prefix_lookups = 0;
+    /** Lookups that attached at least one cached block. */
+    std::uint64_t prefix_hits = 0;
+    /** Prompt tokens served from cache instead of prefill — the
+     *  prefill compute the cache saved. */
+    std::uint64_t prefix_matched_tokens = 0;
+    /** Cached blocks evicted (LFU capacity plus pool-pressure
+     *  reclaim). */
+    std::uint64_t prefix_evicted_blocks = 0;
+    /** Cached blocks resident at end of run (per shard). */
+    std::uint64_t prefix_cached_blocks = 0;
+    /** Copy-on-write forks: writes into a shared tail block's slack
+     *  that privatized it first. */
+    std::uint64_t cow_forks = 0;
+    /** Matched tokens over total prefill demand (matched + actually
+     *  prefilled), [0,1]. */
+    double prefix_hit_rate = 0;
+
     /** @return plan-cache hit rate ([0,1]; 1 when nothing compiled). */
     double
     planCacheHitRate() const

@@ -1,0 +1,321 @@
+#include "serving/prefix_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vqllm::serving {
+
+PrefixCache::PrefixCache(ShardedKvPool &pool,
+                         const PrefixCacheConfig &cfg)
+    : pool_(pool), cfg_(cfg)
+{
+    vqllm_assert(cfg_.block_tokens > 0, "block_tokens must be positive");
+    vqllm_assert(cfg_.block_tokens ==
+                     pool_.shard(0).config().block_tokens,
+                "prefix cache block size must match the KV pools");
+    pool_.setReclaimer(
+        [this](std::uint64_t need) { reclaim(need); },
+        [this] { return evictableBlocks(); });
+}
+
+PrefixCache::~PrefixCache()
+{
+    clear();
+    pool_.setReclaimer({}, {});
+}
+
+std::uint64_t
+PrefixCache::chainHash(std::uint64_t parent, std::int64_t group,
+                       std::size_t index, std::size_t tokens)
+{
+    // FNV-1a over the chain-defining tuple.  group+1 keeps group 0
+    // distinct from the zero byte-pattern of the root parent.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(parent);
+    mix(static_cast<std::uint64_t>(group) + 1);
+    mix(index);
+    mix(tokens);
+    // Hash 0 is the reserved root parent.
+    return h == 0 ? 1 : h;
+}
+
+PrefixCache::Match
+PrefixCache::match(const Request &r)
+{
+    Match m;
+    if (r.prefix_group < 0 || r.prefix_tokens == 0 || r.prompt_len < 2)
+        return m;
+    ++stats_.lookups;
+    const std::size_t bt = cfg_.block_tokens;
+    // Leave at least one prompt token to prefill: attention needs a
+    // query, and a zero-token admission could not take a slice.
+    const std::size_t cap =
+        std::min(r.prefix_tokens, r.prompt_len - 1);
+    std::uint64_t parent = 0;
+    std::size_t i = 0;
+    while ((i + 1) * bt <= cap) {
+        std::uint64_t h = chainHash(parent, r.prefix_group, i, bt);
+        auto it = nodes_.find(h);
+        if (it == nodes_.end())
+            break;
+        m.node_hashes.push_back(h);
+        m.tokens = (i + 1) * bt;
+        parent = h;
+        ++i;
+    }
+    const std::size_t partial = r.prefix_tokens % bt;
+    if (partial > 0 && m.tokens == r.prefix_tokens - partial &&
+        r.prefix_tokens <= cap) {
+        std::uint64_t h = chainHash(parent, r.prefix_group, i, partial);
+        auto it = nodes_.find(h);
+        if (it != nodes_.end()) {
+            m.node_hashes.push_back(h);
+            m.tokens = r.prefix_tokens;
+        }
+    }
+    return m;
+}
+
+void
+PrefixCache::attach(const Request &r, const Match &m)
+{
+    vqllm_assert(m.tokens > 0 && !m.node_hashes.empty(),
+                "attach needs a non-empty match");
+    std::vector<std::vector<BlockId>> per_shard(pool_.degree());
+    for (auto &list : per_shard)
+        list.reserve(m.node_hashes.size());
+    for (std::uint64_t h : m.node_hashes) {
+        Node &n = nodes_.at(h);
+        ++n.freq;
+        for (std::size_t s = 0; s < pool_.degree(); ++s)
+            per_shard[s].push_back(n.blocks[s]);
+    }
+    pool_.attachSequence(r.id, per_shard, m.tokens);
+    // The matched prefix is already indexed for this sequence.
+    inserted_[r.id] = m.tokens;
+    ++stats_.hits;
+    stats_.matched_tokens += m.tokens;
+    if (trace_)
+        trace_->instant("prefix_hit", "prefix", 0, trace_->now(),
+                        {{"seq", static_cast<double>(r.id)},
+                         {"tokens", static_cast<double>(m.tokens)}});
+}
+
+void
+PrefixCache::rollbackAttach(const Request &r, const Match &m)
+{
+    pool_.freeSequence(r.id);
+    for (std::uint64_t h : m.node_hashes)
+        --nodes_.at(h).freq;
+    inserted_.erase(r.id);
+    --stats_.hits;
+    stats_.matched_tokens -= m.tokens;
+    ++stats_.rollbacks;
+    if (trace_)
+        trace_->instant("prefix_rollback", "prefix", 0, trace_->now(),
+                        {{"seq", static_cast<double>(r.id)}});
+}
+
+void
+PrefixCache::onPrefillAdvance(const Request &r)
+{
+    if (r.prefix_group < 0 || r.prefix_tokens == 0)
+        return;
+    const std::size_t bt = cfg_.block_tokens;
+    const std::size_t written =
+        std::min(r.prefilled_tokens, r.prefix_tokens);
+    auto prog = inserted_.find(r.id);
+    std::size_t done = prog == inserted_.end() ? 0 : prog->second;
+    if (written <= done)
+        return;
+    // Recompute the chain up to the already-indexed boundary (`done`
+    // is always block-aligned: a partial insert completes the prefix
+    // and short-circuits above).
+    std::uint64_t parent = 0;
+    std::size_t i = 0;
+    for (; (i + 1) * bt <= done; ++i)
+        parent = chainHash(parent, r.prefix_group, i, bt);
+    while ((i + 1) * bt <= written) {
+        std::uint64_t h = chainHash(parent, r.prefix_group, i, bt);
+        if (!insertNode(r, i, h, parent, bt, false))
+            break;
+        parent = h;
+        ++i;
+    }
+    std::size_t indexed = i * bt;
+    const std::size_t partial = r.prefix_tokens % bt;
+    if (partial > 0 && indexed == r.prefix_tokens - partial &&
+        written >= r.prefix_tokens) {
+        std::uint64_t h = chainHash(parent, r.prefix_group, i, partial);
+        if (insertNode(r, i, h, parent, partial, true))
+            indexed = r.prefix_tokens;
+    }
+    inserted_[r.id] = indexed;
+}
+
+bool
+PrefixCache::insertNode(const Request &r, std::size_t index,
+                        std::uint64_t hash, std::uint64_t parent,
+                        std::size_t tokens, bool partial)
+{
+    if (nodes_.count(hash) > 0)
+        return true; // another in-flight request indexed it first
+    if (parent != 0 && nodes_.count(parent) == 0) {
+        // Parent evicted mid-prefill: keep the forest rooted.
+        ++stats_.skipped_inserts;
+        return false;
+    }
+    if (cfg_.capacity_blocks > 0 &&
+        by_id_.size() >= cfg_.capacity_blocks && !evictOne(false)) {
+        ++stats_.skipped_inserts;
+        return false;
+    }
+    Node n;
+    n.hash = hash;
+    n.parent = parent;
+    n.tokens = static_cast<std::uint32_t>(tokens);
+    n.partial = partial;
+    n.freq = 1;
+    if (partial) {
+        // The tail is not block-aligned, so the writer's own tail
+        // block keeps growing past it: store the partial prefix in a
+        // cache-owned block instead.
+        if (!pool_.allocCacheBlocks(tokens, &n.blocks)) {
+            ++stats_.skipped_inserts;
+            return false;
+        }
+    } else {
+        n.blocks.reserve(pool_.degree());
+        for (std::size_t s = 0; s < pool_.degree(); ++s)
+            n.blocks.push_back(pool_.shard(s).seqBlockIds(r.id)[index]);
+        pool_.addBlockRefs(n.blocks);
+    }
+    n.id = next_node_id_++;
+    if (parent != 0)
+        ++nodes_.at(parent).children;
+    cached_tokens_ += tokens;
+    by_id_.emplace(n.id, hash);
+    nodes_.emplace(hash, std::move(n));
+    ++stats_.inserted_nodes;
+    return true;
+}
+
+bool
+PrefixCache::evictOne(bool reclaiming)
+{
+    // Hit-aware LFU with masked pins: candidates are leaves whose
+    // block the cache alone references (shard-0 refcount 1 — running
+    // sequences pin their prefixes); victim is min (freq, id), and the
+    // ascending-id scan makes the oldest insertion win ties.
+    const Node *victim = nullptr;
+    for (const auto &[id, hash] : by_id_) {
+        const Node &n = nodes_.at(hash);
+        if (n.children > 0)
+            continue;
+        if (pool_.shard(0).blockRefs(n.blocks[0]) > 1)
+            continue;
+        if (victim == nullptr || n.freq < victim->freq)
+            victim = &n;
+    }
+    if (victim == nullptr)
+        return false;
+    if (trace_)
+        trace_->instant("prefix_evict", "prefix", 0, trace_->now(),
+                        {{"node", static_cast<double>(victim->id)},
+                         {"tokens",
+                          static_cast<double>(victim->tokens)}});
+    eraseNode(victim->hash);
+    ++stats_.evicted_nodes;
+    if (reclaiming)
+        ++stats_.reclaimed_blocks;
+    return true;
+}
+
+void
+PrefixCache::eraseNode(std::uint64_t hash)
+{
+    auto it = nodes_.find(hash);
+    vqllm_assert(it != nodes_.end(), "erasing an unknown prefix node");
+    Node &n = it->second;
+    vqllm_assert(n.children == 0, "erasing a prefix node with children");
+    pool_.releaseBlockRefs(n.blocks);
+    if (n.parent != 0)
+        --nodes_.at(n.parent).children;
+    cached_tokens_ -= n.tokens;
+    by_id_.erase(n.id);
+    nodes_.erase(it);
+}
+
+void
+PrefixCache::onRelease(std::uint64_t seq_id)
+{
+    inserted_.erase(seq_id);
+}
+
+void
+PrefixCache::reclaim(std::uint64_t need_blocks)
+{
+    for (std::uint64_t freed = 0; freed < need_blocks;) {
+        if (!evictOne(true))
+            return;
+        ++freed;
+    }
+}
+
+std::uint64_t
+PrefixCache::evictableBlocks() const
+{
+    std::uint64_t count = 0;
+    for (const auto &[id, hash] : by_id_) {
+        const Node &n = nodes_.at(hash);
+        if (n.children == 0 &&
+            pool_.shard(0).blockRefs(n.blocks[0]) == 1)
+            ++count;
+    }
+    return count;
+}
+
+void
+PrefixCache::clear()
+{
+    // Children always carry larger ids than their parents, so a
+    // descending-id sweep erases leaves first.
+    while (!by_id_.empty())
+        eraseNode(by_id_.rbegin()->second);
+    inserted_.clear();
+    cached_tokens_ = 0;
+}
+
+void
+PrefixCache::exportMetrics(obs::MetricsRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.counter(prefix + ".lookups").add(stats_.lookups);
+    registry.counter(prefix + ".hits").add(stats_.hits);
+    registry.counter(prefix + ".matched_tokens")
+        .add(stats_.matched_tokens);
+    registry.counter(prefix + ".inserted_nodes")
+        .add(stats_.inserted_nodes);
+    registry.counter(prefix + ".evicted_nodes")
+        .add(stats_.evicted_nodes);
+    registry.counter(prefix + ".reclaimed_blocks")
+        .add(stats_.reclaimed_blocks);
+    registry.counter(prefix + ".skipped_inserts")
+        .add(stats_.skipped_inserts);
+    registry.counter(prefix + ".rollbacks").add(stats_.rollbacks);
+    registry.gauge(prefix + ".cached_blocks")
+        .set(static_cast<double>(cachedBlocks()));
+    registry.gauge(prefix + ".cached_tokens")
+        .set(static_cast<double>(cachedTokens()));
+}
+
+} // namespace vqllm::serving

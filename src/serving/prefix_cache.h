@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Cross-request KV prefix cache over the paged block pools.
+ *
+ * Requests that share a prefix (a tenant's system prompt, a few-shot
+ * preamble) should not prefill it more than once.  The cache indexes
+ * resident KV blocks at token-block granularity with a hash *chain*:
+ * node i's key hashes (parent key, prefix group, block index, block
+ * tokens), so equal chains of blocks collapse to equal keys and a
+ * lookup is a radix-style longest-match walk from the root — O(matched
+ * blocks), no token comparison.  A hit maps the matched blocks into the
+ * new sequence as shared ref-counted blocks (ShardedKvPool::
+ * attachSequence, identical on every TP shard) and the scheduler
+ * prefills only the unmatched suffix.
+ *
+ * Lifecycle: as a request's prefill advances past block boundaries
+ * inside its declared prefix, the cache inserts nodes referencing the
+ * just-written blocks (raising their refcounts, so the blocks outlive
+ * the writer).  A prefix whose length is not block-aligned ends in a
+ * *partial* node backed by a cache-owned block (allocCacheBlocks); a
+ * sequence attached through a partial node copy-on-write forks it on
+ * its first divergent write (KvBlockPool handles the fork; the cache's
+ * copy is untouched).
+ *
+ * Eviction is hit-aware LFU with masked pins, the CodebookResidency
+ * discipline: only leaf nodes (children == 0) whose block no running
+ * sequence references (shard-0 refcount == 1, i.e. the cache holds the
+ * only reference) are candidates; the victim is the minimum (freq,
+ * insertion id).  Eviction triggers on the node-count capacity at
+ * insert time and — via the pool's reclaimer hook — under allocation
+ * pressure, so cached prefixes never starve admissions: the pool asks
+ * the cache to surrender blocks before failing, and the paired
+ * reclaimable query folds evictable blocks into capacity estimates.
+ *
+ * Everything is deterministic: keys chain FNV-1a, scans walk a std::map
+ * keyed by insertion id, and the pool's LIFO id reuse keeps block
+ * identities reproducible — cache-on runs are bit-identical across
+ * host thread counts.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serving/request.h"
+#include "serving/sharded_kv_pool.h"
+
+namespace vqllm::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}
+
+namespace vqllm::serving {
+
+/** Static parameters of the prefix cache. */
+struct PrefixCacheConfig
+{
+    /** Tokens per block; must match the KV pools'. */
+    std::size_t block_tokens = 16;
+    /** Max cached nodes (= blocks per shard); 0 = bounded only by
+     *  pool pressure via the reclaimer. */
+    std::uint64_t capacity_blocks = 0;
+};
+
+/** Lifetime counters of the prefix cache. */
+struct PrefixCacheStats
+{
+    /** Prefix-bearing requests looked up. */
+    std::uint64_t lookups = 0;
+    /** Lookups that matched at least one block. */
+    std::uint64_t hits = 0;
+    /** Prompt tokens served from cache instead of prefill. */
+    std::uint64_t matched_tokens = 0;
+    std::uint64_t inserted_nodes = 0;
+    std::uint64_t evicted_nodes = 0;
+    /** Blocks surrendered to the pool's reclaimer under pressure
+     *  (subset of evicted_nodes). */
+    std::uint64_t reclaimed_blocks = 0;
+    /** Insertions skipped (pool full, capacity pinned, or orphaned
+     *  parent). */
+    std::uint64_t skipped_inserts = 0;
+    /** Attaches reverted because the unmatched suffix could not get a
+     *  first slice (hits/matched_tokens are taken back). */
+    std::uint64_t rollbacks = 0;
+};
+
+/**
+ * Block-granular prefix index over a ShardedKvPool.
+ *
+ * The scheduler drives it: match() before admission, attach() on a hit
+ * (or rollbackAttach() if admission then stalls), onPrefillAdvance()
+ * after every prefill slice, onRelease() at retire/preempt.  The
+ * constructor registers the cache as the pool's reclaimer; the
+ * destructor drops every cached reference and unregisters.
+ */
+class PrefixCache
+{
+  public:
+    PrefixCache(ShardedKvPool &pool, const PrefixCacheConfig &cfg);
+    ~PrefixCache();
+
+    PrefixCache(const PrefixCache &) = delete;
+    PrefixCache &operator=(const PrefixCache &) = delete;
+
+    /** Longest-match result: the matched token count and the node
+     *  chain backing it (root-to-leaf order). */
+    struct Match
+    {
+        std::size_t tokens = 0;
+        std::vector<std::uint64_t> node_hashes;
+    };
+
+    /** Longest cached prefix of the request's prompt.  Matches at most
+     *  prompt_len - 1 tokens so every request prefills at least one
+     *  token (attention needs a query). */
+    Match match(const Request &r);
+
+    /** Map a match's blocks into the request's sequence on every shard
+     *  (no free blocks consumed) and count the hit. */
+    void attach(const Request &r, const Match &m);
+
+    /** Revert attach(): the request could not take a prefill slice
+     *  this iteration, so it is not admitted after all. */
+    void rollbackAttach(const Request &r, const Match &m);
+
+    /** Index the blocks a prefill slice just completed (call after
+     *  every slice, including the admitting one). */
+    void onPrefillAdvance(const Request &r);
+
+    /** Forget per-request insertion progress (retire or preempt). */
+    void onRelease(std::uint64_t seq_id);
+
+    /** Pool pressure hook: evict cold unpinned nodes until
+     *  `need_blocks` per-shard blocks are freed or none qualify. */
+    void reclaim(std::uint64_t need_blocks);
+
+    /** @return per-shard blocks reclaim() could free right now
+     *  (unpinned leaves; a conservative undercount of whole evictable
+     *  chains). */
+    std::uint64_t evictableBlocks() const;
+
+    /** Drop every cached reference (end of run; enables the pool-level
+     *  leak check). */
+    void clear();
+
+    /** @return cached nodes == cached blocks per shard. */
+    std::uint64_t cachedBlocks() const { return by_id_.size(); }
+
+    /** @return tokens the cached nodes store (per shard). */
+    std::size_t cachedTokens() const { return cached_tokens_; }
+
+    const PrefixCacheStats &stats() const { return stats_; }
+    const PrefixCacheConfig &config() const { return cfg_; }
+
+    /** Attach a trace recorder (nullptr = off): prefix_hit /
+     *  prefix_rollback / prefix_evict record as instants. */
+    void setTrace(obs::TraceRecorder *trace) { trace_ = trace; }
+
+    /** Publish counters and occupancy under `<prefix>.`-qualified
+     *  names (e.g. `serving.kv.prefix`). */
+    void exportMetrics(obs::MetricsRegistry &registry,
+                       const std::string &prefix) const;
+
+  private:
+    struct Node
+    {
+        /** Insertion order (1-based); eviction tie-break and scan
+         *  order.  Parents always precede children. */
+        std::uint64_t id = 0;
+        std::uint64_t hash = 0;
+        /** Parent node's hash; 0 = root. */
+        std::uint64_t parent = 0;
+        std::uint32_t children = 0;
+        /** Tokens this node stores (block_tokens, or less for a
+         *  partial tail). */
+        std::uint32_t tokens = 0;
+        /** Backed by a cache-owned block (partial tail) rather than a
+         *  writer sequence's block. */
+        bool partial = false;
+        /** Hit-aware LFU frequency. */
+        std::uint64_t freq = 0;
+        /** One block per shard. */
+        std::vector<BlockId> blocks;
+    };
+
+    static std::uint64_t chainHash(std::uint64_t parent,
+                                   std::int64_t group,
+                                   std::size_t index,
+                                   std::size_t tokens);
+
+    bool insertNode(const Request &r, std::size_t index,
+                    std::uint64_t hash, std::uint64_t parent,
+                    std::size_t tokens, bool partial);
+    bool evictOne(bool reclaiming);
+    void eraseNode(std::uint64_t hash);
+
+    ShardedKvPool &pool_;
+    PrefixCacheConfig cfg_;
+    std::unordered_map<std::uint64_t, Node> nodes_;
+    /** Insertion id -> node hash; deterministic scan order for
+     *  eviction and clear(). */
+    std::map<std::uint64_t, std::uint64_t> by_id_;
+    /** Per-request insertion progress: prefix tokens already indexed
+     *  (or attached) for an in-flight sequence. */
+    std::unordered_map<std::uint64_t, std::size_t> inserted_;
+    std::size_t cached_tokens_ = 0;
+    std::uint64_t next_node_id_ = 1;
+    PrefixCacheStats stats_;
+    obs::TraceRecorder *trace_ = nullptr;
+};
+
+} // namespace vqllm::serving

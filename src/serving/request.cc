@@ -53,6 +53,14 @@ generateWorkload(const WorkloadConfig &cfg)
         if (cfg.priority_levels > 1)
             r.priority = static_cast<int>(
                 rng.uniformInt(cfg.priority_levels));
+        if (cfg.prefix_groups > 0 && cfg.prefix_tokens > 0) {
+            // The sampled prompt becomes the per-request tail behind
+            // the group's shared system prompt.
+            r.prefix_group = static_cast<std::int64_t>(
+                rng.uniformInt(cfg.prefix_groups));
+            r.prefix_tokens = cfg.prefix_tokens;
+            r.prompt_len += cfg.prefix_tokens;
+        }
         r.ttft_deadline_us = cfg.ttft_deadline_us;
         r.tbt_deadline_us = cfg.tbt_deadline_us;
         trace.push_back(r);

@@ -48,6 +48,13 @@ struct Request
     std::uint64_t codebook_group = 0;
     /** Scheduling priority (higher = more urgent; PriorityPolicy). */
     int priority = 0;
+    /** Shared-prefix group: requests with the same group open with the
+     *  same prefix_tokens-long prompt prefix (a tenant's system
+     *  prompt).  -1 = no shared prefix (prefix cache skips it). */
+    std::int64_t prefix_group = -1;
+    /** Leading prompt tokens shared by the prefix group (counted
+     *  inside prompt_len). */
+    std::size_t prefix_tokens = 0;
     /** SLO deadline for the first token, us after arrival (EDF). */
     double ttft_deadline_us = kDefaultTtftDeadlineUs;
     /** SLO deadline between consecutive tokens, us (EDF). */
@@ -118,6 +125,14 @@ struct WorkloadConfig
      *  every request at priority 0; draws no RNG so existing traces
      *  are unchanged). */
     std::size_t priority_levels = 1;
+
+    /** Shared-prefix tenants: each request joins one of N groups and
+     *  its prompt gains a prefix_tokens-long shared system prompt in
+     *  front of the sampled tail (0 = no shared prefixes; draws no RNG
+     *  so existing traces are unchanged). */
+    std::size_t prefix_groups = 0;
+    /** Shared system-prompt length per group, tokens. */
+    std::size_t prefix_tokens = 1024;
     /** TTFT SLO deadline stamped on every request, us (EDF policy). */
     double ttft_deadline_us = kDefaultTtftDeadlineUs;
     /** TBT SLO deadline stamped on every request, us (EDF policy). */

@@ -7,6 +7,7 @@
 #include "llm/e2e.h"
 #include "llm/ops.h"
 #include "obs/trace.h"
+#include "serving/prefix_cache.h"
 
 namespace vqllm::serving {
 
@@ -92,6 +93,8 @@ Scheduler::preempt(Request *r)
              {"held_tokens",
               static_cast<double>(r->prefilled_tokens)}});
     pool_.freeSequence(r->id);
+    if (prefix_cache_ != nullptr)
+        prefix_cache_->onRelease(r->id);
     r->state = RequestState::Preempted;
     r->prefilled_tokens = 0;
     r->prefill_complete = false;
@@ -190,6 +193,8 @@ Scheduler::prefillChunks(Iteration &it)
         r->prefilled_tokens += take + (last ? 1 : 0);
         r->prefill_complete = last;
         budget -= take;
+        if (prefix_cache_ != nullptr)
+            prefix_cache_->onPrefillAdvance(*r);
     }
 
     // ---- Admit new requests in policy order.  Stop at the first that
@@ -198,20 +203,47 @@ Scheduler::prefillChunks(Iteration &it)
            running_.size() < cfg_.max_batch) {
         Request *r = waiting_.front();
         std::size_t target = r->contextTokens();
-        std::size_t take =
-            sliceTokens(target, budget, pool_.freeTokens());
-        if (take == 0)
-            break;
-        bool last = take == target;
-        bool ok = pool_.allocSequence(r->id, take + (last ? 1 : 0));
-        vqllm_assert(ok, "sized prefill slice must allocate");
+        PrefixCache::Match m;
+        if (prefix_cache_ != nullptr)
+            m = prefix_cache_->match(*r);
+        std::size_t take;
+        bool last;
+        if (m.tokens > 0) {
+            // Prefix hit: map the matched blocks in as shared blocks
+            // and prefill only the unmatched suffix.  The slice starts
+            // against `m.tokens` of resident context, so the pricer
+            // charges the suffix alone.
+            prefix_cache_->attach(*r, m);
+            std::size_t remaining = target - m.tokens;
+            take = sliceTokens(remaining, budget,
+                               pool_.extendableTokens(r->id));
+            if (take == 0) {
+                // Not admissible after all (KV pressure on the
+                // suffix); undo so the hit statistics stay honest and
+                // the request re-matches when capacity frees up.
+                prefix_cache_->rollbackAttach(*r, m);
+                break;
+            }
+            last = take == remaining;
+            bool ok = pool_.extendSequence(r->id, take + (last ? 1 : 0));
+            vqllm_assert(ok, "sized prefill slice must extend");
+        } else {
+            take = sliceTokens(target, budget, pool_.freeTokens());
+            if (take == 0)
+                break;
+            last = take == target;
+            bool ok = pool_.allocSequence(r->id, take + (last ? 1 : 0));
+            vqllm_assert(ok, "sized prefill slice must allocate");
+        }
         waiting_.erase(waiting_.begin());
         r->state = RequestState::Running;
-        r->prefilled_tokens = take + (last ? 1 : 0);
+        r->prefilled_tokens = m.tokens + take + (last ? 1 : 0);
         r->prefill_complete = last;
         running_.push_back(r);
-        it.prefill.push_back({r, take, 0, last});
+        it.prefill.push_back({r, take, m.tokens, last});
         budget -= take;
+        if (prefix_cache_ != nullptr)
+            prefix_cache_->onPrefillAdvance(*r);
     }
 }
 
@@ -226,19 +258,36 @@ Scheduler::nextUnchunked()
     while (!waiting_.empty() && running_.size() < cfg_.max_batch) {
         Request *r = waiting_.front();
         std::size_t ctx = r->contextTokens();
+        PrefixCache::Match m;
+        if (prefix_cache_ != nullptr)
+            m = prefix_cache_->match(*r);
+        // The iteration's prompt-token budget covers what is actually
+        // prefilled: the unmatched suffix.
+        std::size_t slice = ctx - m.tokens;
         if (!it.prefill.empty() &&
-            prefill_tokens + ctx > cfg_.max_prefill_tokens)
+            prefill_tokens + slice > cfg_.max_prefill_tokens)
             break;
-        // Whole-prompt slice plus the slot of the token it emits.
-        if (!pool_.allocSequence(r->id, ctx + 1))
+        if (m.tokens > 0) {
+            // Prefix hit: shared blocks for the match, fresh blocks
+            // for the suffix plus the emitted token's slot.
+            prefix_cache_->attach(*r, m);
+            if (!pool_.extendSequence(r->id, slice + 1)) {
+                prefix_cache_->rollbackAttach(*r, m);
+                break;
+            }
+        } else if (!pool_.allocSequence(r->id, ctx + 1)) {
+            // Whole-prompt slice plus the slot of the token it emits.
             break;
+        }
         waiting_.erase(waiting_.begin());
         r->state = RequestState::Running;
         r->prefilled_tokens = ctx + 1;
         r->prefill_complete = true;
         running_.push_back(r);
-        it.prefill.push_back({r, ctx, 0, true});
-        prefill_tokens += ctx;
+        it.prefill.push_back({r, slice, m.tokens, true});
+        prefill_tokens += slice;
+        if (prefix_cache_ != nullptr)
+            prefix_cache_->onPrefillAdvance(*r);
     }
     if (!it.prefill.empty())
         return it;
@@ -279,6 +328,8 @@ void
 Scheduler::retire(Request *r)
 {
     pool_.freeSequence(r->id);
+    if (prefix_cache_ != nullptr)
+        prefix_cache_->onRelease(r->id);
     r->state = RequestState::Finished;
     r->prefilled_tokens = 0;
     auto pos = std::find(running_.begin(), running_.end(), r);

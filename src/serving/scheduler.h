@@ -66,6 +66,8 @@ class TraceRecorder;
 
 namespace vqllm::serving {
 
+class PrefixCache;
+
 /** Batch-formation limits. */
 struct SchedulerConfig
 {
@@ -159,6 +161,14 @@ class Scheduler
      *  recorder's simulated clock. */
     void setTrace(obs::TraceRecorder *trace) { trace_ = trace; }
 
+    /** Attach a prefix cache (nullptr = off, the default): admission
+     *  matches each prompt against cached prefixes, maps hits in as
+     *  shared blocks, and prefills only the unmatched suffix
+     *  (PrefillChunk::context starts at the matched tokens, so the
+     *  pricer charges the suffix alone); completed slices feed the
+     *  index via onPrefillAdvance. */
+    void setPrefixCache(PrefixCache *cache) { prefix_cache_ = cache; }
+
   private:
     Iteration nextUnchunked();
     Iteration nextChunked();
@@ -179,6 +189,7 @@ class Scheduler
     std::vector<Request *> running_;
     std::uint64_t rejected_ = 0;
     obs::TraceRecorder *trace_ = nullptr;
+    PrefixCache *prefix_cache_ = nullptr;
 };
 
 /** Tunables of the iteration pricer. */

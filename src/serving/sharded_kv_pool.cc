@@ -62,21 +62,32 @@ ShardedKvPool::allocSequence(std::uint64_t seq_id, std::size_t tokens)
     return true;
 }
 
+void
+ShardedKvPool::attachSequence(
+    std::uint64_t seq_id,
+    const std::vector<std::vector<BlockId>> &per_shard,
+    std::size_t tokens)
+{
+    vqllm_assert(per_shard.size() == shards_.size(),
+                "attach needs one block list per shard");
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        shards_[i].attachSequence(seq_id, per_shard[i], tokens);
+}
+
 bool
 ShardedKvPool::extendSequence(std::uint64_t seq_id, std::size_t tokens)
 {
+    std::uint64_t forks_before =
+        shards_.front().stats().cow_forks;
+    std::vector<KvBlockPool::ExtendUndo> undos(shards_.size());
     for (std::size_t i = 0; i < shards_.size(); ++i) {
-        if (shards_[i].extendSequence(seq_id, tokens))
+        if (shards_[i].extendSequence(seq_id, tokens, &undos[i]))
             continue;
-        // Rolling an extension back means releasing the whole sequence
-        // and re-allocating its prior length — KvBlockPool has no
-        // shrink — so reconstruct the pre-call state on the prefix.
-        std::size_t prior = shards_[i].seqTokens(seq_id);
-        for (std::size_t j = 0; j < i; ++j) {
-            shards_[j].freeSequence(seq_id);
-            bool ok = shards_[j].allocSequence(seq_id, prior);
-            vqllm_assert(ok, "rollback re-allocation cannot fail");
-        }
+        // Shard i is the constraint: revert the prefix block-exactly
+        // (shared prefix blocks keep their refs and identities — a
+        // free-and-realloc would silently privatize them).
+        for (std::size_t j = i; j-- > 0;)
+            shards_[j].undoExtend(seq_id, undos[j]);
         if (i > 0)
             ++stats_.cross_shard_rollbacks;
         ++stats_.failed_allocs;
@@ -87,10 +98,16 @@ ShardedKvPool::extendSequence(std::uint64_t seq_id, std::size_t tokens)
                              {"shard", static_cast<double>(i)}});
         return false;
     }
-    if (trace_)
+    if (trace_) {
+        std::uint64_t forked =
+            shards_.front().stats().cow_forks - forks_before;
+        if (forked > 0)
+            trace_->instant("cow_fork", "prefix", 0, trace_->now(),
+                            {{"seq", static_cast<double>(seq_id)}});
         trace_->instant("kv_extend", "kv", 0, trace_->now(),
                         {{"seq", static_cast<double>(seq_id)},
                          {"tokens", static_cast<double>(tokens)}});
+    }
     return true;
 }
 
@@ -179,6 +196,68 @@ ShardedKvPool::capacityBytes() const
     for (const auto &shard : shards_)
         bytes += shard.totalBlocks() * shard.blockBytes();
     return bytes;
+}
+
+bool
+ShardedKvPool::allocCacheBlocks(std::size_t fill_tokens,
+                                std::vector<BlockId> *out)
+{
+    out->clear();
+    out->reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        BlockId b;
+        if (!shards_[i].allocCacheBlock(fill_tokens, &b)) {
+            for (std::size_t j = i; j-- > 0;)
+                shards_[j].releaseBlockRef((*out)[j]);
+            out->clear();
+            if (i > 0)
+                ++stats_.cross_shard_rollbacks;
+            return false;
+        }
+        out->push_back(b);
+    }
+    return true;
+}
+
+void
+ShardedKvPool::addBlockRefs(const std::vector<BlockId> &blocks)
+{
+    vqllm_assert(blocks.size() == shards_.size(),
+                "need one block per shard");
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        shards_[i].addBlockRef(blocks[i]);
+}
+
+void
+ShardedKvPool::releaseBlockRefs(const std::vector<BlockId> &blocks)
+{
+    vqllm_assert(blocks.size() == shards_.size(),
+                "need one block per shard");
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        shards_[i].releaseBlockRef(blocks[i]);
+}
+
+void
+ShardedKvPool::setReclaimer(std::function<void(std::uint64_t)> reclaim,
+                            std::function<std::uint64_t()> reclaimable)
+{
+    for (auto &shard : shards_)
+        shard.setReclaimer(reclaim, reclaimable);
+}
+
+std::uint64_t
+ShardedKvPool::cowForks() const
+{
+    return shards_.front().stats().cow_forks;
+}
+
+std::uint64_t
+ShardedKvPool::sharedBlocks() const
+{
+    std::uint64_t shared = 0;
+    for (const auto &shard : shards_)
+        shared += shard.sharedBlocks();
+    return shared;
 }
 
 std::uint64_t

@@ -80,10 +80,23 @@ class ShardedKvPool
     bool allocSequence(std::uint64_t seq_id, std::size_t tokens);
 
     /**
-     * Extend a resident sequence by n tokens on every shard.
+     * Create a sequence on every shard by sharing already-resident
+     * blocks (a prefix-cache hit).  `per_shard[i]` lists the shard-i
+     * blocks; all shards gain the same token count.  Attaching never
+     * consumes free blocks, so it cannot fail and needs no rollback.
+     */
+    void attachSequence(std::uint64_t seq_id,
+                        const std::vector<std::vector<BlockId>> &per_shard,
+                        std::size_t tokens);
+
+    /**
+     * Extend a resident sequence by n tokens on every shard.  A shared
+     * tail block COW-forks per shard (traced as a `cow_fork` instant).
      *
      * @return false (and change nothing) if any shard cannot extend —
-     *         the scheduler's preemption signal
+     *         the scheduler's preemption signal.  Shards that already
+     *         extended are reverted block-exactly via undoExtend, so
+     *         shared prefix blocks survive the rollback.
      */
     bool extendSequence(std::uint64_t seq_id, std::size_t tokens);
 
@@ -129,6 +142,45 @@ class ShardedKvPool
      *  peaks; shards move in near-lockstep so the sum is the fleet
      *  peak). */
     std::uint64_t peakBytes() const;
+
+    // ---- Cache-owned block interface (one entry per shard) ----------
+
+    /**
+     * Take one cache-owned block per shard, each storing `fill_tokens`
+     * tokens (a partial prefix tail).  All-or-nothing: on any shard's
+     * capacity failure the blocks already taken are released.
+     *
+     * @return false when some shard has no free block
+     */
+    bool allocCacheBlocks(std::size_t fill_tokens,
+                          std::vector<BlockId> *out);
+
+    /** Add one reference per shard (`blocks[i]` on shard i). */
+    void addBlockRefs(const std::vector<BlockId> &blocks);
+
+    /** Drop one reference per shard. */
+    void releaseBlockRefs(const std::vector<BlockId> &blocks);
+
+    /** Register a reclaimer (prefix-cache eviction hook) on every
+     *  shard; see KvBlockPool::setReclaimer. */
+    void setReclaimer(std::function<void(std::uint64_t)> reclaim,
+                      std::function<std::uint64_t()> reclaimable);
+
+    /** @return copy-on-write forks (shard 0's count — shards fork in
+     *  lockstep, so this is the per-sequence-event count). */
+    std::uint64_t cowForks() const;
+
+    /** @return blocks shared by more than one owner, summed over
+     *  shards. */
+    std::uint64_t sharedBlocks() const;
+
+    /** @return tokens stored across live blocks of shard i, shared
+     *  blocks counted once (see KvBlockPool::storedTokens). */
+    std::size_t
+    storedTokens(std::size_t i) const
+    {
+        return shards_[i].storedTokens();
+    }
 
     const KvBlockPool &shard(std::size_t i) const { return shards_[i]; }
 

@@ -9,6 +9,7 @@
 #include "gpusim/gpu_spec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serving/prefix_cache.h"
 
 namespace vqllm::serving {
 
@@ -77,6 +78,16 @@ ServingSimulator::run(std::vector<Request> &trace)
     }
     ShardedKvPool pool(shard_cfgs);
     Scheduler scheduler(cfg_.scheduler, pool);
+    // Declared after the pool: the cache's destructor drops its block
+    // references and unregisters the reclaimer before the pool dies.
+    std::optional<PrefixCache> prefix_cache;
+    if (cfg_.prefix_cache) {
+        PrefixCacheConfig pc_cfg;
+        pc_cfg.block_tokens = cfg_.kv_block_tokens;
+        pc_cfg.capacity_blocks = cfg_.prefix_capacity_blocks;
+        prefix_cache.emplace(pool, pc_cfg);
+        scheduler.setPrefixCache(&*prefix_cache);
+    }
     // Private per-run engine unless one is injected: reports then
     // describe exactly this run, and concurrent runMany sims never
     // contend on one cache.  TP shards are identical GPUs compiling
@@ -108,6 +119,8 @@ ServingSimulator::run(std::vector<Request> &trace)
         scheduler.setTrace(trace_rec);
         pool.setTrace(trace_rec);
         eng.setTrace(trace_rec);
+        if (prefix_cache)
+            prefix_cache->setTrace(trace_rec);
         pricer.setCollectDetail(true);
     }
     obs::Histogram *h_iter_us = nullptr;
@@ -284,6 +297,7 @@ ServingSimulator::run(std::vector<Request> &trace)
         // occupancy matches its bookkeeping, and a fully-prefilled
         // sequence holds exactly its context — the prefill and
         // re-prefill paths must never drift apart by a token.
+        std::size_t running_tokens = 0;
         for (const Request *r : scheduler.running()) {
             vqllm_assert(pool.seqTokens(r->id) == r->prefilled_tokens,
                          "KV pool tokens diverged from request "
@@ -292,6 +306,26 @@ ServingSimulator::run(std::vector<Request> &trace)
                 vqllm_assert(r->prefilled_tokens == r->contextTokens(),
                              "prefilled sequence does not hold its "
                              "context for request ", r->id);
+            running_tokens += r->prefilled_tokens;
+        }
+        // Pool-level conservation per shard.  Without sharing, stored
+        // tokens equal the per-sequence sum exactly.  With the prefix
+        // cache, shared blocks store their tokens once in the pool but
+        // once per owner in the sum, so the pool view is bounded by
+        // the sum plus the cache-held tokens — summing seqTokens over
+        // sequences would double-count shared prefixes.
+        for (std::size_t s = 0; s < degree; ++s) {
+            if (!prefix_cache)
+                vqllm_assert(
+                    pool.storedTokens(s) == running_tokens,
+                    "pool stored tokens diverged from the running "
+                    "set on shard ", s);
+            else
+                vqllm_assert(
+                    pool.storedTokens(s) <=
+                        running_tokens + prefix_cache->cachedTokens(),
+                    "pool stored tokens exceed running set plus "
+                    "cached prefixes on shard ", s);
         }
     }
 
@@ -323,6 +357,24 @@ ServingSimulator::run(std::vector<Request> &trace)
         plan_stats.misses - plan_stats_before.misses;
     report.plan_cache_evictions =
         plan_stats.evictions - plan_stats_before.evictions;
+    report.prefix_cache_enabled = prefix_cache.has_value();
+    if (prefix_cache) {
+        const PrefixCacheStats &pc = prefix_cache->stats();
+        report.prefix_lookups = pc.lookups;
+        report.prefix_hits = pc.hits;
+        report.prefix_matched_tokens = pc.matched_tokens;
+        report.prefix_evicted_blocks = pc.evicted_nodes;
+        report.prefix_cached_blocks = prefix_cache->cachedBlocks();
+        report.cow_forks = pool.cowForks();
+        // Fraction of prefill demand served from cache: matched
+        // tokens over matched plus actually-prefilled tokens.
+        std::uint64_t demand =
+            pc.matched_tokens + report.prefill_tokens;
+        report.prefix_hit_rate =
+            demand > 0 ? static_cast<double>(pc.matched_tokens) /
+                             static_cast<double>(demand)
+                       : 0.0;
+    }
     report.tp_degree = degree;
     report.comm_us = pricer.commUs();
     report.comm_fraction = busy_us > 0 ? pricer.commUs() / busy_us : 0;
@@ -352,6 +404,13 @@ ServingSimulator::run(std::vector<Request> &trace)
         pool.exportMetrics(reg, "serving.kv");
         residency.exportMetrics(reg, "serving.codebook");
         eng.exportMetrics(reg, "compiler.plan_cache");
+        if (prefix_cache) {
+            prefix_cache->exportMetrics(reg, "serving.kv.prefix");
+            reg.gauge("serving.kv.prefix.hit_rate")
+                .set(report.prefix_hit_rate);
+            reg.counter("serving.kv.prefix.cow_forks")
+                .add(report.cow_forks);
+        }
         reg.counter("serving.requests.completed").add(completed);
         reg.counter("serving.requests.rejected")
             .add(report.rejected_requests);
@@ -368,6 +427,13 @@ ServingSimulator::run(std::vector<Request> &trace)
         reg.gauge("serving.tp_degree")
             .set(static_cast<double>(degree));
     }
+
+    // ---- Refcount leak check: with the trace drained and the cache's
+    // references dropped, every block must have returned to the pools.
+    if (prefix_cache)
+        prefix_cache->clear();
+    vqllm_assert(pool.usedBlocks() == 0,
+                 "KV blocks leaked after the trace drained");
     return report;
 }
 

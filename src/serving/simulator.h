@@ -84,6 +84,18 @@ struct SimulatorConfig
     std::size_t codebook_slots = 48;
 
     /**
+     * Cross-request KV prefix caching: index prefix-bearing prompts at
+     * block granularity, map matches in as shared ref-counted blocks
+     * and prefill only the unmatched suffix (serving/prefix_cache.h).
+     * Off (the default) runs the exact pre-cache code path — the
+     * report is bit-identical to a build without the cache.
+     */
+    bool prefix_cache = false;
+    /** Prefix-cache capacity, cached blocks per shard (0 = bounded
+     *  only by KV pool pressure via the reclaimer). */
+    std::uint64_t prefix_capacity_blocks = 0;
+
+    /**
      * Optional trace recorder (nullptr = tracing off, the default).
      * A traced run records scheduler iterations, prefill chunks,
      * decode batches, all-reduces, codebook uploads, KV pool events,

@@ -127,6 +127,135 @@ TEST(KvBlockPool, CanEverFitAgainstTotalCapacity)
     EXPECT_FALSE(pool.canEverFit(17));
 }
 
+// ---- Block sharing (prefix cache substrate) -------------------------
+
+TEST(KvBlockPool, AttachSharesBlocksWithoutConsumingFreeOnes)
+{
+    KvBlockPool pool(smallPool(8));
+    ASSERT_TRUE(pool.allocSequence(1, 8)); // 2 full blocks
+    auto blocks = pool.seqBlockIds(1);
+    pool.attachSequence(2, blocks, 8);
+    EXPECT_EQ(pool.usedBlocks(), 2u); // shared, counted once
+    EXPECT_EQ(pool.freeBlocks(), 6u);
+    EXPECT_EQ(pool.seqTokens(2), 8u);
+    EXPECT_EQ(pool.sharedBlocks(), 2u);
+    EXPECT_EQ(pool.blockRefs(blocks[0]), 2u);
+    // Pool-level stored tokens count the shared run once; the
+    // per-sequence views each see all 8.
+    EXPECT_EQ(pool.storedTokens(), 8u);
+    pool.freeSequence(1);
+    EXPECT_EQ(pool.usedBlocks(), 2u); // still referenced by seq 2
+    EXPECT_EQ(pool.sharedBlocks(), 0u);
+    pool.freeSequence(2);
+    EXPECT_EQ(pool.usedBlocks(), 0u);
+    EXPECT_EQ(pool.storedTokens(), 0u);
+}
+
+TEST(KvBlockPool, ExtendForksSharedPartialTail)
+{
+    KvBlockPool pool(smallPool(8));
+    ASSERT_TRUE(pool.allocSequence(1, 6)); // 1 full + 1 half block
+    auto blocks = pool.seqBlockIds(1);
+    pool.attachSequence(2, blocks, 6);
+    // Seq 2 writes into the shared tail's slack: the tail must fork
+    // (one fresh block), leaving seq 1's view untouched.
+    ASSERT_TRUE(pool.extendSequence(2, 1));
+    EXPECT_EQ(pool.stats().cow_forks, 1u);
+    EXPECT_EQ(pool.seqTokens(1), 6u);
+    EXPECT_EQ(pool.seqTokens(2), 7u);
+    EXPECT_NE(pool.seqBlockIds(2)[1], blocks[1]);
+    EXPECT_EQ(pool.seqBlockIds(2)[0], blocks[0]); // full block stays shared
+    EXPECT_EQ(pool.blockRefs(blocks[1]), 1u);     // tail privatized back
+    EXPECT_EQ(pool.usedBlocks(), 3u);
+    // 4 shared + 2 (seq1 tail) + 3 (seq2 forked tail) stored once each.
+    EXPECT_EQ(pool.storedTokens(), 4u + 2u + 3u);
+}
+
+TEST(KvBlockPool, ExtendableTokensChargesTheCowFork)
+{
+    KvBlockPool pool(smallPool(3));
+    ASSERT_TRUE(pool.allocSequence(1, 6)); // 2 blocks, 2 slack
+    pool.attachSequence(2, pool.seqBlockIds(1), 6);
+    // 1 free block, shared tail: the fork consumes it, so seq 2 can
+    // only gain the forked tail's slack plus nothing further.
+    EXPECT_EQ(pool.extendableTokens(2), 2u);
+    ASSERT_TRUE(pool.extendSequence(2, 2));
+    EXPECT_EQ(pool.extendableTokens(2), 0u);
+    EXPECT_FALSE(pool.appendToken(2));
+    // The fork dropped seq 2's reference on seq 1's tail, so seq 1's
+    // slack is writable again even with zero free blocks.
+    EXPECT_EQ(pool.extendableTokens(1), 2u);
+}
+
+TEST(KvBlockPool, UndoExtendRestoresSharingExactly)
+{
+    KvBlockPool pool(smallPool(8));
+    ASSERT_TRUE(pool.allocSequence(1, 6));
+    auto blocks = pool.seqBlockIds(1);
+    pool.attachSequence(2, blocks, 6);
+    std::size_t stored_before = pool.storedTokens();
+
+    KvBlockPool::ExtendUndo undo;
+    ASSERT_TRUE(pool.extendSequence(2, 7, &undo)); // fork + new block
+    EXPECT_EQ(pool.stats().cow_forks, 1u);
+    pool.undoExtend(2, undo);
+    EXPECT_EQ(pool.stats().cow_forks, 0u);
+    EXPECT_EQ(pool.seqTokens(2), 6u);
+    EXPECT_EQ(pool.seqBlockIds(2), blocks); // shares the original tail again
+    EXPECT_EQ(pool.blockRefs(blocks[1]), 2u);
+    EXPECT_EQ(pool.usedBlocks(), 2u);
+    EXPECT_EQ(pool.storedTokens(), stored_before);
+}
+
+TEST(KvBlockPool, CacheBlocksAndRefsRoundTrip)
+{
+    KvBlockPool pool(smallPool(4));
+    BlockId b = 0;
+    ASSERT_TRUE(pool.allocCacheBlock(3, &b));
+    EXPECT_EQ(pool.blockRefs(b), 1u);
+    EXPECT_EQ(pool.storedTokens(), 3u);
+    pool.addBlockRef(b);
+    EXPECT_EQ(pool.blockRefs(b), 2u);
+    pool.releaseBlockRef(b);
+    pool.releaseBlockRef(b);
+    EXPECT_EQ(pool.blockRefs(b), 0u);
+    EXPECT_EQ(pool.usedBlocks(), 0u);
+    EXPECT_EQ(pool.storedTokens(), 0u);
+    // Cache allocation never consults the reclaimer and fails plainly
+    // at capacity.
+    ASSERT_TRUE(pool.allocSequence(1, 16));
+    BlockId c = 0;
+    EXPECT_FALSE(pool.allocCacheBlock(1, &c));
+}
+
+TEST(KvBlockPool, ReclaimerFoldsIntoCapacityAndRescuesAllocs)
+{
+    KvBlockPool pool(smallPool(4));
+    // A stand-in prefix cache holding two cache-owned blocks.
+    std::vector<BlockId> hoard;
+    for (int i = 0; i < 2; ++i) {
+        BlockId b = 0;
+        ASSERT_TRUE(pool.allocCacheBlock(4, &b));
+        hoard.push_back(b);
+    }
+    pool.setReclaimer(
+        [&](std::uint64_t need) {
+            while (need-- > 0 && !hoard.empty()) {
+                pool.releaseBlockRef(hoard.back());
+                hoard.pop_back();
+            }
+        },
+        [&] { return static_cast<std::uint64_t>(hoard.size()); });
+    // Capacity queries see through the hoard...
+    EXPECT_EQ(pool.freeBlocks(), 2u);
+    EXPECT_EQ(pool.availableBlocks(), 4u);
+    EXPECT_EQ(pool.freeTokens(), 16u);
+    // ...and an allocation needing reclaimed blocks succeeds.
+    EXPECT_TRUE(pool.allocSequence(1, 16));
+    EXPECT_TRUE(hoard.empty());
+    EXPECT_EQ(pool.stats().failed_allocs, 0u);
+}
+
 // ---------------------------------------------------------------------
 
 TEST(CodebookResidency, HitsAfterAdmission)
