@@ -3,7 +3,8 @@
  * serving_sim: continuous-batching serving simulation from the command
  * line.
  *
- *   serving_sim [--scheme fp16|ewq4|vq4|vq2] [--model 7b|65b|70b]
+ *   serving_sim [--scheme fp16|ewq4|vq4|vq2]
+ *               [--kv-scheme fp16|int4|vq4|vq2] [--model 7b|65b|70b]
  *               [--gpu 4090|a40] [--qps N] [--duration S] [--seed N]
  *               [--max-batch N] [--block-tokens N] [--hbm-gb G]
  *               [--codebook-slots N] [--codebook-groups N]
@@ -11,7 +12,7 @@
  *               [--priority-levels N] [--prompt-median N]
  *               [--tp-degree N] [--link-gbps G] [--collective-us U]
  *               [--prefix-groups N] [--prefix-tokens N]
- *               [--prefix-cache on|off]
+ *               [--prefix-cache on|off] [--trace-in FILE]
  *               [--trace-out FILE] [--metrics-json FILE]
  *
  * Generates a Poisson request trace, serves it with the
@@ -45,6 +46,8 @@ namespace {
 const char kUsage[] =
     "usage: serving_sim [options]\n"
     "  --scheme fp16|ewq4|vq4|vq2   quantization scheme (default vq2)\n"
+    "  --kv-scheme fp16|int4|vq4|vq2  KV-cache storage scheme (default:\n"
+    "                               follows --scheme)\n"
     "  --model 7b|65b|70b           model configuration (default 7b)\n"
     "  --gpu 4090|a40               per-GPU hardware model (default 4090)\n"
     "  --qps N                      mean arrival rate (default 8)\n"
@@ -67,6 +70,10 @@ const char kUsage[] =
     "  --prefix-tokens N            shared system-prompt length, tokens, > 0\n"
     "  --prefix-cache on|off        cross-request KV prefix caching\n"
     "                               (default off)\n"
+    "  --trace-in FILE              replay a JSONL workload trace\n"
+    "                               (arrival_us, prompt_len, output_len,\n"
+    "                               optional group; malformed lines are a\n"
+    "                               hard error) instead of sampling\n"
     "  --trace-out FILE             write a Chrome/Perfetto trace JSON\n"
     "  --metrics-json FILE          write report + metrics as JSON\n"
     "  --help                       print this message and exit\n";
@@ -124,6 +131,11 @@ main(int argc, char **argv)
         if (flag == "--scheme") {
             if (!llm::parseQuantScheme(value(), &cfg.scheme))
                 vqllm_fatal("unknown scheme (fp16|ewq4|vq4|vq2)");
+        } else if (flag == "--kv-scheme") {
+            llm::KvScheme kv;
+            if (!llm::parseKvScheme(value(), &kv))
+                vqllm_fatal("unknown KV scheme (fp16|int4|vq4|vq2)");
+            cfg.kv_scheme = kv;
         } else if (flag == "--model") {
             cfg.model = &modelByName(value());
         } else if (flag == "--gpu") {
@@ -181,6 +193,8 @@ main(int argc, char **argv)
             else
                 usageError("--prefix-cache expects on|off, got '" + v +
                            "'");
+        } else if (flag == "--trace-in") {
+            cfg.workload.trace_path = value();
         } else if (flag == "--trace-out") {
             trace_out = value();
         } else if (flag == "--metrics-json") {
@@ -223,15 +237,24 @@ main(int argc, char **argv)
                   " tokens (cache " +
                   (cfg.prefix_cache ? "on" : "off") + ")"
             : "";
+    std::string kv_note =
+        cfg.kv_scheme.has_value()
+            ? std::string(", KV ") + llm::kvSchemeName(*cfg.kv_scheme)
+            : "";
+    std::string replay_note =
+        !cfg.workload.trace_path.empty()
+            ? ", replaying " + cfg.workload.trace_path
+            : "";
     std::printf("serving %s on %s / %s: %.1f QPS for %.0f s (seed "
-                "%llu, policy %s%s%s%s)\n",
+                "%llu, policy %s%s%s%s%s%s)\n",
                 cfg.model->name.c_str(), cfg.spec->name.c_str(),
                 llm::quantSchemeName(cfg.scheme), cfg.workload.qps,
                 cfg.workload.duration_s,
                 static_cast<unsigned long long>(cfg.workload.seed),
                 serving::policyKindName(cfg.scheduler.policy),
                 chunk_note.c_str(), tp_note.c_str(),
-                prefix_note.c_str());
+                prefix_note.c_str(), kv_note.c_str(),
+                replay_note.c_str());
     if (cfg.tp.degree > 1)
         std::printf("KV pools: %zu devices x %.2f GB under each weight "
                     "shard (%.2f GB aggregate)\n",

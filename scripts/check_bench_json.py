@@ -62,6 +62,11 @@ REQUIRED = {
                            "prefill_us", "busy_us", "tokens_saved",
                            "prompt_tokens", "prefix_len", "hit_rate",
                            "cow_forks", "preemptions", "completed"],
+        "kv_sweep[]": ["weight_scheme", "kv_scheme", "kv_scale",
+                       "bytes_per_token", "capacity_multiplier",
+                       "pool_bytes", "peak_running", "dequant_us",
+                       "max_qps_slo", "qps", "tokens_per_sec",
+                       "ttft_p95_ms", "tbt_p95_ms", "completed"],
     },
     "BENCH_host.json": {},
 }
@@ -171,6 +176,66 @@ def check_prefix_sweep(doc: dict, name: str) -> None:
     if entries:
         print(f"check_bench_json: prefix_sweep OK "
               f"({len(entries)} cells)")
+
+
+def check_kv_sweep(doc: dict, name: str) -> None:
+    """Semantic checks on the KV-scheme sweep: the FP16-KV baseline row
+    must be a true identity cell (scale 1, multiplier 1, zero attn
+    delta), every compressed row must have an FP16-KV twin at equal
+    pool bytes and load, the reported capacity multiplier must match
+    its byte ratio, and the VQ rows must demonstrate the capacity win
+    the sweep exists to measure: at least 2x the baseline's peak
+    concurrently-running sequences (and, when the full-mode SLO
+    bisections ran, at least the baseline's max QPS)."""
+    entries = doc.get("kv_sweep")
+    if entries is None:
+        return
+    baselines = {}
+    for i, e in enumerate(entries):
+        if e["kv_scheme"] == "fp16":
+            baselines[(e["pool_bytes"], e["qps"])] = e
+    for i, e in enumerate(entries):
+        where = f"{name}: kv_sweep[{i}] ({e['kv_scheme']})"
+        if not 0.0 < e["kv_scale"] <= 1.0:
+            fail(f"{where} kv_scale {e['kv_scale']} outside (0, 1]")
+        if e["bytes_per_token"] <= 0 or e["pool_bytes"] <= 0:
+            fail(f"{where} has non-positive KV byte counts")
+        # bytes_per_token is floor(fp16_bpt * scale), so the reported
+        # multiplier sits at or slightly above 1/scale.
+        want = 1.0 / e["kv_scale"]
+        if not want * (1 - 1e-3) <= e["capacity_multiplier"] \
+                <= want * (1 + 1e-2):
+            fail(f"{where} capacity_multiplier "
+                 f"{e['capacity_multiplier']} inconsistent with scale "
+                 f"{e['kv_scale']} (want ~{want:.4f})")
+        if e["max_qps_slo"] < 0:
+            fail(f"{where} negative max_qps_slo {e['max_qps_slo']}")
+        if e["kv_scheme"] == "fp16":
+            if e["kv_scale"] != 1.0 or e["capacity_multiplier"] != 1.0 \
+                    or e["dequant_us"] != 0:
+                fail(f"{where} FP16-KV baseline is not an identity "
+                     f"cell (scale {e['kv_scale']}, multiplier "
+                     f"{e['capacity_multiplier']}, attn delta "
+                     f"{e['dequant_us']} us)")
+            continue
+        base = baselines.get((e["pool_bytes"], e["qps"]))
+        if base is None:
+            fail(f"{where} has no FP16-KV twin at pool_bytes "
+                 f"{e['pool_bytes']} and {e['qps']} QPS")
+        if e["kv_scheme"].startswith("vq"):
+            if e["capacity_multiplier"] < 2.0:
+                fail(f"{where} capacity_multiplier "
+                     f"{e['capacity_multiplier']} below 2x")
+            if e["peak_running"] < 2 * base["peak_running"]:
+                fail(f"{where} peak_running {e['peak_running']} is "
+                     f"under 2x the FP16-KV baseline's "
+                     f"{base['peak_running']} at equal pool bytes")
+            if base["max_qps_slo"] > 0 and \
+                    e["max_qps_slo"] < base["max_qps_slo"]:
+                fail(f"{where} max_qps_slo {e['max_qps_slo']} below "
+                     f"the FP16-KV baseline's {base['max_qps_slo']}")
+    if entries:
+        print(f"check_bench_json: kv_sweep OK ({len(entries)} cells)")
 
 
 # Categories whose tid-0 spans tile each iteration exactly; their sums
@@ -345,6 +410,7 @@ def main() -> None:
         check_sweeps_non_empty(doc, path.name)
         check_required(doc, path.name)
         check_prefix_sweep(doc, path.name)
+        check_kv_sweep(doc, path.name)
         print(f"check_bench_json: {path.name} OK "
               f"({len(doc)} top-level keys)")
     print("check_bench_json: all bench JSONs valid")

@@ -2,6 +2,7 @@
 
 #include "common/bitutils.h"
 #include "engine/template_engine.h"
+#include "llm/model_config.h"
 
 namespace vqllm::kernels {
 
@@ -79,8 +80,10 @@ ewqAttentionEstimate(const gpusim::GpuSpec &spec,
 {
     gpusim::KernelCounters c;
     std::uint64_t kv_elems = shape.kvElements();
-    std::uint64_t kv_bytes = kv_elems * kv_bits / 8 +
-                             metadataBytes(kv_elems, shape.head_dim);
+    // One source of truth with the pool/pricer KV sizing: packed
+    // entries plus one scale/zero pair per head_dim-element group.
+    std::uint64_t kv_bytes =
+        llm::kvPackedBytesInt(kv_elems, kv_bits, shape.head_dim);
     c.dram_read_bytes = kv_bytes + static_cast<std::uint64_t>(
                                        shape.batch) *
                                        shape.heads * shape.head_dim * 2;

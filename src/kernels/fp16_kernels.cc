@@ -2,6 +2,7 @@
 
 #include "common/bitutils.h"
 #include "engine/template_engine.h"
+#include "llm/model_config.h"
 
 namespace vqllm::kernels {
 
@@ -74,8 +75,7 @@ fp16AttentionEstimate(const gpusim::GpuSpec &spec,
                           variant == AttnVariant::PagedFlashDecoding;
 
     gpusim::KernelCounters c;
-    std::uint64_t kv_bytes =
-        static_cast<std::uint64_t>(shape.kvElements()) * 2;
+    std::uint64_t kv_bytes = llm::kvPackedBytesFp16(shape.kvElements());
     c.dram_read_bytes = kv_bytes +
                         shape.batch * shape.heads * shape.head_dim * 2;
     c.dram_write_bytes = shape.outputElements() * 2;

@@ -224,4 +224,110 @@ compareQuantAccuracy(const vq::VQConfig &vq_cfg,
     return report;
 }
 
+namespace {
+
+/** Accuracy of the output layer over a precomputed (possibly
+ *  reconstructed) hidden-activation matrix [n, hidden]. */
+double
+evaluateFromHidden(const MlpModel &model, const Tensor<float> &hidden,
+                   const Dataset &data)
+{
+    const std::size_t n = hidden.dim(0);
+    const std::size_t width = hidden.dim(1);
+    const std::size_t classes = model.w2.dim(0);
+    std::size_t correct = par::parallelSum<std::size_t>(
+        n, 64, [&](const par::ChunkRange &ch) {
+            std::size_t part = 0;
+            for (std::size_t i = ch.begin; i < ch.end; ++i) {
+                const float *h = hidden.data() + i * width;
+                std::size_t best = 0;
+                float best_logit = 0;
+                for (std::size_t c = 0; c < classes; ++c) {
+                    float logit =
+                        model.b2[c] +
+                        simd::dot(model.w2.data() + c * width, h, width);
+                    if (c == 0 || logit > best_logit) {
+                        best = c;
+                        best_logit = logit;
+                    }
+                }
+                if (best == data.labels[i])
+                    ++part;
+            }
+            return part;
+        });
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+/** Hidden activations quantized through a VQ config (pooled codebook,
+ *  like compareQuantAccuracy's weight path). */
+Tensor<float>
+vqRoundTrip(const Tensor<float> &hidden, vq::VQConfig cfg)
+{
+    cfg.scope = vq::CodebookScope::PerTensor;
+    vq::KMeansOptions opts;
+    opts.max_iters = 12;
+    auto qt = vq::VectorQuantizer(cfg, opts).quantize(hidden);
+    vq::reorderByFrequency(qt);
+    return vq::VectorQuantizer::dequantize(qt);
+}
+
+} // namespace
+
+KvAccuracyReport
+compareKvAccuracy(std::uint64_t seed)
+{
+    Rng rng(seed);
+    TaskSpec spec;
+    Dataset all = makeTask(spec, rng);
+
+    Dataset train, test;
+    train.features = Tensor<float>({spec.train_samples, spec.input_dim});
+    test.features = Tensor<float>({spec.test_samples, spec.input_dim});
+    train.labels.assign(all.labels.begin(),
+                        all.labels.begin() + spec.train_samples);
+    test.labels.assign(all.labels.begin() + spec.train_samples,
+                       all.labels.end());
+    for (std::size_t i = 0; i < spec.train_samples; ++i)
+        for (std::size_t d = 0; d < spec.input_dim; ++d)
+            train.features.at(i, d) = all.features.at(i, d);
+    for (std::size_t i = 0; i < spec.test_samples; ++i)
+        for (std::size_t d = 0; d < spec.input_dim; ++d)
+            test.features.at(i, d) =
+                all.features.at(spec.train_samples + i, d);
+
+    // Hidden width 192 divides by both CQ vector sizes (2 and 4).
+    const std::size_t hidden_width = 192;
+    MlpModel model = trainMlp(train, hidden_width, 14, 0.02, rng);
+
+    // Cache the test set's hidden activations once — the stand-in for
+    // the KV vectors a serving run would store — then reconstruct them
+    // through each KV scheme's round-trip.
+    Tensor<float> hidden({spec.test_samples, hidden_width});
+    std::vector<float> h;
+    for (std::size_t i = 0; i < spec.test_samples; ++i) {
+        forward(model, model.w1, test.features, i, &h);
+        for (std::size_t j = 0; j < hidden_width; ++j)
+            hidden.at(i, j) = h[j];
+    }
+
+    KvAccuracyReport report;
+    report.fp16 = evaluateFromHidden(model, toFloat(toHalf(hidden)), test);
+
+    // Group-wise int4 RTN (qServe-style KV4): one scale per
+    // 32-activation group, the per-head grouping scaled to this width.
+    ewq::IntQuantConfig int4_cfg;
+    int4_cfg.bits = 4;
+    int4_cfg.group_size = 32;
+    report.int4 = evaluateFromHidden(
+        model, ewq::intDequantize(ewq::intQuantize(hidden, int4_cfg)),
+        test);
+
+    report.vq4 =
+        evaluateFromHidden(model, vqRoundTrip(hidden, vq::cq4()), test);
+    report.vq2 =
+        evaluateFromHidden(model, vqRoundTrip(hidden, vq::cq2()), test);
+    return report;
+}
+
 } // namespace vqllm::llm

@@ -101,4 +101,26 @@ AccuracyReport compareQuantAccuracy(const vq::VQConfig &vq_cfg,
                                     const ewq::IntQuantConfig &ewq_cfg,
                                     std::uint64_t seed = 1234);
 
+/** Held-out accuracy per KV-cache storage scheme (llm::KvScheme
+ *  order: FP16, INT4, VQ4, VQ2). */
+struct KvAccuracyReport
+{
+    double fp16 = 0;
+    double int4 = 0;
+    double vq4 = 0;
+    double vq2 = 0;
+};
+
+/**
+ * Quality trade-off of the KV storage schemes: train the classifier,
+ * then quantize its *hidden activations* — the stand-in for cached KV
+ * vectors, which are activations, not weights — through each KV
+ * scheme's quantize->dequantize path (FP16 round-trip, group-wise int4
+ * RTN, CQ-4 and CQ-2 vector quantization) and evaluate the output
+ * layer on the reconstructed activations.
+ *
+ * @param seed determinism seed (task, init, shuffling)
+ */
+KvAccuracyReport compareKvAccuracy(std::uint64_t seed = 1234);
+
 } // namespace vqllm::llm

@@ -137,14 +137,21 @@ double
 schemeAttentionUs(compiler::Engine &eng, QuantScheme scheme,
                   const engine::AttnShape &shape)
 {
-    auto kv_cfg = schemeVqConfigs(scheme).second;
-    switch (scheme) {
-      case QuantScheme::FP16:
+    return kvSchemeAttentionUs(eng, defaultKvScheme(scheme), shape);
+}
+
+double
+kvSchemeAttentionUs(compiler::Engine &eng, KvScheme kv,
+                    const engine::AttnShape &shape)
+{
+    switch (kv) {
+      case KvScheme::FP16:
         return kernels::fp16AttentionEstimate(eng.spec(), shape).us();
-      case QuantScheme::EWQ4:
+      case KvScheme::INT4:
         return kernels::ewqAttentionEstimate(eng.spec(), shape, 4).us();
-      case QuantScheme::VQ4:
-      case QuantScheme::VQ2: {
+      case KvScheme::VQ4:
+      case KvScheme::VQ2: {
+        auto kv_cfg = kvSchemeVqConfig(kv);
         const auto &profile = configProfile(kv_cfg);
         auto request = compiler::KernelRequest::attentionOp(
             shape, kv_cfg, OptLevel::O4, &profile.histogram);
@@ -168,6 +175,13 @@ schemeAttentionUs(const gpusim::GpuSpec &spec, QuantScheme scheme,
 {
     return schemeAttentionUs(compiler::Engine::shared(spec), scheme,
                              shape);
+}
+
+double
+kvSchemeAttentionUs(const gpusim::GpuSpec &spec, KvScheme kv,
+                    const engine::AttnShape &shape)
+{
+    return kvSchemeAttentionUs(compiler::Engine::shared(spec), kv, shape);
 }
 
 E2EResult

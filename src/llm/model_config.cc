@@ -36,6 +36,69 @@ parseQuantScheme(const std::string &token, QuantScheme *out)
     return true;
 }
 
+const char *
+kvSchemeName(KvScheme scheme)
+{
+    switch (scheme) {
+      case KvScheme::FP16: return "FP16";
+      case KvScheme::INT4: return "INT4";
+      case KvScheme::VQ4:  return "VQ4";
+      case KvScheme::VQ2:  return "VQ2";
+    }
+    return "?";
+}
+
+const char *
+kvSchemeToken(KvScheme scheme)
+{
+    switch (scheme) {
+      case KvScheme::FP16: return "fp16";
+      case KvScheme::INT4: return "int4";
+      case KvScheme::VQ4:  return "vq4";
+      case KvScheme::VQ2:  return "vq2";
+    }
+    return "?";
+}
+
+bool
+parseKvScheme(const std::string &token, KvScheme *out)
+{
+    std::string t = token;
+    std::transform(t.begin(), t.end(), t.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (t == "fp16")
+        *out = KvScheme::FP16;
+    else if (t == "int4")
+        *out = KvScheme::INT4;
+    else if (t == "vq4")
+        *out = KvScheme::VQ4;
+    else if (t == "vq2")
+        *out = KvScheme::VQ2;
+    else
+        return false;
+    return true;
+}
+
+KvScheme
+defaultKvScheme(QuantScheme scheme)
+{
+    switch (scheme) {
+      case QuantScheme::FP16: return KvScheme::FP16;
+      case QuantScheme::EWQ4: return KvScheme::INT4;
+      case QuantScheme::VQ4:  return KvScheme::VQ4;
+      case QuantScheme::VQ2:  return KvScheme::VQ2;
+    }
+    return KvScheme::FP16;
+}
+
+vq::VQConfig
+kvSchemeVqConfig(KvScheme scheme)
+{
+    if (scheme == KvScheme::VQ2)
+        return vq::cq2();
+    return vq::cq4();
+}
+
 std::pair<vq::VQConfig, vq::VQConfig>
 schemeVqConfigs(QuantScheme scheme)
 {
@@ -61,27 +124,52 @@ schemeWeightBytesPerParam(QuantScheme scheme)
 }
 
 double
-schemeKvScale(QuantScheme scheme)
+kvSchemeScale(KvScheme scheme)
 {
     switch (scheme) {
-      case QuantScheme::FP16:
+      case KvScheme::FP16:
         return 1.0;
-      case QuantScheme::EWQ4:
+      case KvScheme::INT4:
         // 4-bit entries plus per-group scale/zero-point overhead.
         return 0.25 + 0.02;
-      case QuantScheme::VQ4:
-      case QuantScheme::VQ2:
+      case KvScheme::VQ4:
+      case KvScheme::VQ2:
         // Packed indices plus a small codebook overhead.
-        return schemeVqConfigs(scheme).second.compressionRatio() + 0.01;
+        return kvSchemeVqConfig(scheme).compressionRatio() + 0.01;
     }
     return 1.0;
 }
 
 std::uint64_t
-schemeKvBytesPerToken(const LlamaConfig &model, QuantScheme scheme)
+kvSchemeBytesPerToken(const LlamaConfig &model, KvScheme scheme)
 {
     double fp16 = static_cast<double>(model.kvCacheBytesFp16(1, 1));
-    return static_cast<std::uint64_t>(fp16 * schemeKvScale(scheme));
+    return static_cast<std::uint64_t>(fp16 * kvSchemeScale(scheme));
+}
+
+double
+schemeKvScale(QuantScheme scheme)
+{
+    return kvSchemeScale(defaultKvScheme(scheme));
+}
+
+std::uint64_t
+schemeKvBytesPerToken(const LlamaConfig &model, QuantScheme scheme)
+{
+    return kvSchemeBytesPerToken(model, defaultKvScheme(scheme));
+}
+
+std::uint64_t
+kvPackedBytesFp16(std::uint64_t elements)
+{
+    return elements * 2;
+}
+
+std::uint64_t
+kvPackedBytesInt(std::uint64_t elements, std::size_t bits,
+                 std::size_t group_size)
+{
+    return elements * bits / 8 + elements / group_size * 4;
 }
 
 const LlamaConfig &

@@ -92,8 +92,57 @@ inline constexpr QuantScheme kAllQuantSchemes[] = {
     QuantScheme::VQ2,
 };
 
+/**
+ * Storage scheme of the KV cache, independent of the weight scheme.
+ *
+ * Historically the KV format was implied by the weight `QuantScheme`
+ * (FP16 weights -> FP16 KV, qServe -> int4 KV, VQ-LLM -> CQ KV).
+ * `KvScheme` makes that a first-class axis: any weight scheme can be
+ * served with any KV format, e.g. FP16 weights + CQ-4 KV to trade a
+ * little attention dequant for 3.8x KV-cache capacity.
+ */
+enum class KvScheme {
+    FP16, ///< uncompressed half-precision KV
+    INT4, ///< element-wise 4-bit KV with per-group scales (qServe-style)
+    VQ4,  ///< CQ-4 vector-quantized KV (VQ<2,8,1>, 4 bits/element)
+    VQ2,  ///< CQ-2 vector-quantized KV (VQ<4,8,1>, 2 bits/element)
+};
+
+/** All KV schemes in sweep order. */
+inline constexpr KvScheme kAllKvSchemes[] = {
+    KvScheme::FP16,
+    KvScheme::INT4,
+    KvScheme::VQ4,
+    KvScheme::VQ2,
+};
+
 /** @return printable scheme name. */
 const char *quantSchemeName(QuantScheme scheme);
+
+/** @return printable KV-scheme name ("FP16", "INT4", "VQ4", "VQ2"). */
+const char *kvSchemeName(KvScheme scheme);
+
+/** @return lowercase CLI/JSON token ("fp16", "int4", "vq4", "vq2"). */
+const char *kvSchemeToken(KvScheme scheme);
+
+/**
+ * Parse a KV scheme from a CLI-style token ("fp16", "int4", "vq4",
+ * "vq2").
+ *
+ * @return true and sets *out on success; false on unknown token.
+ */
+bool parseKvScheme(const std::string &token, KvScheme *out);
+
+/** KV scheme a weight scheme historically implied (FP16 -> FP16,
+ *  EWQ4 -> INT4, VQ4 -> VQ4, VQ2 -> VQ2).  Runs that do not override
+ *  the KV scheme resolve through this and are bit-identical to the
+ *  pre-KvScheme behaviour. */
+KvScheme defaultKvScheme(QuantScheme scheme);
+
+/** KV codebook configuration of a VQ KV scheme (CQ-2 for VQ2, CQ-4
+ *  otherwise — the 4-bit config doubles as a placeholder for
+ *  histogram-free call sites, mirroring schemeVqConfigs). */
+vq::VQConfig kvSchemeVqConfig(KvScheme scheme);
 
 /**
  * Parse a scheme from a CLI-style token ("fp16", "ewq4", "vq4", "vq2").
@@ -112,14 +161,34 @@ std::pair<vq::VQConfig, vq::VQConfig> schemeVqConfigs(QuantScheme scheme);
  *  configured compression ratio). */
 double schemeWeightBytesPerParam(QuantScheme scheme);
 
-/** KV-cache bytes under a scheme relative to FP16 (1.0 for FP16; packed
- *  indices plus codebook/scale overhead for the quantized schemes). */
+/** KV-cache bytes under a KV scheme relative to FP16 (1.0 for FP16;
+ *  packed indices plus codebook/scale overhead for the quantized
+ *  schemes). */
+double kvSchemeScale(KvScheme scheme);
+
+/** KV-cache bytes one cached token occupies across the whole decoder
+ *  stack (all layers, K and V) under a KV scheme. */
+std::uint64_t kvSchemeBytesPerToken(const LlamaConfig &model,
+                                    KvScheme scheme);
+
+/** KV-cache bytes under a scheme relative to FP16; equivalent to
+ *  `kvSchemeScale(defaultKvScheme(scheme))`. */
 double schemeKvScale(QuantScheme scheme);
 
 /** KV-cache bytes one cached token occupies across the whole decoder
  *  stack (all layers, K and V) under a scheme. */
 std::uint64_t schemeKvBytesPerToken(const LlamaConfig &model,
                                     QuantScheme scheme);
+
+/** Packed byte footprint of `elements` FP16 values.  Single source of
+ *  truth for the KV traffic math in the kernel estimators. */
+std::uint64_t kvPackedBytesFp16(std::uint64_t elements);
+
+/** Packed byte footprint of `elements` values quantized element-wise
+ *  to `bits` bits with one FP32 scale per `group_size`-element group
+ *  (qServe-style int KV metadata). */
+std::uint64_t kvPackedBytesInt(std::uint64_t elements, std::size_t bits,
+                               std::size_t group_size);
 
 /** @return the Llama-7B configuration. */
 const LlamaConfig &llama7b();

@@ -196,6 +196,17 @@ ServingReport::summary() const
             static_cast<unsigned long long>(prefix_evicted_blocks));
         out += buf;
     }
+    if (kv_scheme != "fp16") {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  KV scheme %s: %llu bytes/token (%.2fx capacity vs FP16), "
+            "attn delta %+.2f s, peak running %llu seqs\n",
+            kv_scheme.c_str(),
+            static_cast<unsigned long long>(kv_bytes_per_token),
+            kv_capacity_multiplier, kv_dequant_us / 1e6,
+            static_cast<unsigned long long>(peak_running_seqs));
+        out += buf;
+    }
     if (plan_cache_hits + plan_cache_misses > 0) {
         std::snprintf(buf, sizeof(buf),
                       "  plan cache %.1f%% hits (%llu of %llu lookups)\n",
@@ -271,6 +282,17 @@ ServingReport::json() const
            << ",\"cached_blocks\":" << jsonU64(prefix_cached_blocks)
            << ",\"cow_forks\":" << jsonU64(cow_forks)
            << ",\"hit_rate\":" << jsonDouble(prefix_hit_rate) << "}";
+    }
+    if (kv_scheme != "fp16") {
+        // Emitted only for compressed KV: FP16-KV reports stay
+        // byte-identical to pre-KvScheme builds.
+        os << ",\"kv_scheme\":{\"scheme\":\"" << kv_scheme << "\""
+           << ",\"bytes_per_token\":" << jsonU64(kv_bytes_per_token)
+           << ",\"capacity_multiplier\":"
+           << jsonDouble(kv_capacity_multiplier)
+           << ",\"dequant_us\":" << jsonDouble(kv_dequant_us)
+           << ",\"peak_running_seqs\":" << jsonU64(peak_running_seqs)
+           << "}";
     }
     os << ",\"shards\":[";
     for (std::size_t i = 0; i < shards.size(); ++i) {

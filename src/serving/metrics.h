@@ -202,6 +202,30 @@ struct ServingReport
      *  prefilled), [0,1]. */
     double prefix_hit_rate = 0;
 
+    // KV storage scheme (SimulatorConfig::kv_scheme).  Like the prefix
+    // section above, the JSON/summary section only appears when the
+    // resolved KV scheme is not FP16 — FP16-KV reports stay
+    // bit-identical to pre-KvScheme builds.  The struct fields are
+    // populated for every run.
+    /** CLI/JSON token of the resolved KV scheme ("fp16", "int4",
+     *  "vq4", "vq2"). */
+    std::string kv_scheme = "fp16";
+    /** KV bytes one cached token occupies across the decoder stack
+     *  under the KV scheme (summed over shards). */
+    std::uint64_t kv_bytes_per_token = 0;
+    /** Resident-token capacity multiplier vs FP16 KV at equal pool
+     *  bytes (FP16 bytes/token over the scheme's bytes/token). */
+    double kv_capacity_multiplier = 1.0;
+    /** Signed decode-attention delta attributable to the KV scheme
+     *  over the run, microseconds: dequant/codebook cost minus the
+     *  HBM savings of reading fewer KV bytes (usually negative —
+     *  compression speeds attention up).  Attribution only: already
+     *  contained in decode_us; exactly 0 under FP16 KV. */
+    double kv_dequant_us = 0;
+    /** Peak concurrently running (prefilling or decoding) sequences
+     *  over the run's iterations. */
+    std::uint64_t peak_running_seqs = 0;
+
     /** @return plan-cache hit rate ([0,1]; 1 when nothing compiled). */
     double
     planCacheHitRate() const

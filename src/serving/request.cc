@@ -1,7 +1,13 @@
 #include "serving/request.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "common/logging.h"
 
 namespace vqllm::serving {
 
@@ -18,11 +24,151 @@ sampleLength(Rng &rng, std::size_t median, double sigma, std::size_t lo,
     return std::clamp(n, lo, hi);
 }
 
+/** Parse one flat JSONL object of numeric fields ({"key": number,
+ *  ...}); any deviation is a hard error naming the offending line. */
+std::map<std::string, double>
+parseTraceLine(const std::string &line, std::size_t lineno,
+               const std::string &path)
+{
+    auto fail = [&](const char *what) {
+        vqllm_fatal("malformed trace line ", lineno, " in ", path, " (",
+                    what, "): ", line);
+    };
+    std::map<std::string, double> fields;
+    const char *p = line.c_str();
+    auto skip = [&] {
+        while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+    };
+    skip();
+    if (*p != '{')
+        fail("expected '{'");
+    ++p;
+    skip();
+    if (*p == '}') {
+        ++p;
+    } else {
+        while (true) {
+            if (*p != '"')
+                fail("expected quoted key");
+            ++p;
+            const char *key_begin = p;
+            while (*p != '\0' && *p != '"')
+                ++p;
+            if (*p != '"')
+                fail("unterminated key");
+            std::string key(key_begin, p);
+            ++p;
+            skip();
+            if (*p != ':')
+                fail("expected ':'");
+            ++p;
+            skip();
+            char *end = nullptr;
+            double value = std::strtod(p, &end);
+            if (end == p)
+                fail("expected numeric value");
+            p = end;
+            if (!fields.emplace(key, value).second)
+                fail("duplicate key");
+            skip();
+            if (*p == ',') {
+                ++p;
+                skip();
+                continue;
+            }
+            if (*p == '}') {
+                ++p;
+                break;
+            }
+            fail("expected ',' or '}'");
+        }
+    }
+    skip();
+    if (*p != '\0')
+        fail("trailing characters");
+    return fields;
+}
+
+/** Non-negative integral field check for token counts and group ids. */
+std::uint64_t
+traceCount(double value, const char *key, std::size_t lineno,
+           const std::string &path)
+{
+    if (!(value >= 0) || value != std::floor(value))
+        vqllm_fatal("malformed trace line ", lineno, " in ", path,
+                    ": field '", key,
+                    "' must be a non-negative integer, got ", value);
+    return static_cast<std::uint64_t>(value);
+}
+
 } // namespace
+
+std::vector<Request>
+loadWorkloadTrace(const WorkloadConfig &cfg)
+{
+    std::ifstream in(cfg.trace_path);
+    if (!in)
+        vqllm_fatal("cannot open workload trace ", cfg.trace_path);
+
+    std::vector<Request> trace;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue; // blank line
+        auto fields = parseTraceLine(line, lineno, cfg.trace_path);
+        auto need = [&](const char *key) {
+            auto it = fields.find(key);
+            if (it == fields.end())
+                vqllm_fatal("malformed trace line ", lineno, " in ",
+                            cfg.trace_path, ": missing field '", key,
+                            "'");
+            return it->second;
+        };
+        Request r;
+        double arrival = need("arrival_us");
+        if (!(arrival >= 0) || !std::isfinite(arrival))
+            vqllm_fatal("malformed trace line ", lineno, " in ",
+                        cfg.trace_path,
+                        ": 'arrival_us' must be finite and >= 0, got ",
+                        arrival);
+        r.arrival_us = arrival;
+        r.prompt_len = static_cast<std::size_t>(traceCount(
+            need("prompt_len"), "prompt_len", lineno, cfg.trace_path));
+        r.max_new_tokens = static_cast<std::size_t>(traceCount(
+            need("output_len"), "output_len", lineno, cfg.trace_path));
+        if (r.prompt_len == 0 || r.max_new_tokens == 0)
+            vqllm_fatal("malformed trace line ", lineno, " in ",
+                        cfg.trace_path,
+                        ": prompt_len and output_len must be positive");
+        auto group = fields.find("group");
+        if (group != fields.end())
+            r.codebook_group = traceCount(group->second, "group", lineno,
+                                          cfg.trace_path);
+        r.ttft_deadline_us = cfg.ttft_deadline_us;
+        r.tbt_deadline_us = cfg.tbt_deadline_us;
+        trace.push_back(r);
+    }
+
+    // The simulator consumes arrival-ordered traces with ids 0..n-1;
+    // stable sort keeps equal-arrival requests in file order.
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival_us < b.arrival_us;
+                     });
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        trace[i].id = i;
+    return trace;
+}
 
 std::vector<Request>
 generateWorkload(const WorkloadConfig &cfg)
 {
+    if (!cfg.trace_path.empty())
+        return loadWorkloadTrace(cfg);
+
     Rng rng(cfg.seed);
     auto group_weights =
         powerLawWeights(cfg.num_codebook_groups, cfg.group_zipf_alpha);

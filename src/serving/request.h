@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -140,13 +141,32 @@ struct WorkloadConfig
 
     /** Trace seed; one seed fully determines one trace. */
     std::uint64_t seed = 42;
+
+    /**
+     * Workload replay: path to a JSONL trace file.  Non-empty replaces
+     * the synthetic generator entirely — one JSON object per line with
+     * required fields `arrival_us`, `prompt_len`, `output_len` and an
+     * optional `group` (codebook group, default 0).  Blank lines are
+     * skipped; any malformed line is a hard error (vqllm_fatal).
+     * Requests are sorted by arrival and re-identified 0..n-1, and the
+     * deadline fields above are stamped as usual.
+     */
+    std::string trace_path;
 };
 
 /**
  * Generate a request trace: Poisson arrivals, log-normal lengths,
  * Zipf-popular codebook groups.  Deterministic in cfg.seed; requests are
- * returned sorted by arrival time with ids 0..n-1.
+ * returned sorted by arrival time with ids 0..n-1.  With
+ * cfg.trace_path set, replays the JSONL file instead of sampling.
  */
 std::vector<Request> generateWorkload(const WorkloadConfig &cfg);
+
+/**
+ * Load a JSONL request trace (see WorkloadConfig::trace_path for the
+ * schema).  Deadlines are stamped from cfg; malformed lines and
+ * unreadable files are hard errors.
+ */
+std::vector<Request> loadWorkloadTrace(const WorkloadConfig &cfg);
 
 } // namespace vqllm::serving

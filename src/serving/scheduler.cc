@@ -354,8 +354,18 @@ IterationPricer::IterationPricer(std::vector<compiler::Engine *> engines,
                                  llm::QuantScheme scheme,
                                  const llm::TpConfig &tp,
                                  const PricerConfig &cfg)
+    : IterationPricer(std::move(engines), model, scheme,
+                      llm::defaultKvScheme(scheme), tp, cfg)
+{
+}
+
+IterationPricer::IterationPricer(std::vector<compiler::Engine *> engines,
+                                 const llm::LlamaConfig &model,
+                                 llm::QuantScheme scheme,
+                                 llm::KvScheme kv, const llm::TpConfig &tp,
+                                 const PricerConfig &cfg)
     : engines_(std::move(engines)), spec_(engines_.front()->spec()),
-      model_(model), scheme_(scheme), tp_(tp), cfg_(cfg),
+      model_(model), scheme_(scheme), kv_scheme_(kv), tp_(tp), cfg_(cfg),
       shard_deltas_(engines_.size())
 {
     vqllm_assert(cfg_.seq_bucket > 0, "seq_bucket must be positive");
@@ -428,8 +438,8 @@ double
 IterationPricer::decodeAttnUs(compiler::Engine &eng, std::size_t shard,
                               std::size_t batch, std::size_t seq_bucket)
 {
-    return llm::schemeAttentionUs(
-        eng, scheme_,
+    return llm::kvSchemeAttentionUs(
+        eng, kv_scheme_,
         llm::shardAttnShape(model_, batch, seq_bucket,
                             static_cast<std::size_t>(tp_.degree), shard));
 }
@@ -467,12 +477,15 @@ IterationPricer::decodeUs(const std::vector<Request *> &batch)
     // hidden width on every shard.
     double layers = static_cast<double>(model_.layers);
     double step_us = 0;
+    double attn0_us = 0;
     for (std::size_t s = 0; s < engines_.size(); ++s) {
         compiler::Engine &eng = *engines_[s];
         const compiler::CacheStats before = eng.stats();
         double attn_us = 0;
         for (auto [bucket, count] : bucket_counts)
             attn_us += decodeAttnUs(eng, s, count, bucket);
+        if (s == 0)
+            attn0_us = attn_us;
         double shard_us = decodeLinearUs(eng, s, n) + elem_us + attn_us;
         const compiler::CacheStats after = eng.stats();
         shard_deltas_[s].plan_cache_hits += after.hits - before.hits;
@@ -480,6 +493,21 @@ IterationPricer::decodeUs(const std::vector<Request *> &batch)
         if (collect_detail_)
             last_detail_.shard_compute_us.push_back(shard_us * layers);
         step_us = std::max(step_us, shard_us);
+    }
+
+    // KV-dequant attribution: what the same bucketed attention
+    // sub-launches would cost with uncompressed FP16 KV (closed form,
+    // no engine cache traffic), on the critical shard 0 geometry.
+    // Pure accounting — the time itself is already inside decode_us.
+    if (kv_scheme_ != llm::KvScheme::FP16) {
+        double fp16_us = 0;
+        for (auto [bucket, count] : bucket_counts)
+            fp16_us += llm::kvSchemeAttentionUs(
+                *engines_[0], llm::KvScheme::FP16,
+                llm::shardAttnShape(model_, count, bucket,
+                                    static_cast<std::size_t>(tp_.degree),
+                                    0));
+        kv_dequant_us_ += (attn0_us - fp16_us) * layers;
     }
 
     // Two ring all-reduces per layer gather the attention output and
@@ -528,10 +556,10 @@ IterationPricer::iterationUs(const Scheduler::Iteration &it)
 std::uint64_t
 IterationPricer::codebookGroupBytes() const
 {
-    if (scheme_ != llm::QuantScheme::VQ4 &&
-        scheme_ != llm::QuantScheme::VQ2)
+    if (kv_scheme_ != llm::KvScheme::VQ4 &&
+        kv_scheme_ != llm::KvScheme::VQ2)
         return 0;
-    const vq::VQConfig kv_cfg = llm::schemeVqConfigs(scheme_).second;
+    const vq::VQConfig kv_cfg = llm::kvSchemeVqConfig(kv_scheme_);
     // Per-channel-group scope: one codebook per vector_size channels of
     // the flattened KV heads, per layer, for K and V.
     std::uint64_t channels = model_.kvHeads() * model_.head_dim;

@@ -289,7 +289,9 @@ class IterationPricer
         std::size_t decode_batch = 0;
     };
 
-    /** Single-GPU convenience: degree-1 TP over one engine. */
+    /** Single-GPU convenience: degree-1 TP over one engine.  The KV
+     *  storage scheme follows the weight scheme
+     *  (llm::defaultKvScheme). */
     IterationPricer(compiler::Engine &eng,
                     const llm::LlamaConfig &model,
                     llm::QuantScheme scheme,
@@ -298,11 +300,25 @@ class IterationPricer
     /**
      * Tensor-parallel pricer: one engine per shard (entries may repeat
      * one shared engine).  engines.size() must equal tp.degree, and
-     * model.heads must divide evenly across the degree.
+     * model.heads must divide evenly across the degree.  The KV
+     * storage scheme follows the weight scheme.
      */
     IterationPricer(std::vector<compiler::Engine *> engines,
                     const llm::LlamaConfig &model,
                     llm::QuantScheme scheme, const llm::TpConfig &tp,
+                    const PricerConfig &cfg = PricerConfig{});
+
+    /**
+     * Fully decoupled pricer: weight scheme `scheme` for the decode
+     * linears, KV storage scheme `kv` for decode attention (FP16 KV
+     * prices flash decoding, INT4 the element-wise dequant path, VQ4 /
+     * VQ2 compile fused dequant-attention kernels carrying the KV
+     * VQConfig) and for the codebook-residency model.
+     */
+    IterationPricer(std::vector<compiler::Engine *> engines,
+                    const llm::LlamaConfig &model,
+                    llm::QuantScheme scheme, llm::KvScheme kv,
+                    const llm::TpConfig &tp,
                     const PricerConfig &cfg = PricerConfig{});
 
     /** Full mixed iteration: chunked-prefill GEMM slices plus decode
@@ -336,6 +352,21 @@ class IterationPricer
     std::uint64_t codebookGroupBytes() const;
 
     llm::QuantScheme scheme() const { return scheme_; }
+
+    /** KV storage scheme decode attention is priced under. */
+    llm::KvScheme kvScheme() const { return kv_scheme_; }
+
+    /**
+     * Cumulative signed decode-attention delta attributable to the KV
+     * scheme so far: the priced attention cost minus what the same
+     * bucketed shapes would cost with FP16 KV, summed over iterations
+     * (critical shard, all layers).  Positive when codebook/dequant
+     * work dominates, negative when reading fewer KV bytes outweighs
+     * it (the common case — compressing the cache speeds attention
+     * up).  Attribution only — the Breakdown categories already
+     * contain this time inside decode_us.  Exactly 0 under FP16 KV.
+     */
+    double kvDequantUs() const { return kv_dequant_us_; }
 
     const llm::TpConfig &tp() const { return tp_; }
 
@@ -383,9 +414,11 @@ class IterationPricer
     const gpusim::GpuSpec &spec_;
     const llm::LlamaConfig &model_;
     llm::QuantScheme scheme_;
+    llm::KvScheme kv_scheme_;
     llm::TpConfig tp_;
     PricerConfig cfg_;
     double comm_us_ = 0;
+    double kv_dequant_us_ = 0;
     /** Cumulative breakdown (comm tracked by comm_us_ above). */
     Breakdown totals_;
     Breakdown last_breakdown_;

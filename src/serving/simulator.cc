@@ -65,8 +65,12 @@ ServingSimulator::run(std::vector<Request> &trace)
     // of every cached token, so per-device bytes per token are the
     // shard's proportional slice of the scheme's full-token footprint.
     const auto degree = static_cast<std::size_t>(cfg_.tp.degree);
+    // KV storage scheme: explicit when configured, otherwise implied
+    // by the weight scheme (the pre-KvScheme behaviour, bit-identical).
+    const llm::KvScheme kv_scheme =
+        cfg_.kv_scheme.value_or(llm::defaultKvScheme(cfg_.scheme));
     const std::uint64_t total_bpt = std::max<std::uint64_t>(
-        llm::schemeKvBytesPerToken(model_, cfg_.scheme), 1);
+        llm::kvSchemeBytesPerToken(model_, kv_scheme), 1);
     const std::uint64_t kv_heads = model_.kvHeads();
     std::vector<KvBlockPoolConfig> shard_cfgs(degree);
     for (std::size_t i = 0; i < degree; ++i) {
@@ -100,8 +104,8 @@ ServingSimulator::run(std::vector<Request> &trace)
                                : local_engine.emplace(spec_);
     const compiler::CacheStats plan_stats_before = eng.stats();
     std::vector<compiler::Engine *> shard_engines(degree, &eng);
-    IterationPricer pricer(shard_engines, model_, cfg_.scheme, cfg_.tp,
-                           cfg_.pricer);
+    IterationPricer pricer(shard_engines, model_, cfg_.scheme, kv_scheme,
+                           cfg_.tp, cfg_.pricer);
     CodebookResidency residency(cfg_.codebook_slots);
     const bool has_codebooks = pricer.codebookGroupBytes() > 0;
     MetricsCollector metrics(cfg_.metrics);
@@ -137,6 +141,7 @@ ServingSimulator::run(std::vector<Request> &trace)
     std::size_t next_arrival = 0;
     std::uint64_t completed = 0;
     std::uint64_t iterations = 0;
+    std::uint64_t peak_running = 0;
     std::vector<std::uint64_t> groups;
 
     auto deliver = [&](double now) {
@@ -170,6 +175,8 @@ ServingSimulator::run(std::vector<Request> &trace)
             vqllm_panic("scheduler returned an empty iteration");
         }
         ++iterations;
+        peak_running = std::max<std::uint64_t>(peak_running,
+                                               scheduler.runningCount());
         for (std::size_t k = 0; k < iter.preempted; ++k)
             metrics.recordPreemption();
 
@@ -375,6 +382,13 @@ ServingSimulator::run(std::vector<Request> &trace)
                              static_cast<double>(demand)
                        : 0.0;
     }
+    report.kv_scheme = llm::kvSchemeToken(kv_scheme);
+    report.kv_bytes_per_token = total_bpt;
+    report.kv_capacity_multiplier =
+        static_cast<double>(model_.kvCacheBytesFp16(1, 1)) /
+        static_cast<double>(total_bpt);
+    report.kv_dequant_us = pricer.kvDequantUs();
+    report.peak_running_seqs = peak_running;
     report.tp_degree = degree;
     report.comm_us = pricer.commUs();
     report.comm_fraction = busy_us > 0 ? pricer.commUs() / busy_us : 0;
@@ -410,6 +424,18 @@ ServingSimulator::run(std::vector<Request> &trace)
                 .set(report.prefix_hit_rate);
             reg.counter("serving.kv.prefix.cow_forks")
                 .add(report.cow_forks);
+        }
+        if (kv_scheme != llm::KvScheme::FP16) {
+            // Gated like the report's kv_scheme section: FP16-KV
+            // metric exports stay identical to pre-KvScheme builds.
+            reg.gauge("serving.kv.scheme.bytes_per_token")
+                .set(static_cast<double>(total_bpt));
+            reg.gauge("serving.kv.scheme.capacity_multiplier")
+                .set(report.kv_capacity_multiplier);
+            reg.gauge("serving.kv.scheme.dequant_us")
+                .set(report.kv_dequant_us);
+            reg.gauge("serving.kv.scheme.peak_running_seqs")
+                .set(static_cast<double>(peak_running));
         }
         reg.counter("serving.requests.completed").add(completed);
         reg.counter("serving.requests.rejected")

@@ -20,6 +20,8 @@
  */
 #pragma once
 
+#include <optional>
+
 #include "gpusim/gpu_spec.h"
 #include "llm/model_config.h"
 #include "llm/tensor_parallel.h"
@@ -43,6 +45,18 @@ namespace vqllm::serving {
 struct SimulatorConfig
 {
     llm::QuantScheme scheme = llm::QuantScheme::VQ2;
+
+    /**
+     * KV-cache storage scheme, decoupled from the weight scheme:
+     * blocks shrink by the scheme's compression factor (the pool holds
+     * 1/scale more resident tokens at equal bytes) and decode
+     * attention prices the matching dequant path (fused VQ
+     * dequant-attention kernels for VQ4/VQ2).  Unset (the default)
+     * follows the weight scheme via llm::defaultKvScheme — the
+     * pre-KvScheme behaviour, bit-identical reports included.
+     */
+    std::optional<llm::KvScheme> kv_scheme;
+
     const gpusim::GpuSpec *spec = nullptr;   ///< default: rtx4090()
     const llm::LlamaConfig *model = nullptr; ///< default: llama7b()
 

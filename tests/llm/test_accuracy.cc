@@ -85,5 +85,33 @@ TEST(Accuracy, DeterministicForSeed)
     EXPECT_DOUBLE_EQ(a.ewq, b.ewq);
 }
 
+TEST(Accuracy, KvSchemeQualityTriangle)
+{
+    // KV storage schemes quantize cached activations, not weights:
+    // FP16 round-trip is the quality ceiling, 2-bit VQ pays the most,
+    // and every scheme stays within a few points of FP16 — the quality
+    // side of the capacity/speed/quality trade the serving sweep
+    // measures.
+    auto r = compareKvAccuracy(1234);
+    EXPECT_GT(r.fp16, 0.6);
+    EXPECT_GE(r.fp16, r.int4);
+    EXPECT_GE(r.fp16, r.vq4);
+    EXPECT_GE(r.vq4, r.vq2);
+    // CQ-4 KV holds quality near FP16 (the 3.85x capacity is not paid
+    // for in task accuracy); CQ-2 degrades but stays usable.
+    EXPECT_GE(r.vq4 + 0.02, r.fp16);
+    EXPECT_GE(r.vq2 + 0.05, r.fp16);
+}
+
+TEST(Accuracy, KvSchemeReportDeterministicForSeed)
+{
+    auto a = compareKvAccuracy(99);
+    auto b = compareKvAccuracy(99);
+    EXPECT_DOUBLE_EQ(a.fp16, b.fp16);
+    EXPECT_DOUBLE_EQ(a.int4, b.int4);
+    EXPECT_DOUBLE_EQ(a.vq4, b.vq4);
+    EXPECT_DOUBLE_EQ(a.vq2, b.vq2);
+}
+
 } // namespace
 } // namespace vqllm::llm

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * KV-scheme decoupling tests: selecting a KV storage scheme
+ * independently of the weight scheme must (1) leave FP16-KV serving
+ * reports bit-identical to the pre-KvScheme defaults, (2) multiply
+ * block-pool token capacity by the compression factor at equal pool
+ * bytes, (3) stay deterministic across host thread counts and TP
+ * degrees, and (4) compose with the cross-request prefix cache.  The
+ * JSONL workload-trace loader (`--trace-in`) is covered here too:
+ * well-formed traces replay sorted with fresh ids and stamped
+ * deadlines, malformed lines are hard errors.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/parallel.h"
+#include "llm/model_config.h"
+#include "serving/kv_block_pool.h"
+#include "serving/request.h"
+#include "serving/sharded_kv_pool.h"
+#include "serving/simulator.h"
+
+namespace vqllm::serving {
+namespace {
+
+struct ThreadGuard
+{
+    ~ThreadGuard() { par::setThreads(0); }
+};
+
+SimulatorConfig
+baseConfig(llm::QuantScheme scheme)
+{
+    SimulatorConfig cfg;
+    cfg.scheme = scheme;
+    cfg.workload.qps = 6;
+    cfg.workload.duration_s = 4;
+    return cfg;
+}
+
+/** A temp JSONL trace file that removes itself. */
+class TraceFile
+{
+  public:
+    explicit TraceFile(const std::string &content)
+        : path_(std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()) +
+                "_trace.jsonl")
+    {
+        std::ofstream out(path_);
+        out << content;
+    }
+    ~TraceFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+// ---------------------------------------------------------------------
+// KvScheme API
+
+TEST(KvScheme, DefaultsFollowTheWeightScheme)
+{
+    EXPECT_EQ(llm::defaultKvScheme(llm::QuantScheme::FP16),
+              llm::KvScheme::FP16);
+    EXPECT_EQ(llm::defaultKvScheme(llm::QuantScheme::EWQ4),
+              llm::KvScheme::INT4);
+    EXPECT_EQ(llm::defaultKvScheme(llm::QuantScheme::VQ4),
+              llm::KvScheme::VQ4);
+    EXPECT_EQ(llm::defaultKvScheme(llm::QuantScheme::VQ2),
+              llm::KvScheme::VQ2);
+    // The legacy weight-scheme helpers are exactly the KvScheme
+    // helpers through defaultKvScheme — the parity the serving layer
+    // relies on.
+    for (auto ws : llm::kAllQuantSchemes) {
+        EXPECT_EQ(llm::schemeKvScale(ws),
+                  llm::kvSchemeScale(llm::defaultKvScheme(ws)));
+        EXPECT_EQ(llm::schemeKvBytesPerToken(llm::llama7b(), ws),
+                  llm::kvSchemeBytesPerToken(
+                      llm::llama7b(), llm::defaultKvScheme(ws)));
+    }
+}
+
+TEST(KvScheme, ScalesAndBytesPerToken)
+{
+    const auto &model = llm::llama7b();
+    EXPECT_EQ(llm::kvSchemeScale(llm::KvScheme::FP16), 1.0);
+    EXPECT_EQ(llm::kvSchemeBytesPerToken(model, llm::KvScheme::FP16),
+              model.kvCacheBytesFp16(1, 1));
+    for (auto kv : llm::kAllKvSchemes) {
+        double scale = llm::kvSchemeScale(kv);
+        EXPECT_GT(scale, 0.0);
+        EXPECT_LE(scale, 1.0);
+        EXPECT_EQ(llm::kvSchemeBytesPerToken(model, kv),
+                  static_cast<std::uint64_t>(
+                      static_cast<double>(model.kvCacheBytesFp16(1, 1)) *
+                      scale));
+    }
+    // Compression ordering: VQ2 < VQ4 < INT4 < FP16.
+    EXPECT_LT(llm::kvSchemeScale(llm::KvScheme::VQ2),
+              llm::kvSchemeScale(llm::KvScheme::VQ4));
+    EXPECT_LT(llm::kvSchemeScale(llm::KvScheme::VQ4),
+              llm::kvSchemeScale(llm::KvScheme::INT4));
+    EXPECT_LT(llm::kvSchemeScale(llm::KvScheme::INT4), 1.0);
+    // VQ4 compresses at least 2x — the capacity headline the bench
+    // sweep asserts end to end.
+    EXPECT_LE(llm::kvSchemeScale(llm::KvScheme::VQ4), 0.5);
+}
+
+TEST(KvScheme, ParseRoundTripsTokens)
+{
+    for (auto kv : llm::kAllKvSchemes) {
+        llm::KvScheme parsed;
+        ASSERT_TRUE(llm::parseKvScheme(llm::kvSchemeToken(kv), &parsed))
+            << llm::kvSchemeToken(kv);
+        EXPECT_EQ(parsed, kv);
+    }
+    llm::KvScheme parsed;
+    EXPECT_TRUE(llm::parseKvScheme("VQ4", &parsed)); // case-insensitive
+    EXPECT_EQ(parsed, llm::KvScheme::VQ4);
+    EXPECT_FALSE(llm::parseKvScheme("fp8", &parsed));
+    EXPECT_FALSE(llm::parseKvScheme("", &parsed));
+}
+
+// ---------------------------------------------------------------------
+// FP16-KV bit parity
+
+TEST(KvSchemeParity, ExplicitFp16KvIsByteIdenticalToDefault)
+{
+    auto plain = baseConfig(llm::QuantScheme::FP16);
+    auto explicit_cfg = plain;
+    explicit_cfg.kv_scheme = llm::KvScheme::FP16;
+    auto a = ServingSimulator(plain).run();
+    auto b = ServingSimulator(explicit_cfg).run();
+    EXPECT_EQ(a.json(), b.json());
+    EXPECT_EQ(a.summary(), b.summary());
+    // FP16 KV emits no kv_scheme section at all — the JSON is the
+    // pre-KvScheme document byte for byte.
+    EXPECT_EQ(a.json().find("\"kv_scheme\""), std::string::npos);
+    EXPECT_EQ(a.kv_scheme, "fp16");
+    EXPECT_EQ(a.kv_bytes_per_token,
+              llm::llama7b().kvCacheBytesFp16(1, 1));
+    EXPECT_EQ(a.kv_capacity_multiplier, 1.0);
+    EXPECT_EQ(a.kv_dequant_us, 0.0);
+}
+
+TEST(KvSchemeParity, ExplicitDefaultKvMatchesLegacyRunPerScheme)
+{
+    // Pinning each weight scheme's default KV scheme explicitly must
+    // reproduce the legacy (implicit) run byte for byte — the report
+    // JSON includes every pricing, pool and plan-cache statistic.
+    for (auto ws : {llm::QuantScheme::EWQ4, llm::QuantScheme::VQ4}) {
+        auto implicit_cfg = baseConfig(ws);
+        auto explicit_cfg = implicit_cfg;
+        explicit_cfg.kv_scheme = llm::defaultKvScheme(ws);
+        auto a = ServingSimulator(implicit_cfg).run();
+        auto b = ServingSimulator(explicit_cfg).run();
+        EXPECT_EQ(a.json(), b.json()) << llm::quantSchemeName(ws);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pool capacity
+
+TEST(KvSchemeCapacity, BlockPoolMultipliesTokensAtEqualBytes)
+{
+    const auto &model = llm::llama7b();
+    KvBlockPoolConfig fp16_cfg;
+    fp16_cfg.capacity_bytes = 8ull << 30;
+    fp16_cfg.bytes_per_token =
+        llm::kvSchemeBytesPerToken(model, llm::KvScheme::FP16);
+    KvBlockPool fp16_pool(fp16_cfg);
+    for (auto kv : {llm::KvScheme::VQ4, llm::KvScheme::VQ2}) {
+        KvBlockPoolConfig cfg = fp16_cfg;
+        cfg.bytes_per_token = llm::kvSchemeBytesPerToken(model, kv);
+        KvBlockPool pool(cfg);
+        double ratio = static_cast<double>(pool.totalBlocks()) /
+                       static_cast<double>(fp16_pool.totalBlocks());
+        double want = 1.0 / llm::kvSchemeScale(kv);
+        EXPECT_GE(ratio, 2.0) << llm::kvSchemeName(kv);
+        // Same bytes, smaller tokens: the block count tracks the
+        // compression factor to block-granularity rounding.
+        EXPECT_NEAR(ratio, want, want * 0.01) << llm::kvSchemeName(kv);
+    }
+}
+
+TEST(KvSchemeCapacity, ShardedPoolKeepsTheMultiplierPerShard)
+{
+    const auto &model = llm::llama7b();
+    auto mkPool = [&](llm::KvScheme kv) {
+        KvBlockPoolConfig cfg;
+        cfg.capacity_bytes = 4ull << 30; // per device
+        cfg.bytes_per_token = std::max<std::uint64_t>(
+            llm::kvSchemeBytesPerToken(model, kv) / 2, 1); // 2-way TP
+        return ShardedKvPool(cfg, 2);
+    };
+    auto fp16 = mkPool(llm::KvScheme::FP16);
+    auto vq4 = mkPool(llm::KvScheme::VQ4);
+    for (std::size_t s = 0; s < 2; ++s) {
+        double ratio =
+            static_cast<double>(vq4.shard(s).totalBlocks()) /
+            static_cast<double>(fp16.shard(s).totalBlocks());
+        EXPECT_GE(ratio, 2.0) << "shard " << s;
+    }
+}
+
+TEST(KvSchemeCapacity, CompressedKvRaisesPeakConcurrency)
+{
+    // The end-to-end capacity claim at simulator level: equal pool
+    // bytes (FP16 weights in both cells), long contexts, saturating
+    // arrivals — VQ4 KV must hold at least 2x the concurrently
+    // running sequences of FP16 KV.
+    auto mk = [](llm::KvScheme kv) {
+        SimulatorConfig cfg;
+        cfg.scheme = llm::QuantScheme::FP16;
+        cfg.kv_scheme = kv;
+        cfg.workload.qps = 8;
+        cfg.workload.duration_s = 4;
+        cfg.workload.prompt_len_median = 2048;
+        cfg.workload.prompt_len_max = 6144;
+        cfg.workload.gen_tokens_median = 256;
+        cfg.scheduler.chunk_tokens = 512;
+        return cfg;
+    };
+    auto fp16 = ServingSimulator(mk(llm::KvScheme::FP16)).run();
+    auto vq4 = ServingSimulator(mk(llm::KvScheme::VQ4)).run();
+    EXPECT_EQ(fp16.kv_capacity_bytes, vq4.kv_capacity_bytes);
+    EXPECT_GT(fp16.peak_running_seqs, 0u);
+    EXPECT_GE(vq4.peak_running_seqs, 2 * fp16.peak_running_seqs);
+    EXPECT_GE(vq4.kv_capacity_multiplier, 2.0);
+    EXPECT_EQ(vq4.kv_scheme, "vq4");
+    // The compressed run's report carries the kv_scheme section.
+    EXPECT_NE(vq4.json().find("\"kv_scheme\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Determinism and composition
+
+TEST(KvSchemeDeterminism, VqKvReportsAreThreadCountInvariant)
+{
+    ThreadGuard guard;
+    auto cfg = baseConfig(llm::QuantScheme::FP16);
+    cfg.kv_scheme = llm::KvScheme::VQ2;
+    par::setThreads(1);
+    auto a = ServingSimulator(cfg).run();
+    par::setThreads(8);
+    auto b = ServingSimulator(cfg).run();
+    auto c = ServingSimulator(cfg).run();
+    EXPECT_EQ(a.json(), b.json());
+    EXPECT_EQ(b.json(), c.json());
+}
+
+TEST(KvSchemeDeterminism, VqKvComposesWithTensorParallelism)
+{
+    ThreadGuard guard;
+    auto cfg = baseConfig(llm::QuantScheme::VQ4);
+    cfg.kv_scheme = llm::KvScheme::VQ4;
+    cfg.tp.degree = 2;
+    par::setThreads(1);
+    auto a = ServingSimulator(cfg).run();
+    par::setThreads(8);
+    auto b = ServingSimulator(cfg).run();
+    EXPECT_EQ(a.json(), b.json());
+    EXPECT_EQ(a.tp_degree, 2u);
+    ASSERT_EQ(a.shards.size(), 2u);
+    EXPECT_GT(a.completed_requests, 0u);
+    EXPECT_EQ(a.kv_scheme, "vq4");
+    // Sharded pools split the compressed bytes/token across KV heads;
+    // the aggregate multiplier is still the compression factor.
+    EXPECT_GE(a.kv_capacity_multiplier, 2.0);
+}
+
+TEST(KvSchemeDeterminism, VqKvComposesWithPrefixCache)
+{
+    auto mk = [] {
+        SimulatorConfig cfg;
+        cfg.scheme = llm::QuantScheme::FP16;
+        cfg.kv_scheme = llm::KvScheme::VQ2;
+        cfg.prefix_cache = true;
+        cfg.workload.qps = 6;
+        cfg.workload.duration_s = 4;
+        cfg.workload.prompt_len_median = 512;
+        cfg.workload.prefix_groups = 2;
+        cfg.workload.prefix_tokens = 1024;
+        cfg.scheduler.chunk_tokens = 512;
+        return cfg;
+    };
+    auto a = ServingSimulator(mk()).run();
+    auto b = ServingSimulator(mk()).run();
+    EXPECT_GT(a.completed_requests, 0u);
+    EXPECT_GT(a.prefix_matched_tokens, 0u);
+    EXPECT_GT(a.prefix_hit_rate, 0.0);
+    EXPECT_EQ(a.json(), b.json());
+}
+
+// ---------------------------------------------------------------------
+// JSONL workload-trace replay
+
+TEST(WorkloadTrace, ReplaysSortedWithFreshIdsAndDeadlines)
+{
+    TraceFile file(
+        "{\"arrival_us\": 2000, \"prompt_len\": 64, \"output_len\": 8}\n"
+        "\n"
+        "{\"arrival_us\": 500.5, \"prompt_len\": 128, "
+        "\"output_len\": 16, \"group\": 3}\n"
+        "  \n"
+        "{\"arrival_us\": 500.5, \"prompt_len\": 32, \"output_len\": 4}\n");
+    WorkloadConfig cfg;
+    cfg.trace_path = file.path();
+    cfg.ttft_deadline_us = 1e6;
+    cfg.tbt_deadline_us = 2e5;
+    auto trace = generateWorkload(cfg);
+    ASSERT_EQ(trace.size(), 3u);
+    // Sorted by arrival; equal arrivals keep file order; ids reissued.
+    EXPECT_EQ(trace[0].arrival_us, 500.5);
+    EXPECT_EQ(trace[0].prompt_len, 128u);
+    EXPECT_EQ(trace[0].codebook_group, 3u);
+    EXPECT_EQ(trace[1].arrival_us, 500.5);
+    EXPECT_EQ(trace[1].prompt_len, 32u);
+    EXPECT_EQ(trace[2].arrival_us, 2000.0);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].id, i);
+        EXPECT_EQ(trace[i].ttft_deadline_us, 1e6);
+        EXPECT_EQ(trace[i].tbt_deadline_us, 2e5);
+    }
+}
+
+TEST(WorkloadTrace, DrivesAFullSimulation)
+{
+    std::string lines;
+    for (int i = 0; i < 12; ++i)
+        lines += "{\"arrival_us\": " + std::to_string(i * 250000) +
+                 ", \"prompt_len\": 256, \"output_len\": 32}\n";
+    TraceFile file(lines);
+    auto cfg = baseConfig(llm::QuantScheme::VQ4);
+    cfg.workload.trace_path = file.path();
+    auto a = ServingSimulator(cfg).run();
+    auto b = ServingSimulator(cfg).run();
+    EXPECT_EQ(a.completed_requests, 12u);
+    EXPECT_EQ(a.json(), b.json());
+}
+
+TEST(WorkloadTraceDeath, MalformedLinesAreHardErrors)
+{
+    WorkloadConfig cfg;
+    {
+        TraceFile file("{\"arrival_us\": 0, \"prompt_len\": 64}\n");
+        cfg.trace_path = file.path();
+        EXPECT_DEATH(generateWorkload(cfg), "missing field 'output_len'");
+    }
+    {
+        TraceFile file("not json at all\n");
+        cfg.trace_path = file.path();
+        EXPECT_DEATH(generateWorkload(cfg), "malformed trace line 1");
+    }
+    {
+        TraceFile file("{\"arrival_us\": -5, \"prompt_len\": 64, "
+                       "\"output_len\": 8}\n");
+        cfg.trace_path = file.path();
+        EXPECT_DEATH(generateWorkload(cfg), "arrival_us");
+    }
+    {
+        TraceFile file("{\"arrival_us\": 0, \"prompt_len\": 3.5, "
+                       "\"output_len\": 8}\n");
+        cfg.trace_path = file.path();
+        EXPECT_DEATH(generateWorkload(cfg), "non-negative integer");
+    }
+    {
+        TraceFile file("{\"arrival_us\": 0, \"prompt_len\": 0, "
+                       "\"output_len\": 8}\n");
+        cfg.trace_path = file.path();
+        EXPECT_DEATH(generateWorkload(cfg), "must be positive");
+    }
+    cfg.trace_path = "definitely_missing_trace.jsonl";
+    EXPECT_DEATH(generateWorkload(cfg), "cannot open workload trace");
+}
+
+} // namespace
+} // namespace vqllm::serving
