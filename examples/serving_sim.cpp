@@ -6,6 +6,9 @@
  *   serving_sim [--scheme fp16|ewq4|vq4|vq2]
  *               [--kv-scheme fp16|int4|vq4|vq2] [--model 7b|65b|70b]
  *               [--gpu 4090|a40] [--qps N] [--duration S] [--seed N]
+ *               [--arrival poisson|bursty|diurnal] [--burst-period S]
+ *               [--burst-duty F] [--burst-peak M] [--diurnal-period S]
+ *               [--diurnal-amplitude A]
  *               [--max-batch N] [--block-tokens N] [--hbm-gb G]
  *               [--codebook-slots N] [--codebook-groups N]
  *               [--policy fcfs|priority|edf] [--chunk-tokens N]
@@ -53,6 +56,14 @@ const char kUsage[] =
     "  --qps N                      mean arrival rate (default 8)\n"
     "  --duration S                 arrival window, seconds (default 60)\n"
     "  --seed N                     workload seed (default 42)\n"
+    "  --arrival poisson|bursty|diurnal\n"
+    "                               arrival process shape (default\n"
+    "                               poisson; all preserve the mean rate)\n"
+    "  --burst-period S             bursty: cycle length, seconds\n"
+    "  --burst-duty F               bursty: burst fraction, in (0,1)\n"
+    "  --burst-peak M               bursty: burst rate multiplier, >= 1\n"
+    "  --diurnal-period S           diurnal: cycle length, seconds\n"
+    "  --diurnal-amplitude A        diurnal: rate swing, in [0,1)\n"
     "  --max-batch N                max concurrent sequences\n"
     "  --block-tokens N             KV tokens per paged block\n"
     "  --hbm-gb G                   per-GPU HBM capacity, GB\n"
@@ -146,6 +157,23 @@ main(int argc, char **argv)
             cfg.workload.duration_s = std::stod(value());
         } else if (flag == "--seed") {
             cfg.workload.seed = std::stoull(value());
+        } else if (flag == "--arrival") {
+            std::string v = value();
+            auto p = serving::parseArrivalPattern(v);
+            if (!p)
+                usageError("--arrival expects poisson|bursty|diurnal, "
+                           "got '" + v + "'");
+            cfg.workload.arrival = *p;
+        } else if (flag == "--burst-period") {
+            cfg.workload.burst_period_s = std::stod(value());
+        } else if (flag == "--burst-duty") {
+            cfg.workload.burst_duty = std::stod(value());
+        } else if (flag == "--burst-peak") {
+            cfg.workload.burst_peak = std::stod(value());
+        } else if (flag == "--diurnal-period") {
+            cfg.workload.diurnal_period_s = std::stod(value());
+        } else if (flag == "--diurnal-amplitude") {
+            cfg.workload.diurnal_amplitude = std::stod(value());
         } else if (flag == "--max-batch") {
             cfg.scheduler.max_batch = std::stoul(value());
         } else if (flag == "--block-tokens") {
@@ -245,8 +273,14 @@ main(int argc, char **argv)
         !cfg.workload.trace_path.empty()
             ? ", replaying " + cfg.workload.trace_path
             : "";
+    std::string arrival_note =
+        cfg.workload.arrival != serving::ArrivalPattern::Poisson
+            ? std::string(", ") +
+                  serving::arrivalPatternName(cfg.workload.arrival) +
+                  " arrivals"
+            : "";
     std::printf("serving %s on %s / %s: %.1f QPS for %.0f s (seed "
-                "%llu, policy %s%s%s%s%s%s)\n",
+                "%llu, policy %s%s%s%s%s%s%s)\n",
                 cfg.model->name.c_str(), cfg.spec->name.c_str(),
                 llm::quantSchemeName(cfg.scheme), cfg.workload.qps,
                 cfg.workload.duration_s,
@@ -254,7 +288,7 @@ main(int argc, char **argv)
                 serving::policyKindName(cfg.scheduler.policy),
                 chunk_note.c_str(), tp_note.c_str(),
                 prefix_note.c_str(), kv_note.c_str(),
-                replay_note.c_str());
+                replay_note.c_str(), arrival_note.c_str());
     if (cfg.tp.degree > 1)
         std::printf("KV pools: %zu devices x %.2f GB under each weight "
                     "shard (%.2f GB aggregate)\n",

@@ -43,6 +43,7 @@ import sys
 # files they are expected to leave behind.
 SMOKE_TARGETS = [
     (["./bench_serving", "--smoke"], "BENCH_serving.json"),
+    (["./bench_fleet", "--smoke"], "BENCH_fleet.json"),
     (["./bench_host_throughput"], "BENCH_host.json"),
 ]
 
@@ -67,6 +68,21 @@ REQUIRED = {
                        "pool_bytes", "peak_running", "dequant_us",
                        "max_qps_slo", "qps", "tokens_per_sec",
                        "ttft_p95_ms", "tbt_p95_ms", "completed"],
+    },
+    "BENCH_fleet.json": {
+        "fleet_sweep[]": ["replicas", "router", "disaggregated",
+                          "prefill_replicas", "weight_scheme",
+                          "kv_scheme", "qps", "ttft_p95_ms",
+                          "tbt_p95_ms", "fleet_tokens_per_sec",
+                          "completed", "rejected", "handoffs",
+                          "handoff_rejects", "kv_transfer_bytes",
+                          "kv_transfer_us", "util_min", "util_max",
+                          "util_imbalance", "max_qps_slo"],
+        "router_sweep[]": ["router", "replicas", "arrival", "qps",
+                           "ttft_p95_ms", "tbt_p95_ms",
+                           "fleet_tokens_per_sec", "completed",
+                           "rejected", "util_min", "util_max",
+                           "util_imbalance"],
     },
     "BENCH_host.json": {},
 }
@@ -236,6 +252,98 @@ def check_kv_sweep(doc: dict, name: str) -> None:
                      f"the FP16-KV baseline's {base['max_qps_slo']}")
     if entries:
         print(f"check_bench_json: kv_sweep OK ({len(entries)} cells)")
+
+
+def check_fleet_sweep(doc: dict, name: str) -> None:
+    """Semantic checks on the fleet capacity sweep: utilization
+    fractions in range and consistent with the reported spread,
+    aggregated rows transfer no KV, disaggregated rows always hand
+    off, every disaggregated cell has an aggregated twin at equal
+    (replicas, router, qps), and — when the full-mode SLO bisections
+    ran — the disaggregated fleet sustains strictly more QPS than the
+    aggregated same-hardware baseline (the headline the sweep exists
+    to demonstrate)."""
+    entries = doc.get("fleet_sweep")
+    if entries is None:
+        return
+    cells = {}
+    for i, e in enumerate(entries):
+        where = f"{name}: fleet_sweep[{i}]"
+        if e["replicas"] < 1:
+            fail(f"{where} has {e['replicas']} replicas")
+        for field in ("util_min", "util_max"):
+            if not 0.0 <= e[field] <= 1.0:
+                fail(f"{where} {field} {e[field]} outside [0, 1]")
+        if e["util_max"] < e["util_min"]:
+            fail(f"{where} util_max below util_min")
+        if not close(e["util_imbalance"],
+                     e["util_max"] - e["util_min"]):
+            fail(f"{where} util_imbalance {e['util_imbalance']} is not "
+                 f"util_max - util_min")
+        if e["max_qps_slo"] < 0:
+            fail(f"{where} negative max_qps_slo {e['max_qps_slo']}")
+        if e["completed"] <= 0:
+            fail(f"{where} completed no requests")
+        if not e["disaggregated"]:
+            if e["handoffs"] != 0 or e["kv_transfer_bytes"] != 0 \
+                    or e["prefill_replicas"] != 0:
+                fail(f"{where} is aggregated but reports handoffs "
+                     f"({e['handoffs']}, {e['kv_transfer_bytes']} B, "
+                     f"{e['prefill_replicas']} prefill replicas)")
+        else:
+            if e["replicas"] < 2:
+                fail(f"{where} is disaggregated with one replica")
+            if not 1 <= e["prefill_replicas"] < e["replicas"]:
+                fail(f"{where} prefill_replicas "
+                     f"{e['prefill_replicas']} out of range")
+            if e["handoffs"] == 0 or e["kv_transfer_bytes"] == 0 \
+                    or e["kv_transfer_us"] <= 0:
+                fail(f"{where} is disaggregated but never handed off")
+        key = (e["replicas"], e["router"], e["qps"],
+               bool(e["disaggregated"]))
+        if key in cells:
+            fail(f"{where} duplicates cell {key}")
+        cells[key] = e
+    for (replicas, router, qps, disagg), e in cells.items():
+        if not disagg:
+            continue
+        agg = cells.get((replicas, router, qps, False))
+        if agg is None:
+            fail(f"{name}: fleet_sweep disaggregated cell ({replicas} "
+                 f"replicas, {router}) has no aggregated twin")
+        if e["max_qps_slo"] > 0 and agg["max_qps_slo"] > 0 and \
+                e["max_qps_slo"] <= agg["max_qps_slo"]:
+            fail(f"{name}: fleet_sweep ({replicas} replicas, {router}) "
+                 f"disaggregated max_qps_slo {e['max_qps_slo']} does "
+                 f"not beat the aggregated baseline's "
+                 f"{agg['max_qps_slo']}")
+    if entries:
+        print(f"check_bench_json: fleet_sweep OK ({len(entries)} cells)")
+
+
+def check_router_sweep(doc: dict, name: str) -> None:
+    """Semantic checks on the router sweep: utilization fractions in
+    range, every policy completed work under the bursty load."""
+    entries = doc.get("router_sweep")
+    if entries is None:
+        return
+    seen = set()
+    for i, e in enumerate(entries):
+        where = f"{name}: router_sweep[{i}]"
+        for field in ("util_min", "util_max"):
+            if not 0.0 <= e[field] <= 1.0:
+                fail(f"{where} {field} {e[field]} outside [0, 1]")
+        if not close(e["util_imbalance"],
+                     e["util_max"] - e["util_min"]):
+            fail(f"{where} util_imbalance inconsistent")
+        if e["completed"] <= 0:
+            fail(f"{where} completed no requests")
+        if e["router"] in seen:
+            fail(f"{where} duplicates router '{e['router']}'")
+        seen.add(e["router"])
+    if entries:
+        print(f"check_bench_json: router_sweep OK "
+              f"({len(entries)} cells)")
 
 
 # Categories whose tid-0 spans tile each iteration exactly; their sums
@@ -411,6 +519,8 @@ def main() -> None:
         check_required(doc, path.name)
         check_prefix_sweep(doc, path.name)
         check_kv_sweep(doc, path.name)
+        check_fleet_sweep(doc, path.name)
+        check_router_sweep(doc, path.name)
         print(f"check_bench_json: {path.name} OK "
               f"({len(doc)} top-level keys)")
     print("check_bench_json: all bench JSONs valid")

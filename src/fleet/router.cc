@@ -1,0 +1,105 @@
+#include "fleet/router.h"
+
+#include "common/logging.h"
+#include "serving/request.h"
+
+namespace vqllm::fleet {
+
+const char *
+routerPolicyName(RouterPolicy p)
+{
+    switch (p) {
+      case RouterPolicy::RoundRobin:     return "round-robin";
+      case RouterPolicy::LeastLoaded:    return "least-loaded";
+      case RouterPolicy::PrefixAffinity: return "prefix-affinity";
+      case RouterPolicy::SloAware:       return "slo-aware";
+    }
+    return "?";
+}
+
+std::optional<RouterPolicy>
+parseRouterPolicy(const std::string &s)
+{
+    if (s == "round-robin")
+        return RouterPolicy::RoundRobin;
+    if (s == "least-loaded")
+        return RouterPolicy::LeastLoaded;
+    if (s == "prefix-affinity")
+        return RouterPolicy::PrefixAffinity;
+    if (s == "slo-aware")
+        return RouterPolicy::SloAware;
+    return std::nullopt;
+}
+
+std::size_t
+Router::leastLoaded(const std::vector<ReplicaLoadView> &candidates) const
+{
+    // Strict < on total queued tokens: equal loads keep the earlier
+    // (lowest-index) candidate, making ties deterministic.
+    std::size_t best = 0;
+    std::uint64_t best_load = candidates[0].queued_prefill_tokens +
+                              candidates[0].queued_decode_tokens;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        std::uint64_t load = candidates[i].queued_prefill_tokens +
+                             candidates[i].queued_decode_tokens;
+        if (load < best_load) {
+            best = i;
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+std::size_t
+Router::pick(const serving::Request &r,
+             const std::vector<ReplicaLoadView> &candidates)
+{
+    vqllm_assert(!candidates.empty(), "router needs an entry replica");
+    switch (policy_) {
+      case RouterPolicy::RoundRobin: {
+        std::size_t i = rr_cursor_ % candidates.size();
+        ++rr_cursor_;
+        return candidates[i].index;
+      }
+      case RouterPolicy::LeastLoaded:
+        return candidates[leastLoaded(candidates)].index;
+      case RouterPolicy::PrefixAffinity: {
+        if (r.prefix_group < 0)
+            return candidates[leastLoaded(candidates)].index;
+        auto it = affinity_.find(r.prefix_group);
+        if (it != affinity_.end())
+            return it->second;
+        std::size_t target = candidates[leastLoaded(candidates)].index;
+        affinity_.emplace(r.prefix_group, target);
+        return target;
+      }
+      case RouterPolicy::SloAware: {
+        // Projected wait to this request's first token: the prefill
+        // backlog ahead of it plus its own prompt, drained at the
+        // replica's measured prefill+decode throughput.  A replica
+        // with no history yet projects zero wait (optimistic
+        // bootstrap); strict < keeps index ties deterministic.
+        std::size_t best = 0;
+        double best_wait = 0;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            const ReplicaLoadView &c = candidates[i];
+            double wait = 0;
+            if (c.busy_us > 0 && c.processed_tokens > 0) {
+                double rate = static_cast<double>(c.processed_tokens) /
+                              c.busy_us; // tokens per us
+                wait = (static_cast<double>(c.queued_prefill_tokens) +
+                        static_cast<double>(r.prompt_len)) /
+                       rate;
+            }
+            if (i == 0 || wait < best_wait) {
+                best = i;
+                best_wait = wait;
+            }
+        }
+        return candidates[best].index;
+      }
+    }
+    vqllm_panic("unknown router policy");
+}
+
+} // namespace vqllm::fleet

@@ -17,6 +17,15 @@ ringAllReduceUs(const TpConfig &tp, std::uint64_t bytes)
 }
 
 double
+linkTransferUs(const TpConfig &tp, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / (tp.link_bw_gbps * 1e9) * 1e6 +
+           tp.collective_latency_us;
+}
+
+double
 layerAllReduceUs(const TpConfig &tp, std::size_t rows, std::size_t hidden)
 {
     if (tp.degree <= 1)

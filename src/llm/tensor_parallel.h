@@ -63,6 +63,15 @@ TpResult estimateTensorParallel(const gpusim::GpuSpec &spec,
 double ringAllReduceUs(const TpConfig &tp, std::uint64_t bytes);
 
 /**
+ * Point-to-point transfer of `bytes` over the TpConfig link model: one
+ * traversal of the link plus the collective launch cost.  Unlike the
+ * all-reduces this is nonzero at degree 1 — it prices data movement
+ * *between* replicas (a fleet prefill→decode KV handoff), not within a
+ * TP group, so only the link fields of `tp` matter.  0 at bytes == 0.
+ */
+double linkTransferUs(const TpConfig &tp, std::uint64_t bytes);
+
+/**
  * Both ring all-reduces of one Megatron layer (after Wo and after
  * W_down) over `rows` FP16 activation rows of width `hidden`.  The
  * per-layer collective cost every decode step and prefill chunk pays

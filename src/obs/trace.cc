@@ -171,6 +171,51 @@ TraceRecorder::chromeJson() const
     return oss.str();
 }
 
+std::map<int, std::string>
+TraceRecorder::tracks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tracks_;
+}
+
+void
+writeChromeJsonMerged(std::ostream &os,
+                      const std::vector<TraceMergePart> &parts)
+{
+    // Same document shape as writeChromeJson — metadata first, then
+    // events — with each part's tids offset by its base and its track
+    // names prefixed.  Taking snapshots (tracks()/events()) keeps the
+    // recorders' own locking discipline.
+    os << "{\"traceEvents\":[\n";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"tid\":0,\"args\":{\"name\":\"vqllm fleet simulation\"}}";
+    for (const TraceMergePart &part : parts) {
+        for (const auto &[tid, name] : part.recorder->tracks()) {
+            os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":"
+               << part.tid_base + tid << ",\"args\":{\"name\":\""
+               << jsonEscape(part.prefix + name) << "\"}}";
+        }
+    }
+    for (const TraceMergePart &part : parts) {
+        for (const TraceEvent &e : part.recorder->events()) {
+            os << ",\n{\"name\":\"" << jsonEscape(e.name)
+               << "\",\"cat\":\"" << jsonEscape(e.cat) << "\",\"ph\":\""
+               << (e.phase == TraceEvent::Phase::Span ? "X" : "i")
+               << "\",\"pid\":0,\"tid\":" << part.tid_base + e.tid
+               << ",\"ts\":" << jsonNumber(e.ts_us);
+            if (e.phase == TraceEvent::Phase::Span)
+                os << ",\"dur\":" << jsonNumber(e.dur_us);
+            else
+                os << ",\"s\":\"t\""; // thread-scoped instant
+            os << ",";
+            writeArgs(os, e.args);
+            os << "}";
+        }
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
 void
 TraceRecorder::clear()
 {

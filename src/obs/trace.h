@@ -109,6 +109,9 @@ class TraceRecorder
     /** @return the Chrome trace-event JSON document as a string. */
     std::string chromeJson() const;
 
+    /** Snapshot of the named tracks (tid → name). */
+    std::map<int, std::string> tracks() const;
+
     /** Drop all events and track names (clock keeps its value). */
     void clear();
 
@@ -118,5 +121,26 @@ class TraceRecorder
     std::map<int, std::string> tracks_;
     std::vector<TraceEvent> events_;
 };
+
+/** One recorder's contribution to a merged Chrome trace. */
+struct TraceMergePart
+{
+    const TraceRecorder *recorder = nullptr;
+    /** Added to every event/track tid so parts never collide. */
+    int tid_base = 0;
+    /** Prepended to the part's track names ("r0/scheduler"). */
+    std::string prefix;
+};
+
+/**
+ * Serialize several recorders into one Chrome trace-event JSON
+ * document on a shared timeline (the fleet simulator merges its
+ * per-replica recorders this way: replica i offsets its tracks by
+ * i*kTracksPerReplica and prefixes them "r<i>/").  Event order is
+ * parts order, then recording order within a part — deterministic, so
+ * identical runs produce byte-identical merged traces.
+ */
+void writeChromeJsonMerged(std::ostream &os,
+                           const std::vector<TraceMergePart> &parts);
 
 } // namespace vqllm::obs

@@ -104,6 +104,29 @@ traceCount(double value, const char *key, std::size_t lineno,
 
 } // namespace
 
+const char *
+arrivalPatternName(ArrivalPattern p)
+{
+    switch (p) {
+      case ArrivalPattern::Poisson: return "poisson";
+      case ArrivalPattern::Bursty:  return "bursty";
+      case ArrivalPattern::Diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+std::optional<ArrivalPattern>
+parseArrivalPattern(const std::string &s)
+{
+    if (s == "poisson")
+        return ArrivalPattern::Poisson;
+    if (s == "bursty")
+        return ArrivalPattern::Bursty;
+    if (s == "diurnal")
+        return ArrivalPattern::Diurnal;
+    return std::nullopt;
+}
+
 std::vector<Request>
 loadWorkloadTrace(const WorkloadConfig &cfg)
 {
@@ -173,10 +196,63 @@ generateWorkload(const WorkloadConfig &cfg)
     auto group_weights =
         powerLawWeights(cfg.num_codebook_groups, cfg.group_zipf_alpha);
 
+    // Modulated patterns (bursty/diurnal) sample candidate arrivals at
+    // the pattern's *peak* rate and thin each against the instantaneous
+    // rate — the textbook construction for an inhomogeneous Poisson
+    // process.  Plain Poisson takes peak == mean and skips the thinning
+    // draw, so its RNG sequence (and every pre-pattern trace) is
+    // bit-identical.
+    double peak_qps = cfg.qps;
+    if (cfg.arrival == ArrivalPattern::Bursty) {
+        if (!(cfg.burst_period_s > 0))
+            vqllm_fatal("burst_period_s must be positive, got ",
+                        cfg.burst_period_s);
+        if (!(cfg.burst_duty > 0 && cfg.burst_duty < 1))
+            vqllm_fatal("burst_duty must lie in (0, 1), got ",
+                        cfg.burst_duty);
+        if (cfg.burst_peak < 1)
+            vqllm_fatal("burst_peak must be >= 1, got ", cfg.burst_peak);
+        if (cfg.burst_duty * cfg.burst_peak > 1)
+            vqllm_fatal("burst_duty * burst_peak must be <= 1 so the "
+                        "trough rate that preserves the mean stays "
+                        "non-negative, got ",
+                        cfg.burst_duty * cfg.burst_peak);
+        peak_qps = cfg.qps * cfg.burst_peak;
+    } else if (cfg.arrival == ArrivalPattern::Diurnal) {
+        if (!(cfg.diurnal_period_s > 0))
+            vqllm_fatal("diurnal_period_s must be positive, got ",
+                        cfg.diurnal_period_s);
+        if (!(cfg.diurnal_amplitude >= 0 && cfg.diurnal_amplitude < 1))
+            vqllm_fatal("diurnal_amplitude must lie in [0, 1), got ",
+                        cfg.diurnal_amplitude);
+        peak_qps = cfg.qps * (1 + cfg.diurnal_amplitude);
+    }
+    auto rate_qps_at = [&cfg](double t_us) {
+        switch (cfg.arrival) {
+          case ArrivalPattern::Poisson:
+            return cfg.qps;
+          case ArrivalPattern::Bursty: {
+            double phase = std::fmod(t_us / 1e6, cfg.burst_period_s);
+            if (phase < cfg.burst_duty * cfg.burst_period_s)
+                return cfg.qps * cfg.burst_peak;
+            // Trough rate chosen so the cycle mean stays at qps.
+            return cfg.qps * (1 - cfg.burst_duty * cfg.burst_peak) /
+                   (1 - cfg.burst_duty);
+          }
+          case ArrivalPattern::Diurnal:
+            return cfg.qps *
+                   (1 + cfg.diurnal_amplitude *
+                            std::sin(2.0 * 3.14159265358979323846 *
+                                     t_us /
+                                     (cfg.diurnal_period_s * 1e6)));
+        }
+        return cfg.qps;
+    };
+
     std::vector<Request> trace;
     double now_us = 0;
     const double horizon_us = cfg.duration_s * 1e6;
-    const double mean_gap_us = 1e6 / cfg.qps;
+    const double mean_gap_us = 1e6 / peak_qps;
     while (true) {
         // Exponential inter-arrival gap (Poisson process).  uniform()
         // contracts [0, 1) but clamp anyway: a sample that rounds to
@@ -186,6 +262,9 @@ generateWorkload(const WorkloadConfig &cfg)
         now_us += -std::log(1.0 - u) * mean_gap_us;
         if (now_us >= horizon_us)
             break;
+        if (cfg.arrival != ArrivalPattern::Poisson &&
+            rng.uniform() * peak_qps >= rate_qps_at(now_us))
+            continue; // thinned candidate
         Request r;
         r.id = trace.size();
         r.arrival_us = now_us;

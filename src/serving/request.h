@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,14 @@ struct Request
     double finish_us = -1;
     /** Times this request lost its KV blocks to capacity pressure. */
     std::size_t preemptions = 0;
+    /**
+     * The sequence's KV cache arrives from another replica (a fleet
+     * prefill→decode handoff) instead of being prefilled locally: the
+     * scheduler maps the full context in without prefill compute and
+     * the request enters decode directly.  Cleared on admission, so a
+     * later preemption recomputes locally like any other sequence.
+     */
+    bool kv_imported = false;
 
     /** @return tokens of KV context currently implied by the request. */
     std::size_t
@@ -96,6 +105,26 @@ struct Request
     }
 };
 
+/**
+ * Shape of the arrival process.  Every pattern preserves the mean rate
+ * (WorkloadConfig::qps) over full periods; the non-Poisson patterns
+ * modulate the instantaneous rate so routers and schedulers face load
+ * imbalance, not just steady traffic.
+ */
+enum class ArrivalPattern {
+    /** Homogeneous Poisson process at qps. */
+    Poisson,
+    /** Square wave: bursts at qps*burst_peak for burst_duty of every
+     *  burst_period_s, troughs compensating to preserve the mean. */
+    Bursty,
+    /** Sinusoidal rate qps*(1 + diurnal_amplitude*sin(2*pi*t/period)) —
+     *  a compressed day/night cycle. */
+    Diurnal,
+};
+
+const char *arrivalPatternName(ArrivalPattern p);
+std::optional<ArrivalPattern> parseArrivalPattern(const std::string &s);
+
 /** Parameters of the synthetic workload generator. */
 struct WorkloadConfig
 {
@@ -103,6 +132,25 @@ struct WorkloadConfig
     double qps = 4.0;
     /** Arrival window, seconds (requests arrive in [0, duration_s)). */
     double duration_s = 60.0;
+
+    /**
+     * Arrival process shape.  Poisson (the default) draws exactly the
+     * pre-pattern RNG sequence, so existing traces are bit-identical;
+     * the modulated patterns sample candidate arrivals at the pattern's
+     * peak rate and thin them against the instantaneous rate.
+     */
+    ArrivalPattern arrival = ArrivalPattern::Poisson;
+    /** Bursty: burst cycle length, seconds. */
+    double burst_period_s = 10.0;
+    /** Bursty: fraction of each cycle spent in the burst, in (0, 1). */
+    double burst_duty = 0.25;
+    /** Bursty: burst rate multiplier (>= 1; burst_duty*burst_peak <= 1
+     *  so the trough rate stays non-negative). */
+    double burst_peak = 3.0;
+    /** Diurnal: cycle length, seconds. */
+    double diurnal_period_s = 60.0;
+    /** Diurnal: rate swing fraction, in [0, 1). */
+    double diurnal_amplitude = 0.8;
 
     /** Median prompt length, tokens (log-normal body). */
     std::size_t prompt_len_median = 512;

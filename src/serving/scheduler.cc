@@ -202,6 +202,8 @@ Scheduler::prefillChunks(Iteration &it)
     while (budget > 0 && !waiting_.empty() &&
            running_.size() < cfg_.max_batch) {
         Request *r = waiting_.front();
+        if (r->kv_imported)
+            break; // KV-blocked import head; admitImported retries it
         std::size_t target = r->contextTokens();
         PrefixCache::Match m;
         if (prefix_cache_ != nullptr)
@@ -257,6 +259,8 @@ Scheduler::nextUnchunked()
     std::size_t prefill_tokens = 0;
     while (!waiting_.empty() && running_.size() < cfg_.max_batch) {
         Request *r = waiting_.front();
+        if (r->kv_imported)
+            break; // KV-blocked import head; admitImported retries it
         std::size_t ctx = r->contextTokens();
         PrefixCache::Match m;
         if (prefix_cache_ != nullptr)
@@ -316,9 +320,42 @@ Scheduler::nextChunked()
     }
 }
 
+void
+Scheduler::admitImported()
+{
+    // Admit requests whose KV cache arrived from another replica (a
+    // fleet prefill→decode handoff): the full context maps in with no
+    // prefill compute and the sequence is decode-eligible immediately.
+    // Same no-hole-skipping discipline as prefill admission — only the
+    // policy head admits, and a head blocked on KV capacity waits for
+    // decode pressure to free blocks (or for preemption to strike).
+    while (!waiting_.empty() && running_.size() < cfg_.max_batch) {
+        Request *r = waiting_.front();
+        if (!r->kv_imported)
+            break;
+        std::size_t ctx = r->contextTokens();
+        if (!pool_.allocSequence(r->id, ctx))
+            break; // blocked on KV; retiring sequences free blocks
+        waiting_.erase(waiting_.begin());
+        r->state = RequestState::Running;
+        r->prefilled_tokens = ctx;
+        r->prefill_complete = true;
+        // Cleared so a later preemption recomputes locally like any
+        // other sequence instead of waiting for a second import.
+        r->kv_imported = false;
+        running_.push_back(r);
+        if (trace_ != nullptr)
+            trace_->instant(
+                "kv_import", "sched", 0, trace_->now(),
+                {{"req", static_cast<double>(r->id)},
+                 {"tokens", static_cast<double>(ctx)}});
+    }
+}
+
 Scheduler::Iteration
 Scheduler::next()
 {
+    admitImported();
     if (cfg_.chunk_tokens == 0)
         return nextUnchunked();
     return nextChunked();

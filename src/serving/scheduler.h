@@ -154,6 +154,7 @@ class Scheduler
     std::size_t runningCount() const { return running_.size(); }
     std::uint64_t rejectedCount() const { return rejected_; }
     const std::vector<Request *> &running() const { return running_; }
+    const std::vector<Request *> &waiting() const { return waiting_; }
     const SchedulingPolicy &policy() const { return *policy_; }
 
     /** Attach a trace recorder (nullptr = off, the default):
@@ -170,6 +171,7 @@ class Scheduler
     void setPrefixCache(PrefixCache *cache) { prefix_cache_ = cache; }
 
   private:
+    void admitImported();
     Iteration nextUnchunked();
     Iteration nextChunked();
     void decodeStep(Iteration &it);

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Stepping core of the serving simulator: one replica's event loop,
+ * decomposed into submit / step / finalize so an external driver (the
+ * fleet layer, src/fleet/) can interleave many replicas on one global
+ * timeline and route arrivals between them.
+ *
+ * ServingSimulator::run() is a thin driver over this class — deliver
+ * arrivals, fast-forward idle gaps, step until the trace drains — so a
+ * single-replica run through the core is *the same code path* as the
+ * pre-core simulator: reports and traces stay bit-identical.
+ *
+ * Beyond the bare loop the core adds the two hooks disaggregated
+ * serving needs:
+ *  - submit() routes requests flagged kv_imported through the
+ *    scheduler's imported-KV admission (the sequence's cache arrives
+ *    over the fleet link instead of being prefilled locally), and
+ *  - load introspection (queued prefill/decode tokens, processed
+ *    totals) plus takeFinished() for the router and the handoff
+ *    protocol.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "compiler/engine.h"
+#include "serving/kv_block_pool.h"
+#include "serving/metrics.h"
+#include "serving/prefix_cache.h"
+#include "serving/scheduler.h"
+#include "serving/simulator.h"
+
+namespace vqllm::obs {
+class Histogram;
+class TraceRecorder;
+}
+
+namespace vqllm::serving {
+
+/**
+ * One replica's simulation state, advanced one scheduler iteration at
+ * a time.  The caller owns the clock policy: it delivers arrivals
+ * (submit), fast-forwards idle gaps (setNow), steps while work is
+ * pending, and finalizes exactly once when its trace has drained.
+ *
+ * Determinism: the core is single-threaded and every step is a pure
+ * function of prior submissions — two identical call sequences produce
+ * bit-identical reports (and byte-identical traces).
+ */
+class SimulatorCore
+{
+  public:
+    explicit SimulatorCore(const SimulatorConfig &cfg);
+
+    /** @return the replica-local simulated clock, microseconds. */
+    double now() const { return now_us_; }
+
+    /** Fast-forward the idle clock (never backwards). */
+    void setNow(double us);
+
+    /**
+     * Deliver one arrived request to the scheduler.  The request must
+     * have arrival_us <= now().  A request flagged kv_imported admits
+     * through the imported-KV path (full context mapped in, no prefill
+     * compute).  Requests whose peak context can never fit are
+     * rejected synchronously (r->state == Rejected on return).
+     */
+    void submit(Request *r);
+
+    /** @return true when no request is waiting or running. */
+    bool idle() const { return scheduler_.idle(); }
+
+    /** Run one scheduler iteration: form, price, advance the clock,
+     *  emit tokens, retire finished requests.  Requires !idle(). */
+    void step();
+
+    /** Assemble the final report, export metrics, and run the KV leak
+     *  check.  Call exactly once, after the last step. */
+    ServingReport finalize();
+
+    // ---- Introspection for the fleet router ----
+
+    std::uint64_t completedCount() const { return completed_; }
+    std::uint64_t rejectedCount() const { return scheduler_.rejectedCount(); }
+
+    /** Un-prefilled prompt tokens across the waiting and running sets
+     *  (imported requests carry none — their KV arrives by link). */
+    std::uint64_t queuedPrefillTokens() const;
+
+    /** Un-generated decode tokens across the waiting and running sets. */
+    std::uint64_t queuedDecodeTokens() const;
+
+    /** Prefill + decode tokens processed so far. */
+    std::uint64_t processedTokens() const;
+
+    double busyUs() const { return busy_us_; }
+
+    /** Requests finished since the last call (drained, in finish
+     *  order).  The bare simulator never drains; the fleet layer does,
+     *  to trigger KV handoffs and fleet-level completion tracking. */
+    std::vector<Request *> takeFinished();
+
+    /** Latency/token sample buffers of the run so far. */
+    const MetricsCollector &collector() const { return metrics_; }
+
+    /** Resolved KV storage scheme of this replica. */
+    llm::KvScheme kvScheme() const { return kv_scheme_; }
+
+    /** Full (all-shard) KV bytes per cached token under kvScheme() —
+     *  what a fleet handoff streams per token. */
+    std::uint64_t kvBytesPerToken() const { return total_bpt_; }
+
+    const llm::LlamaConfig &model() const { return model_; }
+
+  private:
+    SimulatorConfig cfg_;
+    const gpusim::GpuSpec &spec_;
+    const llm::LlamaConfig &model_;
+    std::size_t degree_;
+    llm::KvScheme kv_scheme_;
+    std::uint64_t total_bpt_ = 0;
+    std::uint64_t kv_capacity_per_device_ = 0;
+    std::uint64_t kv_capacity_bytes_ = 0;
+    ShardedKvPool pool_;
+    Scheduler scheduler_;
+    /** Declared after the pool: the cache's destructor drops its block
+     *  references and unregisters the reclaimer before the pool dies. */
+    std::optional<PrefixCache> prefix_cache_;
+    /** Private per-run engine unless one is injected (see
+     *  SimulatorConfig::engine). */
+    std::optional<compiler::Engine> local_engine_;
+    compiler::Engine *eng_ = nullptr;
+    compiler::CacheStats plan_stats_before_;
+    std::optional<IterationPricer> pricer_;
+    CodebookResidency residency_;
+    bool has_codebooks_ = false;
+    MetricsCollector metrics_;
+    obs::TraceRecorder *trace_rec_ = nullptr;
+    obs::Histogram *h_iter_us_ = nullptr;
+    obs::Histogram *h_decode_batch_ = nullptr;
+
+    double now_us_ = 0;
+    double busy_us_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t iterations_ = 0;
+    std::uint64_t peak_running_ = 0;
+    std::vector<std::uint64_t> groups_;
+    std::vector<Request *> finished_;
+    bool finalized_ = false;
+};
+
+} // namespace vqllm::serving

@@ -1,43 +1,46 @@
 #include "serving/simulator.h"
 
-#include <algorithm>
-#include <optional>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/parallel.h"
-#include "compiler/engine.h"
-#include "gpusim/gpu_spec.h"
 #include "obs/metrics.h"
-#include "obs/trace.h"
-#include "serving/prefix_cache.h"
+#include "serving/sim_core.h"
 
 namespace vqllm::serving {
+
+std::uint64_t
+kvCapacityPerDeviceBytes(const SimulatorConfig &cfg,
+                         const llm::LlamaConfig &model)
+{
+    vqllm_assert(cfg.tp.degree >= 1, "TP degree must be >= 1");
+    vqllm_assert(model.heads % cfg.tp.degree == 0,
+                 "heads must divide evenly across TP ranks");
+    const auto degree = static_cast<std::size_t>(cfg.tp.degree);
+    vqllm_assert(model.kvHeads() >= degree,
+                 "TP degree exceeds the model's KV heads");
+    // Each device holds 1/degree of the weights; its pool gets what
+    // that shard leaves free of the per-GPU HBM.
+    double weight_bytes = static_cast<double>(model.decoderParams()) *
+                          llm::schemeWeightBytesPerParam(cfg.scheme) /
+                          static_cast<double>(degree);
+    double free_bytes =
+        cfg.hbm_gb * 1e9 - weight_bytes - cfg.hbm_reserve_gb * 1e9;
+    if (free_bytes <= 0)
+        vqllm_fatal("model weight shard (", weight_bytes / 1e9,
+                    " GB) exceeds HBM budget of ", cfg.hbm_gb,
+                    " GB per device at TP degree ", cfg.tp.degree);
+    return static_cast<std::uint64_t>(free_bytes);
+}
 
 ServingSimulator::ServingSimulator(const SimulatorConfig &cfg)
     : cfg_(cfg),
       spec_(cfg.spec != nullptr ? *cfg.spec : gpusim::rtx4090()),
       model_(cfg.model != nullptr ? *cfg.model : llm::llama7b())
 {
-    vqllm_assert(cfg_.tp.degree >= 1, "TP degree must be >= 1");
-    vqllm_assert(model_.heads % cfg_.tp.degree == 0,
-                 "heads must divide evenly across TP ranks");
-    const auto degree = static_cast<std::size_t>(cfg_.tp.degree);
-    vqllm_assert(model_.kvHeads() >= degree,
-                 "TP degree exceeds the model's KV heads");
-    // Each device holds 1/degree of the weights; its pool gets what
-    // that shard leaves free of the per-GPU HBM.
-    double weight_bytes =
-        static_cast<double>(model_.decoderParams()) *
-        llm::schemeWeightBytesPerParam(cfg_.scheme) /
-        static_cast<double>(degree);
-    double free_bytes = cfg_.hbm_gb * 1e9 - weight_bytes -
-                        cfg_.hbm_reserve_gb * 1e9;
-    if (free_bytes <= 0)
-        vqllm_fatal("model weight shard (", weight_bytes / 1e9,
-                    " GB) exceeds HBM budget of ", cfg_.hbm_gb,
-                    " GB per device at TP degree ", cfg_.tp.degree);
-    kv_capacity_per_device_ = static_cast<std::uint64_t>(free_bytes);
-    kv_capacity_bytes_ = kv_capacity_per_device_ * degree;
+    kv_capacity_per_device_ = kvCapacityPerDeviceBytes(cfg_, model_);
+    kv_capacity_bytes_ = kv_capacity_per_device_ *
+                         static_cast<std::size_t>(cfg_.tp.degree);
 }
 
 ServingReport
@@ -50,10 +53,32 @@ ServingSimulator::run()
 std::vector<ServingReport>
 ServingSimulator::runMany(const std::vector<SimulatorConfig> &configs)
 {
-    std::vector<ServingReport> reports(configs.size());
-    par::parallelFor(configs.size(), 1, [&](const par::ChunkRange &c) {
+    return runMany(configs, nullptr);
+}
+
+std::vector<ServingReport>
+ServingSimulator::runMany(
+    const std::vector<SimulatorConfig> &configs,
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> *registries)
+{
+    std::vector<SimulatorConfig> cfgs = configs;
+    if (registries != nullptr) {
+        // One private registry per simulation (overriding any registry
+        // the caller left in the config): concurrent sims never share
+        // a registry, and the caller gets per-sim metrics in config
+        // order alongside the reports.
+        registries->clear();
+        registries->reserve(cfgs.size());
+        for (auto &cfg : cfgs) {
+            registries->push_back(
+                std::make_unique<obs::MetricsRegistry>());
+            cfg.metrics = registries->back().get();
+        }
+    }
+    std::vector<ServingReport> reports(cfgs.size());
+    par::parallelFor(cfgs.size(), 1, [&](const par::ChunkRange &c) {
         for (std::size_t i = c.begin; i < c.end; ++i)
-            reports[i] = ServingSimulator(configs[i]).run();
+            reports[i] = ServingSimulator(cfgs[i]).run();
     });
     return reports;
 }
@@ -61,406 +86,26 @@ ServingSimulator::runMany(const std::vector<SimulatorConfig> &configs)
 ServingReport
 ServingSimulator::run(std::vector<Request> &trace)
 {
-    // One KV pool per TP shard: each device stores its KV-head share
-    // of every cached token, so per-device bytes per token are the
-    // shard's proportional slice of the scheme's full-token footprint.
-    const auto degree = static_cast<std::size_t>(cfg_.tp.degree);
-    // KV storage scheme: explicit when configured, otherwise implied
-    // by the weight scheme (the pre-KvScheme behaviour, bit-identical).
-    const llm::KvScheme kv_scheme =
-        cfg_.kv_scheme.value_or(llm::defaultKvScheme(cfg_.scheme));
-    const std::uint64_t total_bpt = std::max<std::uint64_t>(
-        llm::kvSchemeBytesPerToken(model_, kv_scheme), 1);
-    const std::uint64_t kv_heads = model_.kvHeads();
-    std::vector<KvBlockPoolConfig> shard_cfgs(degree);
-    for (std::size_t i = 0; i < degree; ++i) {
-        std::uint64_t shard_heads = llm::shardSplit(kv_heads, degree, i);
-        shard_cfgs[i].capacity_bytes = kv_capacity_per_device_;
-        shard_cfgs[i].block_tokens = cfg_.kv_block_tokens;
-        shard_cfgs[i].bytes_per_token = std::max<std::uint64_t>(
-            (total_bpt * shard_heads + kv_heads - 1) / kv_heads, 1);
-    }
-    ShardedKvPool pool(shard_cfgs);
-    Scheduler scheduler(cfg_.scheduler, pool);
-    // Declared after the pool: the cache's destructor drops its block
-    // references and unregisters the reclaimer before the pool dies.
-    std::optional<PrefixCache> prefix_cache;
-    if (cfg_.prefix_cache) {
-        PrefixCacheConfig pc_cfg;
-        pc_cfg.block_tokens = cfg_.kv_block_tokens;
-        pc_cfg.capacity_blocks = cfg_.prefix_capacity_blocks;
-        prefix_cache.emplace(pool, pc_cfg);
-        scheduler.setPrefixCache(&*prefix_cache);
-    }
-    // Private per-run engine unless one is injected: reports then
-    // describe exactly this run, and concurrent runMany sims never
-    // contend on one cache.  TP shards are identical GPUs compiling
-    // identical shard shapes, so all shards price through one engine —
-    // per-shard plan-cache deltas still attribute correctly because
-    // the pricer snapshots around each shard's pricing.
-    std::optional<compiler::Engine> local_engine;
-    compiler::Engine &eng =
-        cfg_.engine != nullptr ? *cfg_.engine
-                               : local_engine.emplace(spec_);
-    const compiler::CacheStats plan_stats_before = eng.stats();
-    std::vector<compiler::Engine *> shard_engines(degree, &eng);
-    IterationPricer pricer(shard_engines, model_, cfg_.scheme, kv_scheme,
-                           cfg_.tp, cfg_.pricer);
-    CodebookResidency residency(cfg_.codebook_slots);
-    const bool has_codebooks = pricer.codebookGroupBytes() > 0;
-    MetricsCollector metrics(cfg_.metrics);
-
-    // ---- Observability hookup.  Every instrumentation site guards on
-    // its own nullptr, so a run without a recorder/registry executes
-    // exactly the pre-instrumentation code path (bit-identical report).
-    obs::TraceRecorder *trace_rec = cfg_.trace;
-    if (trace_rec != nullptr) {
-        trace_rec->setNow(0);
-        trace_rec->nameTrack(0, "scheduler");
-        for (std::size_t s = 0; s < degree; ++s)
-            trace_rec->nameTrack(1 + static_cast<int>(s),
-                                 "shard " + std::to_string(s));
-        scheduler.setTrace(trace_rec);
-        pool.setTrace(trace_rec);
-        eng.setTrace(trace_rec);
-        if (prefix_cache)
-            prefix_cache->setTrace(trace_rec);
-        pricer.setCollectDetail(true);
-    }
-    obs::Histogram *h_iter_us = nullptr;
-    obs::Histogram *h_decode_batch = nullptr;
-    if (cfg_.metrics != nullptr) {
-        h_iter_us =
-            &cfg_.metrics->histogram("serving.iteration.duration_us");
-        h_decode_batch =
-            &cfg_.metrics->histogram("serving.iteration.decode_batch");
-    }
-
-    double now_us = 0;
-    double busy_us = 0;
+    // Thin driver over the stepping core (serving/sim_core.h): deliver
+    // arrivals, fast-forward idle gaps to the next arrival, and step
+    // until every request has finished or been rejected.  The fleet
+    // layer drives the same core with its own clock policy, which is
+    // what keeps a 1-replica fleet bit-identical to this loop.
+    SimulatorCore core(cfg_);
     std::size_t next_arrival = 0;
-    std::uint64_t completed = 0;
-    std::uint64_t iterations = 0;
-    std::uint64_t peak_running = 0;
-    std::vector<std::uint64_t> groups;
-
-    auto deliver = [&](double now) {
+    while (core.completedCount() + core.rejectedCount() < trace.size()) {
         while (next_arrival < trace.size() &&
-               trace[next_arrival].arrival_us <= now)
-            scheduler.submit(&trace[next_arrival++]);
-    };
-
-    while (completed + scheduler.rejectedCount() < trace.size()) {
-        if (trace_rec != nullptr)
-            trace_rec->setNow(now_us);
-        deliver(now_us);
-        if (scheduler.idle()) {
+               trace[next_arrival].arrival_us <= core.now())
+            core.submit(&trace[next_arrival++]);
+        if (core.idle()) {
             if (next_arrival >= trace.size())
                 break; // every remaining request was rejected
-            // Fast-forward the idle gap to the next arrival.
-            now_us = trace[next_arrival].arrival_us;
+            core.setNow(trace[next_arrival].arrival_us);
             continue;
         }
-
-        auto iter = scheduler.next();
-        if (iter.empty()) {
-            // Waiting head cannot be admitted until running sequences
-            // finish; with nothing running this cannot happen (submit
-            // rejects requests that can never fit).
-            vqllm_assert(scheduler.runningCount() > 0,
-                         "scheduler stalled with empty running set");
-            // No decode and no admission: unreachable by construction
-            // (decode always schedules running sequences), but guard
-            // against infinite loops.
-            vqllm_panic("scheduler returned an empty iteration");
-        }
-        ++iterations;
-        peak_running = std::max<std::uint64_t>(peak_running,
-                                               scheduler.runningCount());
-        for (std::size_t k = 0; k < iter.preempted; ++k)
-            metrics.recordPreemption();
-
-        // ---- Price the iteration (mixed prefill slices + decode in
-        // one launch set).
-        double iter_us = pricer.iterationUs(iter);
-        if (has_codebooks) {
-            groups.clear();
-            for (const auto &chunk : iter.prefill)
-                groups.push_back(chunk.req->codebook_group);
-            for (const Request *r : iter.decode)
-                groups.push_back(r->codebook_group);
-            auto touch = residency.touchBatch(groups);
-            iter_us += pricer.codebookMissUs(touch.misses);
-        }
-
-        if (trace_rec != nullptr) {
-            // The iteration's four price components tile [now, now +
-            // iter_us] as consecutive spans: prefill, decode, comm,
-            // codebook upload.  Detail spans (per chunk, per shard)
-            // nest inside their tiles; category sums therefore
-            // reproduce the report's busy-time breakdown.
-            const IterationPricer::Breakdown &bd =
-                pricer.lastBreakdown();
-            const IterationPricer::IterationDetail &det =
-                pricer.lastDetail();
-            trace_rec->span(
-                "iteration", "iteration", 0, now_us, iter_us,
-                {{"prefill_chunks",
-                  static_cast<double>(iter.prefill.size())},
-                 {"decode_batch",
-                  static_cast<double>(iter.decode.size())}});
-            double t = now_us;
-            if (bd.prefill_us > 0) {
-                trace_rec->span(
-                    "prefill", "prefill", 0, t, bd.prefill_us,
-                    {{"chunks",
-                      static_cast<double>(iter.prefill.size())}});
-                double ct = t;
-                for (const auto &c : det.chunks) {
-                    trace_rec->span(
-                        "prefill_chunk", "prefill_detail", 0, ct, c.us,
-                        {{"req", static_cast<double>(c.req_id)},
-                         {"tokens", static_cast<double>(c.tokens)},
-                         {"context", static_cast<double>(c.context)},
-                         {"last", c.last ? 1.0 : 0.0}});
-                    ct += c.us;
-                }
-                t += bd.prefill_us;
-            }
-            if (bd.decode_us > 0) {
-                trace_rec->span(
-                    "decode", "decode", 0, t, bd.decode_us,
-                    {{"batch",
-                      static_cast<double>(det.decode_batch)}});
-                for (std::size_t s = 0; s < det.shard_compute_us.size();
-                     ++s)
-                    trace_rec->span("decode_compute", "shard_compute",
-                                    1 + static_cast<int>(s), t,
-                                    det.shard_compute_us[s]);
-                t += bd.decode_us;
-            }
-            if (bd.comm_us > 0) {
-                trace_rec->span("all_reduce", "comm", 0, t, bd.comm_us);
-                if (det.decode_comm_us > 0)
-                    for (std::size_t s = 0; s < degree; ++s)
-                        trace_rec->span("all_reduce", "shard_comm",
-                                        1 + static_cast<int>(s), t,
-                                        det.decode_comm_us);
-                t += bd.comm_us;
-            }
-            if (bd.codebook_upload_us > 0)
-                trace_rec->span("codebook_upload", "codebook", 0, t,
-                                bd.codebook_upload_us);
-        }
-        if (h_iter_us != nullptr) {
-            h_iter_us->record(iter_us);
-            h_decode_batch->record(
-                static_cast<double>(iter.decode.size()));
-        }
-
-        now_us += iter_us;
-        busy_us += iter_us;
-
-        // ---- Emit tokens and retire finished requests.
-        std::vector<Request *> finished;
-        for (const auto &chunk : iter.prefill) {
-            metrics.recordPrefillTokens(chunk.tokens);
-            if (!chunk.last)
-                continue; // partial slice: no token emitted yet
-            Request *r = chunk.req;
-            if (r->generated == 0) {
-                // The slice completing a fresh prefill emits the
-                // request's first output token.
-                r->first_token_us = now_us;
-                metrics.recordTtft(now_us - r->arrival_us);
-            } else {
-                // Recompute after preemption re-runs the forward pass
-                // over the full context and emits the next token; the
-                // stall since the last token lands in this TBT sample.
-                metrics.recordTbt(now_us - r->last_token_us);
-            }
-            ++r->generated;
-            r->last_token_us = now_us;
-            metrics.recordDecodeTokens(1);
-            if (r->done())
-                finished.push_back(r);
-        }
-        for (Request *r : iter.decode) {
-            ++r->generated;
-            metrics.recordTbt(now_us - r->last_token_us);
-            r->last_token_us = now_us;
-            metrics.recordDecodeTokens(1);
-            if (r->done())
-                finished.push_back(r);
-        }
-        for (Request *r : finished) {
-            r->finish_us = now_us;
-            metrics.recordE2e(now_us - r->arrival_us);
-            scheduler.retire(r);
-            ++completed;
-        }
-
-        // ---- KV accounting invariant: every resident sequence's pool
-        // occupancy matches its bookkeeping, and a fully-prefilled
-        // sequence holds exactly its context — the prefill and
-        // re-prefill paths must never drift apart by a token.
-        std::size_t running_tokens = 0;
-        for (const Request *r : scheduler.running()) {
-            vqllm_assert(pool.seqTokens(r->id) == r->prefilled_tokens,
-                         "KV pool tokens diverged from request "
-                         "bookkeeping for request ", r->id);
-            if (r->prefill_complete)
-                vqllm_assert(r->prefilled_tokens == r->contextTokens(),
-                             "prefilled sequence does not hold its "
-                             "context for request ", r->id);
-            running_tokens += r->prefilled_tokens;
-        }
-        // Pool-level conservation per shard.  Without sharing, stored
-        // tokens equal the per-sequence sum exactly.  With the prefix
-        // cache, shared blocks store their tokens once in the pool but
-        // once per owner in the sum, so the pool view is bounded by
-        // the sum plus the cache-held tokens — summing seqTokens over
-        // sequences would double-count shared prefixes.
-        for (std::size_t s = 0; s < degree; ++s) {
-            if (!prefix_cache)
-                vqllm_assert(
-                    pool.storedTokens(s) == running_tokens,
-                    "pool stored tokens diverged from the running "
-                    "set on shard ", s);
-            else
-                vqllm_assert(
-                    pool.storedTokens(s) <=
-                        running_tokens + prefix_cache->cachedTokens(),
-                    "pool stored tokens exceed running set plus "
-                    "cached prefixes on shard ", s);
-        }
+        core.step();
     }
-
-    // ---- Assemble the report.
-    ServingReport report;
-    report.ttft = summarize(metrics.ttftSamples());
-    report.tbt = summarize(metrics.tbtSamples());
-    report.e2e = summarize(metrics.e2eSamples());
-    report.sim_time_us = now_us;
-    report.busy_time_us = busy_us;
-    report.utilization = now_us > 0 ? busy_us / now_us : 0;
-    report.tokens_per_sec =
-        busy_us > 0 ? static_cast<double>(metrics.decodeTokens()) /
-                          (busy_us / 1e6)
-                    : 0;
-    report.completed_requests = completed;
-    report.rejected_requests = scheduler.rejectedCount();
-    report.preemptions = metrics.preemptions();
-    report.decode_tokens = metrics.decodeTokens();
-    report.prefill_tokens = metrics.prefillTokens();
-    report.iterations = iterations;
-    report.kv_peak_bytes = pool.peakBytes();
-    report.kv_capacity_bytes = kv_capacity_bytes_;
-    report.codebook_hit_rate =
-        has_codebooks ? residency.stats().hitRate() : 1.0;
-    const compiler::CacheStats plan_stats = eng.stats();
-    report.plan_cache_hits = plan_stats.hits - plan_stats_before.hits;
-    report.plan_cache_misses =
-        plan_stats.misses - plan_stats_before.misses;
-    report.plan_cache_evictions =
-        plan_stats.evictions - plan_stats_before.evictions;
-    report.prefix_cache_enabled = prefix_cache.has_value();
-    if (prefix_cache) {
-        const PrefixCacheStats &pc = prefix_cache->stats();
-        report.prefix_lookups = pc.lookups;
-        report.prefix_hits = pc.hits;
-        report.prefix_matched_tokens = pc.matched_tokens;
-        report.prefix_evicted_blocks = pc.evicted_nodes;
-        report.prefix_cached_blocks = prefix_cache->cachedBlocks();
-        report.cow_forks = pool.cowForks();
-        // Fraction of prefill demand served from cache: matched
-        // tokens over matched plus actually-prefilled tokens.
-        std::uint64_t demand =
-            pc.matched_tokens + report.prefill_tokens;
-        report.prefix_hit_rate =
-            demand > 0 ? static_cast<double>(pc.matched_tokens) /
-                             static_cast<double>(demand)
-                       : 0.0;
-    }
-    report.kv_scheme = llm::kvSchemeToken(kv_scheme);
-    report.kv_bytes_per_token = total_bpt;
-    report.kv_capacity_multiplier =
-        static_cast<double>(model_.kvCacheBytesFp16(1, 1)) /
-        static_cast<double>(total_bpt);
-    report.kv_dequant_us = pricer.kvDequantUs();
-    report.peak_running_seqs = peak_running;
-    report.tp_degree = degree;
-    report.comm_us = pricer.commUs();
-    report.comm_fraction = busy_us > 0 ? pricer.commUs() / busy_us : 0;
-    const IterationPricer::Breakdown breakdown = pricer.totals();
-    report.prefill_us = breakdown.prefill_us;
-    report.decode_us = breakdown.decode_us;
-    report.codebook_upload_us = breakdown.codebook_upload_us;
-    report.shards.resize(degree);
-    const auto &shard_deltas = pricer.shardCacheDeltas();
-    for (std::size_t i = 0; i < degree; ++i) {
-        report.shards[i].kv_peak_bytes = pool.shard(i).peakBytes();
-        report.shards[i].kv_capacity_bytes = kv_capacity_per_device_;
-        report.shards[i].plan_cache_hits =
-            shard_deltas[i].plan_cache_hits;
-        report.shards[i].plan_cache_misses =
-            shard_deltas[i].plan_cache_misses;
-    }
-
-    if (trace_rec != nullptr) {
-        trace_rec->setNow(now_us);
-        // Detach the recorder: injected engines outlive this run and
-        // may compile concurrently afterwards.
-        eng.setTrace(nullptr);
-    }
-    if (cfg_.metrics != nullptr) {
-        obs::MetricsRegistry &reg = *cfg_.metrics;
-        pool.exportMetrics(reg, "serving.kv");
-        residency.exportMetrics(reg, "serving.codebook");
-        eng.exportMetrics(reg, "compiler.plan_cache");
-        if (prefix_cache) {
-            prefix_cache->exportMetrics(reg, "serving.kv.prefix");
-            reg.gauge("serving.kv.prefix.hit_rate")
-                .set(report.prefix_hit_rate);
-            reg.counter("serving.kv.prefix.cow_forks")
-                .add(report.cow_forks);
-        }
-        if (kv_scheme != llm::KvScheme::FP16) {
-            // Gated like the report's kv_scheme section: FP16-KV
-            // metric exports stay identical to pre-KvScheme builds.
-            reg.gauge("serving.kv.scheme.bytes_per_token")
-                .set(static_cast<double>(total_bpt));
-            reg.gauge("serving.kv.scheme.capacity_multiplier")
-                .set(report.kv_capacity_multiplier);
-            reg.gauge("serving.kv.scheme.dequant_us")
-                .set(report.kv_dequant_us);
-            reg.gauge("serving.kv.scheme.peak_running_seqs")
-                .set(static_cast<double>(peak_running));
-        }
-        reg.counter("serving.requests.completed").add(completed);
-        reg.counter("serving.requests.rejected")
-            .add(report.rejected_requests);
-        reg.counter("serving.iterations").add(iterations);
-        reg.gauge("serving.sim_time_us").set(report.sim_time_us);
-        reg.gauge("serving.busy_time_us").set(report.busy_time_us);
-        reg.gauge("serving.busy.prefill_us").set(report.prefill_us);
-        reg.gauge("serving.busy.decode_us").set(report.decode_us);
-        reg.gauge("serving.busy.comm_us").set(report.comm_us);
-        reg.gauge("serving.busy.codebook_upload_us")
-            .set(report.codebook_upload_us);
-        reg.gauge("serving.utilization").set(report.utilization);
-        reg.gauge("serving.tokens_per_sec").set(report.tokens_per_sec);
-        reg.gauge("serving.tp_degree")
-            .set(static_cast<double>(degree));
-    }
-
-    // ---- Refcount leak check: with the trace drained and the cache's
-    // references dropped, every block must have returned to the pools.
-    if (prefix_cache)
-        prefix_cache->clear();
-    vqllm_assert(pool.usedBlocks() == 0,
-                 "KV blocks leaked after the trace drained");
-    return report;
+    return core.finalize();
 }
 
 } // namespace vqllm::serving

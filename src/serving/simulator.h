@@ -20,6 +20,7 @@
  */
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "gpusim/gpu_spec.h"
@@ -40,6 +41,17 @@ class TraceRecorder;
 }
 
 namespace vqllm::serving {
+
+struct SimulatorConfig;
+
+/**
+ * KV bytes one device's pool gets under @p cfg: per-GPU HBM minus the
+ * device's weight shard minus the activation reserve.  Fatal when the
+ * shard alone exceeds the budget.  Shared by ServingSimulator and
+ * SimulatorCore so capacity accounting cannot drift between them.
+ */
+std::uint64_t kvCapacityPerDeviceBytes(const SimulatorConfig &cfg,
+                                       const llm::LlamaConfig &model);
 
 /** Full parameterization of one serving simulation. */
 struct SimulatorConfig
@@ -158,6 +170,19 @@ class ServingSimulator
      */
     static std::vector<ServingReport>
     runMany(const std::vector<SimulatorConfig> &configs);
+
+    /**
+     * runMany with per-simulation metrics: creates one private
+     * MetricsRegistry per config (overriding any registry already set
+     * in the config — concurrent sims must not share one), runs the
+     * sims, and returns the registries through @p registries in config
+     * order.  Fleet benches use this to aggregate `serving.*` metrics
+     * per replica without serializing the fan-out.
+     */
+    static std::vector<ServingReport>
+    runMany(const std::vector<SimulatorConfig> &configs,
+            std::vector<std::unique_ptr<obs::MetricsRegistry>>
+                *registries);
 
     /** @return KV bytes available to the pools under this config,
      *  summed over the TP shards. */

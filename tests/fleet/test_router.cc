@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Router-policy unit tests: every policy must be a total order with
+ * index tie-breaks over hand-built load views, the prefix-affinity map
+ * must be sticky, and the name parsers must round-trip — the
+ * properties the fleet's end-to-end determinism rests on.
+ */
+#include <gtest/gtest.h>
+
+#include "fleet/router.h"
+#include "serving/request.h"
+
+namespace vqllm::fleet {
+namespace {
+
+std::vector<ReplicaLoadView>
+views(std::size_t n)
+{
+    std::vector<ReplicaLoadView> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i].index = i;
+    return v;
+}
+
+serving::Request
+request(std::uint64_t id, std::size_t prompt = 512)
+{
+    serving::Request r;
+    r.id = id;
+    r.prompt_len = prompt;
+    r.max_new_tokens = 64;
+    return r;
+}
+
+TEST(RouterNames, RoundTrip)
+{
+    for (auto p : {RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded,
+                   RouterPolicy::PrefixAffinity, RouterPolicy::SloAware})
+        EXPECT_EQ(parseRouterPolicy(routerPolicyName(p)), p);
+    EXPECT_FALSE(parseRouterPolicy("nope").has_value());
+}
+
+TEST(RoundRobin, CyclesInIndexOrder)
+{
+    Router router(RouterPolicy::RoundRobin);
+    auto v = views(3);
+    for (std::uint64_t id = 0; id < 7; ++id)
+        EXPECT_EQ(router.pick(request(id), v), id % 3) << id;
+}
+
+TEST(LeastLoaded, PicksFewestQueuedTokens)
+{
+    Router router(RouterPolicy::LeastLoaded);
+    auto v = views(3);
+    v[0].queued_prefill_tokens = 900;
+    v[1].queued_prefill_tokens = 100;
+    v[1].queued_decode_tokens = 50;
+    v[2].queued_prefill_tokens = 200;
+    EXPECT_EQ(router.pick(request(0), v), 1u);
+    // Prefill and decode backlog count equally.
+    v[1].queued_decode_tokens = 900;
+    EXPECT_EQ(router.pick(request(1), v), 2u);
+}
+
+TEST(LeastLoaded, TiesBreakToLowestIndex)
+{
+    Router router(RouterPolicy::LeastLoaded);
+    auto v = views(4);
+    for (auto &lv : v)
+        lv.queued_prefill_tokens = 500;
+    EXPECT_EQ(router.pick(request(0), v), 0u);
+    v[2].queued_prefill_tokens = 400;
+    v[3].queued_prefill_tokens = 400;
+    EXPECT_EQ(router.pick(request(1), v), 2u);
+}
+
+TEST(PrefixAffinity, GroupsStickToFirstReplica)
+{
+    Router router(RouterPolicy::PrefixAffinity);
+    auto v = views(3);
+    v[0].queued_prefill_tokens = 100;
+    v[1].queued_prefill_tokens = 0;
+    v[2].queued_prefill_tokens = 200;
+
+    auto a = request(0);
+    a.prefix_group = 7;
+    // First sighting of group 7 lands least-loaded (replica 1)...
+    EXPECT_EQ(router.pick(a, v), 1u);
+    // ...and stays there even after the load picture inverts.
+    v[1].queued_prefill_tokens = 9000;
+    auto b = request(1);
+    b.prefix_group = 7;
+    EXPECT_EQ(router.pick(b, v), 1u);
+    // Groupless requests fall back to least-loaded.
+    EXPECT_EQ(router.pick(request(2), v), 0u);
+}
+
+TEST(SloAware, NoHistoryTiesBreakToLowestIndex)
+{
+    Router router(RouterPolicy::SloAware);
+    auto v = views(3); // all replicas idle, no processed tokens
+    EXPECT_EQ(router.pick(request(0), v), 0u);
+}
+
+TEST(SloAware, RoutesAroundTheSlowReplica)
+{
+    Router router(RouterPolicy::SloAware);
+    auto v = views(2);
+    // Equal backlogs, but replica 0 processes tokens half as fast —
+    // a pure token-count policy could not tell them apart.
+    v[0].queued_prefill_tokens = 1000;
+    v[0].processed_tokens = 1000;
+    v[0].busy_us = 2e6;
+    v[1].queued_prefill_tokens = 1000;
+    v[1].processed_tokens = 1000;
+    v[1].busy_us = 1e6;
+    EXPECT_EQ(router.pick(request(0), v), 1u);
+    // A short enough queue on the slow replica wins it back.
+    v[0].queued_prefill_tokens = 100;
+    EXPECT_EQ(router.pick(request(1), v), 0u);
+}
+
+TEST(SloAware, RepeatedPicksAreDeterministic)
+{
+    auto once = [] {
+        Router router(RouterPolicy::SloAware);
+        auto v = views(4);
+        for (std::size_t i = 0; i < 4; ++i) {
+            v[i].queued_prefill_tokens = 300 * (i % 2);
+            v[i].processed_tokens = 5000;
+            v[i].busy_us = 1e6 + 1e5 * static_cast<double>(i);
+        }
+        std::vector<std::size_t> picks;
+        for (std::uint64_t id = 0; id < 16; ++id)
+            picks.push_back(router.pick(request(id, 128 + 64 * id), v));
+        return picks;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+} // namespace
+} // namespace vqllm::fleet
