@@ -1,0 +1,929 @@
+#include "compiler/disk_cache.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "compiler/engine.h"
+#include "obs/metrics.h"
+#include "vq/serialize.h"
+
+namespace vqllm::compiler {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kEntryMagic[4] = {'V', 'Q', 'D', 'K'};
+constexpr const char *kEntrySuffix = ".vqdk";
+constexpr const char *kIndexName = "index.tsv";
+constexpr const char *kQuarantineDir = "quarantine";
+
+std::uint64_t
+fnv1a(const void *data, std::size_t bytes, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// Bounded binary reader/writer over std::string buffers.
+//
+// The writer mirrors vq/serialize's writePod idiom; the reader differs
+// deliberately: it never fatals — any out-of-bounds or implausible
+// read flips `ok` and the caller treats the entry as corrupt.  The
+// checksum is verified before parsing, so a failing read here means a
+// writer bug, not disk corruption, but the cache still degrades to a
+// miss rather than aborting the process.
+
+class ByteWriter
+{
+  public:
+    template <typename T>
+    void
+    pod(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const char *p = reinterpret_cast<const char *>(&value);
+        buf_.append(p, sizeof(T));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        pod<std::uint64_t>(s.size());
+        buf_.append(s);
+    }
+
+    template <typename T>
+    void
+    podVec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        pod<std::uint64_t>(v.size());
+        if (!v.empty())
+            buf_.append(reinterpret_cast<const char *>(v.data()),
+                        v.size() * sizeof(T));
+    }
+
+    std::string take() { return std::move(buf_); }
+    const std::string &buffer() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &buf) : buf_(buf) {}
+
+    template <typename T>
+    bool
+    pod(T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (!ok_ || buf_.size() - off_ < sizeof(T)) {
+            ok_ = false;
+            return false;
+        }
+        std::memcpy(&value, buf_.data() + off_, sizeof(T));
+        off_ += sizeof(T);
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        std::uint64_t len = 0;
+        if (!pod(len) || len > buf_.size() - off_) {
+            ok_ = false;
+            return false;
+        }
+        s.assign(buf_.data() + off_, static_cast<std::size_t>(len));
+        off_ += static_cast<std::size_t>(len);
+        return true;
+    }
+
+    template <typename T>
+    bool
+    podVec(std::vector<T> &v)
+    {
+        std::uint64_t count = 0;
+        if (!pod(count) ||
+            count > (buf_.size() - off_) / sizeof(T)) {
+            ok_ = false;
+            return false;
+        }
+        v.resize(static_cast<std::size_t>(count));
+        if (count > 0) {
+            std::memcpy(v.data(), buf_.data() + off_,
+                        static_cast<std::size_t>(count) * sizeof(T));
+            off_ += static_cast<std::size_t>(count) * sizeof(T);
+        }
+        return true;
+    }
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return ok_ && off_ == buf_.size(); }
+    std::size_t offset() const { return off_; }
+
+    /** Slice the remaining bytes (after the fixed header). */
+    bool
+    rest(std::string &out)
+    {
+        if (!ok_)
+            return false;
+        out.assign(buf_.data() + off_, buf_.size() - off_);
+        off_ = buf_.size();
+        return true;
+    }
+
+  private:
+    const std::string &buf_;
+    std::size_t off_ = 0;
+    bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------
+// CompiledKernel payload: every plan/estimate field round-trips through
+// raw bytes (doubles included), so a loaded artifact is binary-identical
+// to the freshly compiled one it was admitted from.
+
+template <typename E>
+void
+writeEnum(ByteWriter &w, E e)
+{
+    w.pod<std::uint32_t>(static_cast<std::uint32_t>(e));
+}
+
+template <typename E>
+bool
+readEnum(ByteReader &r, E &e, std::uint32_t max_value)
+{
+    std::uint32_t raw = 0;
+    if (!r.pod(raw) || raw > max_value)
+        return false;
+    e = static_cast<E>(raw);
+    return true;
+}
+
+void
+writeVqConfig(ByteWriter &w, const vq::VQConfig &cfg)
+{
+    w.str(cfg.name);
+    w.pod<std::uint32_t>(cfg.vector_size);
+    w.pod<std::uint64_t>(cfg.num_entries);
+    w.pod<std::uint32_t>(cfg.residuals);
+    writeEnum(w, cfg.scope);
+    w.pod<std::uint8_t>(cfg.lattice ? 1 : 0);
+    w.pod<std::uint64_t>(cfg.lattice_base_entries);
+}
+
+bool
+readVqConfig(ByteReader &r, vq::VQConfig &cfg)
+{
+    std::uint64_t u64 = 0;
+    std::uint8_t u8 = 0;
+    bool ok = r.str(cfg.name);
+    ok = ok && r.pod(cfg.vector_size);
+    ok = ok && r.pod(u64);
+    cfg.num_entries = static_cast<std::size_t>(u64);
+    ok = ok && r.pod(cfg.residuals);
+    ok = ok && readEnum(r, cfg.scope, 2);
+    ok = ok && r.pod(u8);
+    cfg.lattice = u8 != 0;
+    ok = ok && r.pod(u64);
+    cfg.lattice_base_entries = static_cast<std::size_t>(u64);
+    return ok;
+}
+
+void
+writeAxes(ByteWriter &w, const std::vector<engine::Axis> &axes)
+{
+    w.pod<std::uint64_t>(axes.size());
+    for (engine::Axis a : axes)
+        writeEnum(w, a);
+}
+
+bool
+readAxes(ByteReader &r, std::vector<engine::Axis> &axes)
+{
+    std::uint64_t count = 0;
+    if (!r.pod(count) || count > (1u << 8))
+        return false;
+    axes.resize(static_cast<std::size_t>(count));
+    for (auto &a : axes)
+        if (!readEnum(r, a, 6))
+            return false;
+    return true;
+}
+
+void
+writeFusion(ByteWriter &w, const engine::FusionPlan &f)
+{
+    writeEnum(w, f.level);
+    w.pod<std::int32_t>(f.compute_layout);
+    w.pod<std::int32_t>(f.num_shuffles);
+    w.pod<std::int32_t>(f.mapping.mini_warp_size);
+    w.podVec(f.mapping.lane_map);
+    w.podVec(f.mapping.shuffle_offsets);
+    w.pod<std::uint8_t>(f.layout_matches ? 1 : 0);
+}
+
+bool
+readFusion(ByteReader &r, engine::FusionPlan &f)
+{
+    std::uint8_t u8 = 0;
+    bool ok = readEnum(r, f.level, 1);
+    ok = ok && r.pod(f.compute_layout);
+    ok = ok && r.pod(f.num_shuffles);
+    ok = ok && r.pod(f.mapping.mini_warp_size);
+    ok = ok && r.podVec(f.mapping.lane_map);
+    ok = ok && r.podVec(f.mapping.shuffle_offsets);
+    ok = ok && r.pod(u8);
+    f.layout_matches = u8 != 0;
+    return ok;
+}
+
+void
+writeBlock(ByteWriter &w, const gpusim::BlockResources &b)
+{
+    w.pod<std::int32_t>(b.threads);
+    w.pod<std::uint64_t>(b.smem_bytes);
+    w.pod<std::int32_t>(b.regs_per_thread);
+}
+
+bool
+readBlock(ByteReader &r, gpusim::BlockResources &b)
+{
+    std::uint64_t u64 = 0;
+    bool ok = r.pod(b.threads);
+    ok = ok && r.pod(u64);
+    b.smem_bytes = static_cast<std::size_t>(u64);
+    ok = ok && r.pod(b.regs_per_thread);
+    return ok;
+}
+
+void
+writePlan(ByteWriter &w, const engine::KernelPlan &p)
+{
+    writeEnum(w, p.kind);
+    writeVqConfig(w, p.config);
+    writeEnum(w, p.level);
+    w.pod<std::uint64_t>(p.gemm.m);
+    w.pod<std::uint64_t>(p.gemm.n);
+    w.pod<std::uint64_t>(p.gemm.k);
+    w.pod<std::uint64_t>(p.attn.batch);
+    w.pod<std::uint64_t>(p.attn.heads);
+    w.pod<std::uint64_t>(p.attn.seq_len);
+    w.pod<std::uint64_t>(p.attn.head_dim);
+    w.pod<std::uint64_t>(p.attn.kv_heads);
+    w.pod<std::uint64_t>(p.cache_plan.n_reg);
+    w.pod<std::uint64_t>(p.cache_plan.n_shared);
+    w.pod<std::uint64_t>(p.cache_plan.total_entries);
+    w.pod<std::uint64_t>(p.cache_plan.entry_bytes);
+    writeAxes(w, p.dataflow.switch_axes);
+    writeAxes(w, p.dataflow.conflict_axes);
+    w.pod<double>(p.dataflow.split_factor_raw);
+    w.pod<std::uint64_t>(p.dataflow.split);
+    w.pod<std::uint64_t>(p.dataflow.max_split);
+    w.pod<std::uint64_t>(p.dataflow.baseline_codebook_bytes);
+    w.pod<std::uint64_t>(p.dataflow.codebook_bytes);
+    w.pod<std::uint64_t>(p.dataflow.reduce_bytes);
+    w.pod<std::uint64_t>(p.dataflow.output_bytes);
+    w.pod<double>(p.dataflow.compute_duplication);
+    writeFusion(w, p.fusion);
+    writeFusion(w, p.fusion_k);
+    writeBlock(w, p.block);
+    w.pod<std::uint64_t>(p.grid_blocks);
+    w.pod<std::uint8_t>(p.uses_tensor_cores ? 1 : 0);
+    w.pod<std::uint64_t>(p.total_books);
+    w.pod<std::uint64_t>(p.resident_books);
+    w.pod<std::uint64_t>(p.switches_per_block);
+}
+
+bool
+readPlan(ByteReader &r, engine::KernelPlan &p)
+{
+    auto sz = [&r](std::size_t &field) {
+        std::uint64_t u64 = 0;
+        bool ok = r.pod(u64);
+        field = static_cast<std::size_t>(u64);
+        return ok;
+    };
+    std::uint8_t u8 = 0;
+    bool ok = readEnum(r, p.kind, 2);
+    ok = ok && readVqConfig(r, p.config);
+    ok = ok && readEnum(r, p.level, 5);
+    ok = ok && sz(p.gemm.m) && sz(p.gemm.n) && sz(p.gemm.k);
+    ok = ok && sz(p.attn.batch) && sz(p.attn.heads) &&
+         sz(p.attn.seq_len) && sz(p.attn.head_dim) && sz(p.attn.kv_heads);
+    ok = ok && sz(p.cache_plan.n_reg) && sz(p.cache_plan.n_shared) &&
+         sz(p.cache_plan.total_entries) && sz(p.cache_plan.entry_bytes);
+    ok = ok && readAxes(r, p.dataflow.switch_axes);
+    ok = ok && readAxes(r, p.dataflow.conflict_axes);
+    ok = ok && r.pod(p.dataflow.split_factor_raw);
+    ok = ok && r.pod(p.dataflow.split);
+    ok = ok && r.pod(p.dataflow.max_split);
+    ok = ok && r.pod(p.dataflow.baseline_codebook_bytes);
+    ok = ok && r.pod(p.dataflow.codebook_bytes);
+    ok = ok && r.pod(p.dataflow.reduce_bytes);
+    ok = ok && r.pod(p.dataflow.output_bytes);
+    ok = ok && r.pod(p.dataflow.compute_duplication);
+    ok = ok && readFusion(r, p.fusion);
+    ok = ok && readFusion(r, p.fusion_k);
+    ok = ok && readBlock(r, p.block);
+    ok = ok && r.pod(p.grid_blocks);
+    ok = ok && r.pod(u8);
+    p.uses_tensor_cores = u8 != 0;
+    ok = ok && r.pod(p.total_books);
+    ok = ok && r.pod(p.resident_books);
+    ok = ok && r.pod(p.switches_per_block);
+    return ok;
+}
+
+void
+writeResult(ByteWriter &w, const kernels::KernelResult &res)
+{
+    const auto &c = res.counters;
+    w.pod<std::uint64_t>(c.dram_read_bytes);
+    w.pod<std::uint64_t>(c.dram_write_bytes);
+    w.pod<std::uint64_t>(c.global_to_shared_bytes);
+    w.pod<std::uint64_t>(c.shared_to_reg_bytes);
+    w.pod<std::uint64_t>(c.reg_to_shared_bytes);
+    w.pod<std::uint64_t>(c.smem_transactions);
+    w.pod<std::uint64_t>(c.smem_ideal_transactions);
+    w.pod<std::uint64_t>(c.flops);
+    w.pod<std::uint64_t>(c.dequant_lookups);
+    w.pod<std::uint64_t>(c.unpack_ops);
+    w.pod<std::uint64_t>(c.shuffle_ops);
+    w.pod<std::uint64_t>(c.reduce_bytes);
+    w.pod<std::uint64_t>(res.launch.grid_blocks);
+    writeBlock(w, res.launch.block);
+    w.pod<std::uint8_t>(res.launch.uses_tensor_cores ? 1 : 0);
+    const auto &l = res.latency;
+    w.pod<double>(l.dram_us);
+    w.pod<double>(l.smem_us);
+    w.pod<double>(l.compute_us);
+    w.pod<double>(l.latency_bound_us);
+    w.pod<double>(l.reduce_us);
+    w.pod<double>(l.launch_us);
+    w.pod<double>(l.total_us);
+    w.pod<std::int32_t>(l.occupancy.blocks_per_sm);
+    w.pod<std::int32_t>(l.occupancy.warps_per_sm);
+    w.pod<double>(l.occupancy.occupancy);
+    writeEnum(w, l.occupancy.limiter);
+    w.pod<double>(l.grid_fill);
+    w.pod<double>(l.throughput_factor);
+}
+
+bool
+readResult(ByteReader &r, kernels::KernelResult &res)
+{
+    auto &c = res.counters;
+    std::uint8_t u8 = 0;
+    bool ok = r.pod(c.dram_read_bytes);
+    ok = ok && r.pod(c.dram_write_bytes);
+    ok = ok && r.pod(c.global_to_shared_bytes);
+    ok = ok && r.pod(c.shared_to_reg_bytes);
+    ok = ok && r.pod(c.reg_to_shared_bytes);
+    ok = ok && r.pod(c.smem_transactions);
+    ok = ok && r.pod(c.smem_ideal_transactions);
+    ok = ok && r.pod(c.flops);
+    ok = ok && r.pod(c.dequant_lookups);
+    ok = ok && r.pod(c.unpack_ops);
+    ok = ok && r.pod(c.shuffle_ops);
+    ok = ok && r.pod(c.reduce_bytes);
+    ok = ok && r.pod(res.launch.grid_blocks);
+    ok = ok && readBlock(r, res.launch.block);
+    ok = ok && r.pod(u8);
+    res.launch.uses_tensor_cores = u8 != 0;
+    auto &l = res.latency;
+    ok = ok && r.pod(l.dram_us);
+    ok = ok && r.pod(l.smem_us);
+    ok = ok && r.pod(l.compute_us);
+    ok = ok && r.pod(l.latency_bound_us);
+    ok = ok && r.pod(l.reduce_us);
+    ok = ok && r.pod(l.launch_us);
+    ok = ok && r.pod(l.total_us);
+    ok = ok && r.pod(l.occupancy.blocks_per_sm);
+    ok = ok && r.pod(l.occupancy.warps_per_sm);
+    ok = ok && r.pod(l.occupancy.occupancy);
+    ok = ok && readEnum(r, l.occupancy.limiter, 3);
+    ok = ok && r.pod(l.grid_fill);
+    ok = ok && r.pod(l.throughput_factor);
+    return ok;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Keys, filenames, entry framing
+
+std::string
+DiskCache::buildFingerprint()
+{
+    std::ostringstream fp;
+    // The struct sizes change whenever a serialized field is added,
+    // removed or widened — the cheap, deterministic proxy for "the
+    // payload layout could differ from what this binary expects".
+    // Semantic changes at unchanged layout must bump the version.
+    fp << "v" << kDiskCacheFormatVersion << "/plan"
+       << sizeof(engine::KernelPlan) << "/res"
+       << sizeof(kernels::KernelResult) << "/qt"
+       << vq::kQuantFormatVersion;
+    return fp.str();
+}
+
+std::string
+DiskCache::fullKey(const std::string &key, EntryKind kind)
+{
+    std::string full =
+        kind == EntryKind::Codebook ? "codebook|" : "kernel|";
+    full += key;
+    full += "|build=";
+    full += buildFingerprint();
+    return full;
+}
+
+std::string
+DiskCache::keyToFilename(const std::string &full_key)
+{
+    // Two independent 64-bit FNV streams give a 128-bit content
+    // address; the embedded key in the entry catches the residual
+    // collision risk at read time.
+    std::uint64_t h1 =
+        fnv1a(full_key.data(), full_key.size(), 14695981039346656037ull);
+    std::uint64_t h2 =
+        fnv1a(full_key.data(), full_key.size(), 0x9e3779b97f4a7c15ull);
+    char name[33];
+    std::snprintf(name, sizeof(name), "%016llx%016llx",
+                  static_cast<unsigned long long>(h1),
+                  static_cast<unsigned long long>(h2));
+    return std::string(name) + kEntrySuffix;
+}
+
+std::string
+DiskCache::makeEntryBlob(const std::string &full_key, EntryKind kind,
+                         const std::string &payload)
+{
+    ByteWriter w;
+    w.pod(kEntryMagic);
+    w.pod<std::uint32_t>(kDiskCacheFormatVersion);
+    w.pod<std::uint8_t>(static_cast<std::uint8_t>(kind));
+    w.str(full_key);
+    w.pod<std::uint64_t>(payload.size());
+    std::string blob = w.take();
+    blob += payload;
+    std::uint64_t checksum =
+        fnv1a(payload.data(), payload.size(), 14695981039346656037ull);
+    blob.append(reinterpret_cast<const char *>(&checksum),
+                sizeof(checksum));
+    return blob;
+}
+
+// ---------------------------------------------------------------------
+// Construction and the per-directory registry
+
+DiskCache::DiskCache(const std::string &dir,
+                     const DiskCacheOptions &options)
+    : options_(options)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        vqllm_fatal("cannot create kernel-cache directory ", dir, ": ",
+                    ec.message());
+    fs::path canonical = fs::weakly_canonical(dir, ec);
+    dir_ = ec ? dir : canonical.string();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    loadIndexLocked();
+}
+
+DiskCache::~DiskCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_dirty_)
+        flushIndexLocked();
+}
+
+std::shared_ptr<DiskCache>
+DiskCache::open(const std::string &dir, const DiskCacheOptions &options)
+{
+    // Weak registry: replicas alive at the same time share one
+    // instance (one index view, one set of counters); once the last
+    // user drops its reference, a later open() re-reads the directory.
+    static std::mutex registry_mutex;
+    static std::map<std::string, std::weak_ptr<DiskCache>> registry;
+
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    fs::path canonical = fs::weakly_canonical(dir, ec);
+    std::string key = ec ? dir : canonical.string();
+
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    auto &slot = registry[key];
+    if (auto existing = slot.lock())
+        return existing;
+    auto fresh = std::make_shared<DiskCache>(dir, options);
+    slot = fresh;
+    return fresh;
+}
+
+// ---------------------------------------------------------------------
+// Index: filename \t bytes \t last-use tick, one entry per line.
+
+void
+DiskCache::loadIndexLocked()
+{
+    index_.clear();
+    clock_ = 0;
+    std::ifstream in(fs::path(dir_) / kIndexName);
+    if (!in) {
+        rebuildIndexLocked();
+        refreshSizeStatsLocked();
+        return;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string filename;
+        IndexEntry entry;
+        if (!(fields >> filename >> entry.bytes >> entry.tick)) {
+            // A torn or hand-edited index is advisory state only —
+            // rebuild from the directory instead of trusting it.
+            rebuildIndexLocked();
+            refreshSizeStatsLocked();
+            return;
+        }
+        index_[filename] = entry;
+        clock_ = std::max(clock_, entry.tick);
+    }
+    // Entries may have been evicted (or admitted) by another process
+    // since the index was written; reconcile against the directory.
+    for (auto it = index_.begin(); it != index_.end();) {
+        std::error_code ec;
+        if (!fs::is_regular_file(fs::path(dir_) / it->first, ec))
+            it = index_.erase(it);
+        else
+            ++it;
+    }
+    refreshSizeStatsLocked();
+}
+
+void
+DiskCache::rebuildIndexLocked()
+{
+    index_.clear();
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        if (!e.is_regular_file())
+            continue;
+        const fs::path &p = e.path();
+        if (p.extension() != kEntrySuffix)
+            continue;
+        IndexEntry entry;
+        std::error_code size_ec;
+        entry.bytes = fs::file_size(p, size_ec);
+        if (size_ec)
+            continue;
+        entry.tick = 0;
+        index_[p.filename().string()] = entry;
+    }
+    clock_ = 0;
+}
+
+void
+DiskCache::flushIndexLocked()
+{
+    index_dirty_ = false;
+    fs::path tmp =
+        fs::path(dir_) / ("tmp-index-" + std::to_string(temp_seq_++));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return; // Advisory state: losing it only costs LRU order.
+        for (const auto &[filename, entry] : index_)
+            out << filename << '\t' << entry.bytes << '\t' << entry.tick
+                << '\n';
+    }
+    std::error_code ec;
+    fs::rename(tmp, fs::path(dir_) / kIndexName, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+void
+DiskCache::refreshSizeStatsLocked()
+{
+    total_bytes_ = 0;
+    for (const auto &[filename, entry] : index_)
+        total_bytes_ += entry.bytes;
+    stats_.bytes = total_bytes_;
+    stats_.entries = index_.size();
+}
+
+void
+DiskCache::touchLocked(const std::string &filename)
+{
+    // Adopt entries admitted by another process (absent from the local
+    // index) with their on-disk size; refresh the size either way.
+    std::error_code ec;
+    auto size = fs::file_size(fs::path(dir_) / filename, ec);
+    auto &entry = index_[filename];
+    if (!ec)
+        entry.bytes = size;
+    entry.tick = ++clock_;
+    refreshSizeStatsLocked();
+    // Deferred flush: a hit must not cost an index rewrite.  The next
+    // admit/quarantine (or the destructor) persists the new ticks.
+    index_dirty_ = true;
+}
+
+void
+DiskCache::admitLocked(const std::string &filename,
+                       const std::string &blob)
+{
+    fs::path tmp = fs::path(dir_) /
+                   ("tmp-" + std::to_string(::getpid()) + "-" +
+                    std::to_string(temp_seq_++));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            vqllm_warn("disk cache: cannot write ", tmp.string(),
+                       "; entry not admitted");
+            return;
+        }
+        out.write(blob.data(),
+                  static_cast<std::streamsize>(blob.size()));
+        if (!out) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            vqllm_warn("disk cache: short write to ", tmp.string(),
+                       "; entry not admitted");
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, fs::path(dir_) / filename, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        vqllm_warn("disk cache: cannot admit ", filename, ": ",
+                   ec.message());
+        return;
+    }
+    ++stats_.admits;
+    auto &entry = index_[filename];
+    entry.bytes = blob.size();
+    entry.tick = ++clock_;
+    evictLocked(filename);
+    refreshSizeStatsLocked();
+    flushIndexLocked();
+}
+
+void
+DiskCache::evictLocked(const std::string &keep_filename)
+{
+    auto total = [this] {
+        std::uint64_t sum = 0;
+        for (const auto &[filename, entry] : index_)
+            sum += entry.bytes;
+        return sum;
+    };
+    while (total() > options_.capacity_bytes && index_.size() > 1) {
+        // Least tick wins; std::map order breaks ties
+        // deterministically.  Never evict the just-admitted entry.
+        auto victim = index_.end();
+        for (auto it = index_.begin(); it != index_.end(); ++it) {
+            if (it->first == keep_filename)
+                continue;
+            if (victim == index_.end() ||
+                it->second.tick < victim->second.tick)
+                victim = it;
+        }
+        if (victim == index_.end())
+            break;
+        std::error_code ec;
+        fs::remove(fs::path(dir_) / victim->first, ec);
+        index_.erase(victim);
+        ++stats_.evictions;
+    }
+}
+
+void
+DiskCache::quarantineLocked(const std::string &filename)
+{
+    std::error_code ec;
+    fs::path qdir = fs::path(dir_) / kQuarantineDir;
+    fs::create_directories(qdir, ec);
+    fs::path src = fs::path(dir_) / filename;
+    fs::path dst = qdir / filename;
+    // Keep prior quarantined generations of the same entry around.
+    for (int n = 1; fs::exists(dst, ec); ++n)
+        dst = qdir / (filename + "." + std::to_string(n));
+    fs::rename(src, dst, ec);
+    if (ec)
+        fs::remove(src, ec);
+    ++stats_.quarantined;
+    index_.erase(filename);
+    refreshSizeStatsLocked();
+    flushIndexLocked();
+    vqllm_warn("disk cache: quarantined corrupt entry ", filename);
+}
+
+// ---------------------------------------------------------------------
+// Entry read path (shared by kernels and codebooks)
+
+bool
+DiskCache::readEntryLocked(const std::string &filename,
+                           const std::string &full_key, EntryKind kind,
+                           std::string &payload)
+{
+    std::string blob;
+    {
+        std::ifstream in(fs::path(dir_) / filename, std::ios::binary);
+        if (!in)
+            return false; // Never written (or evicted): a clean miss.
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        blob = std::move(buf).str();
+    }
+
+    ByteReader r(blob);
+    char magic[4] = {};
+    std::uint32_t version = 0;
+    std::uint8_t kind_raw = 0;
+    std::string embedded_key;
+    std::uint64_t payload_len = 0;
+    bool header_ok = r.pod(magic) &&
+                     std::memcmp(magic, kEntryMagic, 4) == 0 &&
+                     r.pod(version) &&
+                     version == kDiskCacheFormatVersion &&
+                     r.pod(kind_raw) && r.str(embedded_key) &&
+                     r.pod(payload_len);
+    if (!header_ok) {
+        quarantineLocked(filename);
+        return false;
+    }
+    std::string rest;
+    if (!r.rest(rest) || payload_len > rest.size() ||
+        rest.size() - payload_len != sizeof(std::uint64_t)) {
+        quarantineLocked(filename); // Truncated or padded entry.
+        return false;
+    }
+    std::uint64_t stored_checksum = 0;
+    std::memcpy(&stored_checksum, rest.data() + payload_len,
+                sizeof(stored_checksum));
+    std::uint64_t checksum = fnv1a(rest.data(), payload_len,
+                                   14695981039346656037ull);
+    if (checksum != stored_checksum) {
+        quarantineLocked(filename);
+        return false;
+    }
+    // The entry is intact; a key or kind mismatch means a filename
+    // collision with a different request — that is the *other* entry's
+    // slot, so leave the file alone and miss cleanly.
+    if (kind_raw != static_cast<std::uint8_t>(kind) ||
+        embedded_key != full_key)
+        return false;
+    payload.assign(rest.data(), payload_len);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Kernel artifacts
+
+std::shared_ptr<const CompiledKernel>
+DiskCache::loadKernel(const std::string &engine_key)
+{
+    std::string key = fullKey(engine_key, EntryKind::Kernel);
+    std::string filename = keyToFilename(key);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string payload;
+    if (!readEntryLocked(filename, key, EntryKind::Kernel, payload)) {
+        ++stats_.misses;
+        return nullptr;
+    }
+
+    auto artifact = std::shared_ptr<CompiledKernel>(new CompiledKernel);
+    ByteReader r(payload);
+    std::string source;
+    bool ok = readPlan(r, artifact->plan_) &&
+              readResult(r, artifact->estimate_) &&
+              r.str(artifact->symbol_) && r.str(source) && r.atEnd();
+    if (!ok) {
+        // The checksum passed, so this is a writer/reader mismatch
+        // rather than disk corruption — still degrade to a miss.
+        quarantineLocked(filename);
+        ++stats_.misses;
+        return nullptr;
+    }
+    // Pre-fill the memoized source so the loaded artifact never
+    // re-emits (and is observably identical to the stored one).
+    std::call_once(artifact->source_once_,
+                   [&] { artifact->source_ = std::move(source); });
+    ++stats_.hits;
+    touchLocked(filename);
+    return artifact;
+}
+
+void
+DiskCache::storeKernel(const std::string &engine_key,
+                       const CompiledKernel &artifact)
+{
+    std::string key = fullKey(engine_key, EntryKind::Kernel);
+    std::string filename = keyToFilename(key);
+
+    ByteWriter w;
+    writePlan(w, artifact.plan_);
+    writeResult(w, artifact.estimate_);
+    w.str(artifact.symbol_);
+    // Force emission so the persisted entry is the complete artifact
+    // (plan + cost + CUDA source) the issue's tier protocol promises.
+    w.str(artifact.source());
+    std::string blob = makeEntryBlob(key, EntryKind::Kernel, w.take());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitLocked(filename, blob);
+}
+
+// ---------------------------------------------------------------------
+// Codebooks
+
+bool
+DiskCache::loadCodebook(const std::string &user_key,
+                        vq::QuantizedTensor &out)
+{
+    std::string key = fullKey(user_key, EntryKind::Codebook);
+    std::string filename = keyToFilename(key);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string payload;
+    if (!readEntryLocked(filename, key, EntryKind::Codebook, payload)) {
+        ++stats_.misses;
+        return false;
+    }
+    // The checksum already validated the payload bytes, so the fatal
+    // paths inside loadQuantizedTensor are unreachable here: the
+    // payload is exactly what saveQuantizedTensor produced.
+    std::istringstream in(payload);
+    out = vq::loadQuantizedTensor(in);
+    ++stats_.hits;
+    touchLocked(filename);
+    return true;
+}
+
+void
+DiskCache::storeCodebook(const std::string &user_key,
+                         const vq::QuantizedTensor &qt)
+{
+    std::string key = fullKey(user_key, EntryKind::Codebook);
+    std::string filename = keyToFilename(key);
+
+    std::ostringstream payload;
+    vq::saveQuantizedTensor(qt, payload);
+    std::string blob =
+        makeEntryBlob(key, EntryKind::Codebook, std::move(payload).str());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitLocked(filename, blob);
+}
+
+// ---------------------------------------------------------------------
+// Observability
+
+DiskCacheStats
+DiskCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+DiskCache::exportMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const
+{
+    DiskCacheStats s = stats();
+    registry.counter(prefix + ".hits").add(s.hits);
+    registry.counter(prefix + ".misses").add(s.misses);
+    registry.counter(prefix + ".admits").add(s.admits);
+    registry.counter(prefix + ".evictions").add(s.evictions);
+    registry.counter(prefix + ".quarantined").add(s.quarantined);
+    registry.gauge(prefix + ".bytes").set(static_cast<double>(s.bytes));
+    registry.gauge(prefix + ".entries")
+        .set(static_cast<double>(s.entries));
+    registry.gauge(prefix + ".hit_rate").set(s.hitRate());
+}
+
+} // namespace vqllm::compiler

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * compiler::DiskCache — the persistent second tier of the kernel cache.
+ *
+ * The in-memory cache behind compiler::Engine dies with the process, so
+ * every replica cold-starts by re-planning kernels it has compiled a
+ * thousand times before.  This module adds an on-disk store of
+ * CompiledKernel artifacts (plan + cost estimate + emitted CUDA source)
+ * and fitted codebooks (via the vq/serialize round-trip), shared across
+ * processes and fleet replicas:
+ *
+ *   auto disk = compiler::DiskCache::open("/var/cache/vqllm-kernels");
+ *   engine.setDiskCache(disk);   // read-through / write-behind tier
+ *
+ * ## Tier protocol (DESIGN.md §13)
+ *
+ * - **Key.**  Entries are addressed by the Engine's canonical
+ *   cacheKey() extended with buildFingerprint() — a digest of the
+ *   on-disk format version, the serialized struct layouts and the
+ *   vq serialization version.  Artifacts from an older build hash to
+ *   different filenames, so stale entries are never *read*; they age
+ *   out of the directory through normal LRU eviction.
+ * - **Admit.**  Write-behind on compile miss: the artifact (source
+ *   forced, so the stored entry is complete) is serialized to a
+ *   temp file in the cache directory and atomically renamed into
+ *   place — a crashed writer leaves a temp file, never a torn entry.
+ * - **Evict.**  The directory is size-capped; an index file
+ *   (index.tsv: filename, bytes, last-use tick on a logical clock)
+ *   drives least-recently-used eviction.  A missing or corrupt index
+ *   is rebuilt from a directory scan, never trusted blindly.
+ * - **Quarantine.**  A truncated, bit-flipped or wrong-magic entry is
+ *   moved into a quarantine/ subdirectory and counted; corruption is
+ *   always a clean miss, never a crash or a wrong kernel.  Payloads
+ *   are checksummed (FNV-1a) and verified *before* parsing, so the
+ *   deserializers only ever see bytes the writer produced.
+ *
+ * ## Bit-identity
+ *
+ * Deserialized artifacts are binary-identical to freshly compiled ones
+ * (every plan/estimate field round-trips through raw little-endian
+ * bytes, doubles included), so pricing — and therefore every serving
+ * report — is bit-identical whether a kernel came from a fresh compile
+ * or from disk.  A disk hit still counts as an in-memory *miss* in
+ * Engine::stats(), keeping cache-off reports byte-identical.
+ *
+ * ## Concurrency
+ *
+ * One instance is thread-safe (internal mutex).  Multiple instances —
+ * other threads via open()'s per-directory registry, or other
+ * *processes* — may share a directory: admissions are atomic renames,
+ * readers tolerate files evicted underneath them, and entries found on
+ * disk but missing from the local index are adopted at read time.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace vqllm::obs {
+class MetricsRegistry;
+}
+
+namespace vqllm::vq {
+struct QuantizedTensor;
+}
+
+namespace vqllm::compiler {
+
+class CompiledKernel;
+
+/** Bump when the entry format or payload layout changes. */
+inline constexpr std::uint32_t kDiskCacheFormatVersion = 1;
+
+/** Sizing policy of one cache directory. */
+struct DiskCacheOptions
+{
+    /**
+     * Byte cap on the sum of retained entries; least-recently-used
+     * entries are evicted past it.  The just-admitted entry is never
+     * evicted, so a single oversized artifact still persists.
+     */
+    std::uint64_t capacity_bytes = 256ull * 1024 * 1024;
+};
+
+/** Observability counters (monotonic over an instance's life). */
+struct DiskCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Entries written (admission = one atomic rename). */
+    std::uint64_t admits = 0;
+    /** Entries removed by the LRU capacity policy. */
+    std::uint64_t evictions = 0;
+    /** Corrupt entries moved to quarantine/. */
+    std::uint64_t quarantined = 0;
+    /** Bytes currently retained (per the index). */
+    std::uint64_t bytes = 0;
+    /** Entries currently retained (per the index). */
+    std::uint64_t entries = 0;
+
+    std::uint64_t
+    lookups() const
+    {
+        return hits + misses;
+    }
+
+    /** @return hits / lookups ([0,1]; 1 when no lookup happened). */
+    double
+    hitRate() const
+    {
+        return lookups() > 0
+                   ? static_cast<double>(hits) /
+                         static_cast<double>(lookups())
+                   : 1.0;
+    }
+};
+
+/**
+ * A persistent, size-capped, LRU-evicted store of compiled-kernel
+ * artifacts and fitted codebooks.  See the file comment for the tier
+ * protocol; see Engine::setDiskCache for the read-through wiring.
+ */
+class DiskCache
+{
+  public:
+    /**
+     * Open (and create if needed) a cache directory.  The index is
+     * loaded — or rebuilt from a directory scan when missing/corrupt.
+     */
+    explicit DiskCache(const std::string &dir,
+                       const DiskCacheOptions &options =
+                           DiskCacheOptions{});
+
+    /** Flushes deferred LRU-tick updates to the index file. */
+    ~DiskCache();
+
+    /**
+     * Shared instance for a directory (keyed by canonical path):
+     * replicas of one fleet — or any two engines in one process —
+     * pointed at the same directory share one store, one index view
+     * and one set of counters.  Instances are dropped when the last
+     * reference dies; a later open() re-reads the directory.
+     */
+    static std::shared_ptr<DiskCache>
+    open(const std::string &dir,
+         const DiskCacheOptions &options = DiskCacheOptions{});
+
+    /**
+     * Look up a kernel artifact by the Engine's canonical cache key.
+     *
+     * @return the deserialized artifact (source pre-filled), or
+     *         nullptr on miss.  Corrupt entries are quarantined and
+     *         reported as misses; an entry whose embedded key does not
+     *         match (hash collision) is a clean miss.
+     */
+    std::shared_ptr<const CompiledKernel>
+    loadKernel(const std::string &engine_key);
+
+    /**
+     * Persist a kernel artifact under the Engine's canonical key.
+     * Forces source emission so the stored entry carries the complete
+     * artifact; idempotent (re-admitting overwrites atomically).
+     */
+    void storeKernel(const std::string &engine_key,
+                     const CompiledKernel &artifact);
+
+    /**
+     * Look up a fitted codebook (a serialized QuantizedTensor) under a
+     * caller-chosen key — quantization config + tensor identity.
+     *
+     * @return true and fill `out` on hit; false on miss (including
+     *         quarantined corruption).
+     */
+    bool loadCodebook(const std::string &key, vq::QuantizedTensor &out);
+
+    /** Persist a fitted codebook under a caller-chosen key. */
+    void storeCodebook(const std::string &key,
+                       const vq::QuantizedTensor &qt);
+
+    /** @return a snapshot of the counters. */
+    DiskCacheStats stats() const;
+
+    /** Publish the counters under `<prefix>.`-qualified names. */
+    void exportMetrics(obs::MetricsRegistry &registry,
+                       const std::string &prefix) const;
+
+    /** @return the cache directory (canonical path). */
+    const std::string &dir() const { return dir_; }
+
+    const DiskCacheOptions &options() const { return options_; }
+
+    /**
+     * Build/format fingerprint mixed into every entry key: the disk
+     * format version, the byte layouts of the serialized structs, and
+     * the vq serialization version.  Deterministic across rebuilds of
+     * unchanged code (so CI's cached directory stays warm), different
+     * whenever the serialized representation could have changed.
+     */
+    static std::string buildFingerprint();
+
+  private:
+    /** On-disk entry kinds (the tag byte after the header). */
+    enum class EntryKind : std::uint8_t {
+        Kernel = 0,
+        Codebook = 1,
+    };
+
+    struct IndexEntry
+    {
+        std::uint64_t bytes = 0;
+        /** Logical-clock tick of the last use (admit or hit). */
+        std::uint64_t tick = 0;
+    };
+
+    /** Full entry key: engine/caller key + build fingerprint. */
+    static std::string fullKey(const std::string &key, EntryKind kind);
+    /** Content-addressed filename of a full key (32 hex + suffix). */
+    static std::string keyToFilename(const std::string &full_key);
+
+    void loadIndexLocked();
+    void rebuildIndexLocked();
+    void flushIndexLocked();
+    void touchLocked(const std::string &filename);
+    void admitLocked(const std::string &filename,
+                     const std::string &blob);
+    void evictLocked(const std::string &keep_filename);
+    void quarantineLocked(const std::string &filename);
+    void refreshSizeStatsLocked();
+
+    /**
+     * Read + validate an entry file: magic, version, kind, embedded
+     * key, payload checksum.  On success returns true and fills
+     * `payload`; corrupt entries are quarantined, key/kind mismatches
+     * are clean misses (both return false).
+     */
+    bool readEntryLocked(const std::string &filename,
+                         const std::string &full_key, EntryKind kind,
+                         std::string &payload);
+    /** Serialize header + payload + checksum into one blob. */
+    static std::string makeEntryBlob(const std::string &full_key,
+                                     EntryKind kind,
+                                     const std::string &payload);
+
+    std::string dir_;
+    DiskCacheOptions options_;
+
+    mutable std::mutex mutex_;
+    /** filename -> {bytes, last-use tick}; std::map for determinism. */
+    std::map<std::string, IndexEntry> index_;
+    std::uint64_t total_bytes_ = 0;
+    std::uint64_t clock_ = 0;
+    std::uint64_t temp_seq_ = 0;
+    /**
+     * Tick updates from hits are advisory (losing them only costs LRU
+     * recency), so touches mark the index dirty and the flush is
+     * deferred to the next structural write or the destructor — a hit
+     * costs one file read, not an index rewrite.
+     */
+    bool index_dirty_ = false;
+    DiskCacheStats stats_;
+};
+
+} // namespace vqllm::compiler

@@ -5,6 +5,7 @@
 
 #include "codegen/cuda_emitter.h"
 #include "common/logging.h"
+#include "compiler/disk_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -252,11 +253,28 @@ Engine::compile(const KernelRequest &request)
         return it->second;
     }
     ++stats_.misses;
-    if (trace_)
-        trace_->instant(
-            "plan_compile", "compiler", 0, trace_->now(),
-            {{"cache_size", static_cast<double>(cache_.size())}});
-    auto artifact = compileUncached(request);
+    // Read through the persistent tier: a disk hit skips planning,
+    // costing and emission entirely, but still counts as an in-memory
+    // miss above so cached-off reports stay byte-identical.
+    std::shared_ptr<const CompiledKernel> artifact;
+    if (disk_)
+        artifact = disk_->loadKernel(key);
+    if (artifact) {
+        if (trace_)
+            trace_->instant(
+                "disk_cache_hit", "compiler", 0, trace_->now(),
+                {{"cache_size", static_cast<double>(cache_.size())}});
+    } else {
+        if (trace_)
+            trace_->instant(
+                "plan_compile", "compiler", 0, trace_->now(),
+                {{"cache_size", static_cast<double>(cache_.size())}});
+        artifact = compileUncached(request);
+        // Write-behind: persist the complete artifact (source forced
+        // inside storeKernel) so the next process starts disk-warm.
+        if (disk_)
+            disk_->storeKernel(key, *artifact);
+    }
     cache_.emplace(key, artifact);
     insertion_order_.push_back(key);
     while (cache_.size() > options_.cache_capacity) {
@@ -317,6 +335,20 @@ Engine::exportMetrics(obs::MetricsRegistry &registry,
     registry.counter(prefix + ".evictions").add(s.evictions);
     registry.gauge(prefix + ".size").set(static_cast<double>(s.size));
     registry.gauge(prefix + ".hit_rate").set(s.hitRate());
+}
+
+void
+Engine::setDiskCache(std::shared_ptr<DiskCache> disk)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    disk_ = std::move(disk);
+}
+
+std::shared_ptr<DiskCache>
+Engine::diskCache() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return disk_;
 }
 
 Engine &
